@@ -1,0 +1,50 @@
+//! Scheduling-runtime benchmarks — the data behind Table I's two
+//! "Schedule Time" columns: baseline SDC solves and full ISDC runs per
+//! benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isdc_core::{run_isdc, run_sdc, IsdcConfig};
+use isdc_synth::{OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn bench_sdc_baseline(c: &mut Criterion) {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib);
+    let mut group = c.benchmark_group("sdc_baseline");
+    group.sample_size(10);
+    for b in isdc_benchsuite::suite() {
+        if b.graph.len() > 200 {
+            continue; // keep the harness fast; table1 covers the big ones
+        }
+        // Warm the characterization cache outside the timed region.
+        let _ = model.all_node_delays(&b.graph);
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bencher, b| {
+            bencher.iter(|| run_sdc(&b.graph, &model, b.clock_period_ps).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_isdc_full(c: &mut Criterion) {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let mut group = c.benchmark_group("isdc_full");
+    group.sample_size(10);
+    for b in isdc_benchsuite::suite() {
+        if b.graph.len() > 120 {
+            continue;
+        }
+        let mut config = IsdcConfig::paper_defaults(b.clock_period_ps);
+        config.max_iterations = 5;
+        config.threads = 1;
+        let _ = model.all_node_delays(&b.graph);
+        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bencher, b| {
+            bencher.iter(|| run_isdc(&b.graph, &model, &oracle, &config).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sdc_baseline, bench_isdc_full);
+criterion_main!(benches);

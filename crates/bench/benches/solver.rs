@@ -1,0 +1,91 @@
+//! LP-solver scaling benchmarks: Bellman-Ford feasibility and min-cost-flow
+//! optimization over growing difference-constraint systems, plus the Alg. 2
+//! vs exhaustive-fixpoint reformulation cost (§III-D's O(n^2) vs O(n^3)
+//! trade).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isdc_benchsuite::{random_dag, RandomDagConfig};
+use isdc_core::DelayMatrix;
+use isdc_sdc::{minimize, DifferenceSystem, VarId};
+use isdc_synth::OpDelayModel;
+use isdc_techlib::TechLibrary;
+
+/// Builds a feasible chain-plus-random system of `n` variables.
+fn build_system(n: usize) -> (DifferenceSystem, Vec<i64>) {
+    let mut sys = DifferenceSystem::new(n);
+    let mut state = 0x5eed_5eedu64;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for i in 1..n {
+        sys.add_constraint(VarId(i as u32 - 1), VarId(i as u32), 0);
+    }
+    for _ in 0..2 * n {
+        let u = rng() % n;
+        let v = rng() % n;
+        if u < v {
+            sys.add_constraint(VarId(u as u32), VarId(v as u32), -((rng() % 3) as i64));
+        }
+    }
+    // Minimize the span end - start: balanced weights.
+    let mut weights = vec![0i64; n];
+    weights[0] = -1;
+    weights[n - 1] = 1;
+    (sys, weights)
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bellman_ford_feasibility");
+    for n in [50usize, 200, 800] {
+        let (sys, _) = build_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |bencher, sys| {
+            bencher.iter(|| sys.solve_feasible().expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcf_minimize");
+    for n in [50usize, 200, 800] {
+        let (sys, weights) = build_system(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |bencher, sys| {
+            bencher.iter(|| minimize(sys, &weights).expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reformulation(c: &mut Criterion) {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib);
+    let mut group = c.benchmark_group("reformulation");
+    group.sample_size(10);
+    for num_ops in [50usize, 150, 400] {
+        let g = random_dag(
+            &RandomDagConfig { num_ops, num_params: 6, widths: vec![8, 16], with_muls: true },
+            7,
+        );
+        let base = DelayMatrix::initialize(&g, &model.all_node_delays(&g));
+        let members: Vec<_> = g.node_ids().take(num_ops / 2).collect();
+        group.bench_with_input(BenchmarkId::new("alg2", num_ops), &g, |bencher, g| {
+            bencher.iter(|| {
+                let mut m = base.clone();
+                m.apply_subgraph_feedback(&members, 500.0);
+                m.reformulate(g)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_fixpoint", num_ops), &g, |bencher, g| {
+            bencher.iter(|| {
+                let mut m = base.clone();
+                m.apply_subgraph_feedback(&members, 500.0);
+                m.reformulate_exact(g)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility, bench_lp_optimization, bench_reformulation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 6: path vs cone vs window expansion ablation.
+//!
+//! Reproduces the three panels (4, 8, 16 subgraphs per iteration) with
+//! fanout-driven scoring (the winner of Fig. 5), printing register usage per
+//! iteration for the three shape strategies.
+//!
+//! Usage: `cargo run -p isdc-bench --bin fig6 --release [iterations]`
+
+use isdc_bench::ablation_series;
+use isdc_core::{IsdcConfig, ScoringStrategy, ShapeStrategy};
+use isdc_synth::{OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    let suite = isdc_benchsuite::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == "ml_core_datapath2")
+        .expect("ablation design present");
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    println!("Fig. 6: path vs cone vs window, fanout-driven, {iterations} iterations");
+    for m in [4usize, 8, 16] {
+        println!("\n-- {m} subgraphs per iteration --");
+        let mut series = Vec::new();
+        for (label, shape) in [
+            ("path", ShapeStrategy::Path),
+            ("cone", ShapeStrategy::Cone),
+            ("window", ShapeStrategy::Window),
+        ] {
+            let config = IsdcConfig {
+                clock_period_ps: bench.clock_period_ps,
+                subgraphs_per_iteration: m,
+                max_iterations: iterations,
+                scoring: ScoringStrategy::FanoutDriven,
+                shape,
+                threads: 4,
+                convergence_patience: usize::MAX,
+            };
+            series.push((label, ablation_series(&bench.graph, &model, &oracle, &config)));
+        }
+        println!("{:>5} {:>8} {:>8} {:>8}", "iter", "path", "cone", "window");
+        for i in 0..=iterations {
+            println!(
+                "{:>5} {:>8} {:>8} {:>8}",
+                i, series[0].1[i], series[1].1[i], series[2].1[i]
+            );
+        }
+        let finals: Vec<u64> = series.iter().map(|(_, s)| *s.last().expect("series")).collect();
+        println!(
+            "# finals: path={} cone={} window={} — paper's shape: cone/window <= path, window best{}",
+            finals[0],
+            finals[1],
+            finals[2],
+            if finals[2] <= finals[0] && finals[1] <= finals[0] { " [OK]" } else { " [DEVIATION]" }
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 8: post-synthesis STA delay vs AIG depth.
+//!
+//! The paper's §V.3 observes a compelling linear correlation between
+//! post-synthesis STA delay and the optimized AIG depth, motivating an
+//! AIG-depth feedback oracle that skips technology mapping and STA. This
+//! harness reproduces the scatter over the same design-point sweep as
+//! Fig. 1 and reports the linear fit and Pearson correlation.
+//!
+//! Usage: `cargo run -p isdc-bench --bin fig8 --release [num_points]`
+
+use isdc_bench::{linear_fit, pearson};
+use isdc_synth::{DelayOracle, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() {
+    let num_points: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+
+    let oracle = SynthesisOracle::new(TechLibrary::sky130());
+    let mut depths: Vec<f64> = Vec::new();
+    let mut delays: Vec<f64> = Vec::new();
+    println!("design_point,aig_depth,sta_ps");
+    for point in isdc_benchsuite::design_points(num_points) {
+        let g = &point.graph;
+        let all: Vec<_> = g.node_ids().collect();
+        let report = oracle.evaluate(g, &all);
+        if report.aig_depth == 0 {
+            continue;
+        }
+        println!("{},{},{:.1}", point.seed, report.aig_depth, report.delay_ps);
+        depths.push(report.aig_depth as f64);
+        delays.push(report.delay_ps);
+    }
+
+    let r = pearson(&depths, &delays);
+    let (slope, intercept) = linear_fit(&depths, &delays);
+    println!("# points: {}", depths.len());
+    println!("# pearson(depth, STA) = {r:.3}");
+    println!("# linear fit: STA = {slope:.1}ps * depth + {intercept:.0}ps");
+    println!(
+        "# paper's Fig. 8 shape: strongly linear correlation {}",
+        if r > 0.9 { "[OK]" } else { "[DEVIATION]" }
+    );
+    println!("# (use isdc_synth::AigDepthOracle with ps_per_level = {slope:.1} to exploit it)");
+}

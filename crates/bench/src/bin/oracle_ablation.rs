@@ -1,0 +1,72 @@
+//! Oracle ablation (§V.3): full synthesis + STA feedback vs the AIG-depth
+//! shortcut vs the no-gain control, across the benchmark suite.
+//!
+//! The paper proposes (as future work) driving the loop with AIG depth to
+//! skip technology mapping and post-synthesis STA; Fig. 8 shows depth and
+//! STA delay correlate linearly. This harness quantifies the trade:
+//! register quality and scheduling runtime per oracle.
+//!
+//! Usage: `cargo run -p isdc-bench --bin oracle_ablation --release`
+
+use isdc_core::{run_isdc, IsdcConfig};
+use isdc_synth::{AigDepthOracle, DelayOracle, NaiveSumOracle, OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let synthesis = SynthesisOracle::new(lib.clone());
+    // Calibrated from the fig8 linear fit.
+    let depth = AigDepthOracle::new(56.0);
+    let naive = NaiveSumOracle::new(OpDelayModel::new(lib));
+
+    println!(
+        "{:<28} {:>9} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",
+        "benchmark", "baseline", "synth", "time", "aig-depth", "time", "naive", "time"
+    );
+    let mut totals = [0.0f64; 4];
+    let mut count = 0usize;
+    for b in isdc_benchsuite::suite() {
+        if b.graph.len() > 200 {
+            continue;
+        }
+        let mut config = IsdcConfig::paper_defaults(b.clock_period_ps);
+        config.max_iterations = 10;
+        let oracles: [&dyn DelayOracle; 3] = [&synthesis, &depth, &naive];
+        let mut cells = Vec::new();
+        let mut baseline = 0u64;
+        for oracle in oracles {
+            let r = run_isdc(&b.graph, &model, oracle, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            baseline = r.history[0].register_bits;
+            cells.push((r.final_record().register_bits, r.total_time.as_secs_f64()));
+        }
+        println!(
+            "{:<28} {:>9} | {:>10} {:>7.3}s | {:>10} {:>7.3}s | {:>10} {:>7.3}s",
+            b.name,
+            baseline,
+            cells[0].0,
+            cells[0].1,
+            cells[1].0,
+            cells[1].1,
+            cells[2].0,
+            cells[2].1
+        );
+        totals[0] += baseline as f64;
+        totals[1] += cells[0].0 as f64;
+        totals[2] += cells[1].0 as f64;
+        totals[3] += cells[2].0 as f64;
+        count += 1;
+    }
+    println!(
+        "# totals over {count} benchmarks: baseline {:.0}, synth {:.0} ({:.1}%), depth {:.0} ({:.1}%), naive {:.0} ({:.1}%)",
+        totals[0],
+        totals[1],
+        100.0 * totals[1] / totals[0],
+        totals[2],
+        100.0 * totals[2] / totals[0],
+        totals[3],
+        100.0 * totals[3] / totals[0],
+    );
+    println!("# expected shape: synth <= depth << naive == baseline.");
+}

@@ -1,0 +1,786 @@
+//! The 17 evaluation benchmarks (paper Table I).
+//!
+//! The paper's benchmarks are XLS designs, several of them proprietary
+//! datapaths from industrial SoCs (an ML processor, a video processor).
+//! These generators synthesize datapaths of the same *kind* and comparable
+//! op mix, so the relative SDC-vs-ISDC behaviour is preserved even though
+//! absolute register counts differ from the paper's table.
+//!
+//! Width discipline: benchmarks with a 2500ps clock use operations that
+//! individually fit 2500ps under the SKY130-flavoured library (adds/muls up
+//! to 16 bits); 32-bit arithmetic appears only in 5000ps benchmarks,
+//! mirroring the paper's rule of doubling the target period when an op
+//! exceeds it.
+
+use isdc_ir::{Graph, NodeId, OpKind};
+
+/// Helper: rotate right by a constant (pure wiring).
+fn ror(g: &mut Graph, x: NodeId, k: u32) -> NodeId {
+    let w = g.node(x).width;
+    let k = k % w;
+    if k == 0 {
+        return x;
+    }
+    let low = g.unary(OpKind::BitSlice { start: 0, width: k }, x).expect("slice");
+    let high = g.unary(OpKind::BitSlice { start: k, width: w - k }, x).expect("slice");
+    g.add_node(OpKind::Concat, vec![low, high]).expect("concat")
+}
+
+/// Helper: logical shift right by a constant (pure wiring).
+fn shr_const(g: &mut Graph, x: NodeId, k: u32) -> NodeId {
+    let w = g.node(x).width;
+    if k == 0 {
+        return x;
+    }
+    if k >= w {
+        return g.literal_u64(0, w);
+    }
+    let high = g.unary(OpKind::BitSlice { start: k, width: w - k }, x).expect("slice");
+    g.unary(OpKind::ZeroExt { new_width: w }, high).expect("ext")
+}
+
+/// Helper: shift left by a constant (pure wiring).
+fn shl_const(g: &mut Graph, x: NodeId, k: u32) -> NodeId {
+    let w = g.node(x).width;
+    if k == 0 {
+        return x;
+    }
+    if k >= w {
+        return g.literal_u64(0, w);
+    }
+    let low = g.unary(OpKind::BitSlice { start: 0, width: w - k }, x).expect("slice");
+    let zeros = g.literal_u64(0, k);
+    g.add_node(OpKind::Concat, vec![low, zeros]).expect("concat")
+}
+
+/// Helper: `max(x, y)` via compare-select.
+fn umax(g: &mut Graph, x: NodeId, y: NodeId) -> NodeId {
+    let lt = g.binary(OpKind::Ult, x, y).expect("ult");
+    g.select(lt, y, x).expect("sel")
+}
+
+/// Helper: unsigned saturating clamp to `limit` (a literal).
+fn clamp(g: &mut Graph, x: NodeId, limit: u64) -> NodeId {
+    let w = g.node(x).width;
+    let lim = g.literal_u64(limit, w);
+    let over = g.binary(OpKind::Ugt, x, lim).expect("ugt");
+    g.select(over, lim, x).expect("sel")
+}
+
+/// `crc32`: bitwise CRC-32 over 8 unrolled data bytes (2500ps class).
+///
+/// Each bit round is `state = (state >> 1) ^ (poly & -(state[0] ^ bit))` —
+/// cheap XOR/select logic whose long sequential chain pipelines into a few
+/// stages.
+pub fn crc32() -> Graph {
+    let mut g = Graph::new("crc32");
+    let mut state = g.param("state_in", 32);
+    let data = g.param("data", 64);
+    let poly = g.literal_u64(0xEDB8_8320, 32);
+    let zero = g.literal_u64(0, 32);
+    for i in 0..64u32 {
+        let dbit = g.unary(OpKind::BitSlice { start: i, width: 1 }, data).expect("bit");
+        let sbit = g.unary(OpKind::BitSlice { start: 0, width: 1 }, state).expect("bit");
+        let x = g.binary(OpKind::Xor, dbit, sbit).expect("xor");
+        let mask = g.select(x, poly, zero).expect("sel");
+        let shifted = shr_const(&mut g, state, 1);
+        state = g.binary(OpKind::Xor, shifted, mask).expect("xor");
+    }
+    g.set_name(state, "crc_out");
+    g.set_output(state);
+    g
+}
+
+/// `rrot`: data-dependent rotates with XOR mixing (2500ps class).
+pub fn rrot() -> Graph {
+    let mut g = Graph::new("rrot");
+    let x = g.param("x", 32);
+    let y = g.param("y", 32);
+    let amt = g.param("amt", 5);
+    let mut acc = x;
+    for round in 0..3u32 {
+        let amt_w = g.unary(OpKind::ZeroExt { new_width: 6 }, amt).expect("ext");
+        let right = g.binary(OpKind::Shrl, acc, amt_w).expect("shr");
+        let thirty_two = g.literal_u64(32, 6);
+        let inv = g.binary(OpKind::Sub, thirty_two, amt_w).expect("sub");
+        let left = g.binary(OpKind::Shll, acc, inv).expect("shl");
+        let rot = g.binary(OpKind::Or, right, left).expect("or");
+        let mixed = g.binary(OpKind::Xor, rot, y).expect("xor");
+        acc = ror(&mut g, mixed, 7 + round);
+    }
+    g.set_name(acc, "out");
+    g.set_output(acc);
+    g
+}
+
+/// `binary_divide`: unrolled 8-bit restoring division (2500ps class).
+pub fn binary_divide() -> Graph {
+    let mut g = Graph::new("binary_divide");
+    let dividend = g.param("dividend", 8);
+    let divisor = g.param("divisor", 8);
+    let mut rem = g.literal_u64(0, 8);
+    let mut quotient_bits: Vec<NodeId> = Vec::new();
+    for i in (0..8u32).rev() {
+        let shifted = shl_const(&mut g, rem, 1);
+        let bit = g.unary(OpKind::BitSlice { start: i, width: 1 }, dividend).expect("bit");
+        let bit8 = g.unary(OpKind::ZeroExt { new_width: 8 }, bit).expect("ext");
+        let trial = g.binary(OpKind::Or, shifted, bit8).expect("or");
+        let diff = g.binary(OpKind::Sub, trial, divisor).expect("sub");
+        let ge = g.binary(OpKind::Uge, trial, divisor).expect("uge");
+        rem = g.select(ge, diff, trial).expect("sel");
+        quotient_bits.push(ge);
+    }
+    // quotient_bits[0] is the MSB; Concat takes MSB first.
+    let quotient = g.add_node(OpKind::Concat, quotient_bits).expect("concat");
+    g.set_name(quotient, "quotient");
+    g.set_name(rem, "remainder");
+    g.set_output(quotient);
+    g.set_output(rem);
+    g
+}
+
+/// `hsv2rgb`: HSV to RGB conversion datapath (5000ps class).
+pub fn hsv2rgb() -> Graph {
+    let mut g = Graph::new("hsv2rgb");
+    let h = g.param("h", 16);
+    let s = g.param("s", 16);
+    let v = g.param("v", 16);
+    let max16 = g.literal_u64(0xff, 16);
+    // Chroma-style intermediates: p = v * (255 - s) >> 8, and the ramp
+    // values q/t from the hue remainder.
+    let inv_s = g.binary(OpKind::Sub, max16, s).expect("sub");
+    let vp = g.binary(OpKind::Mul, v, inv_s).expect("mul");
+    let p = shr_const(&mut g, vp, 8);
+    let region_div = g.literal_u64(43, 16);
+    // Approximate h / 43 via multiply by 1528 >> 16 (fixed-point reciprocal).
+    let recip = g.literal_u64(1528, 16);
+    let hr = g.binary(OpKind::Mul, h, recip).expect("mul");
+    let region = shr_const(&mut g, hr, 8);
+    let region_base = g.binary(OpKind::Mul, region, region_div).expect("mul");
+    let rem = g.binary(OpKind::Sub, h, region_base).expect("sub");
+    let six = g.literal_u64(6, 16);
+    let rem6 = g.binary(OpKind::Mul, rem, six).expect("mul");
+    let inv_rem = g.binary(OpKind::Sub, max16, rem6).expect("sub");
+    let sq = g.binary(OpKind::Mul, s, rem6).expect("mul");
+    let sq8 = shr_const(&mut g, sq, 8);
+    let q_factor = g.binary(OpKind::Sub, max16, sq8).expect("sub");
+    let vq = g.binary(OpKind::Mul, v, q_factor).expect("mul");
+    let q = shr_const(&mut g, vq, 8);
+    let st = g.binary(OpKind::Mul, s, inv_rem).expect("mul");
+    let st8 = shr_const(&mut g, st, 8);
+    let t_factor = g.binary(OpKind::Sub, max16, st8).expect("sub");
+    let vt = g.binary(OpKind::Mul, v, t_factor).expect("mul");
+    let t = shr_const(&mut g, vt, 8);
+    // Region select chains for the three channels.
+    let zero = g.literal_u64(0, 16);
+    let r0 = g.binary(OpKind::Eq, region, zero).expect("eq");
+    let one = g.literal_u64(1, 16);
+    let r1 = g.binary(OpKind::Eq, region, one).expect("eq");
+    let two = g.literal_u64(2, 16);
+    let r2 = g.binary(OpKind::Eq, region, two).expect("eq");
+    let r_a = g.select(r0, v, q).expect("sel");
+    let r_b = g.select(r1, q, r_a).expect("sel");
+    let red = g.select(r2, p, r_b).expect("sel");
+    let g_a = g.select(r0, t, v).expect("sel");
+    let g_b = g.select(r2, v, g_a).expect("sel");
+    let green = g.select(r1, v, g_b).expect("sel");
+    let b_a = g.select(r0, p, t).expect("sel");
+    let b_b = g.select(r1, p, b_a).expect("sel");
+    let blue = g.select(r2, t, b_b).expect("sel");
+    let red = clamp(&mut g, red, 0xff);
+    let green = clamp(&mut g, green, 0xff);
+    let blue = clamp(&mut g, blue, 0xff);
+    g.set_name(red, "r");
+    g.set_name(green, "g_out");
+    g.set_name(blue, "b");
+    g.set_output(red);
+    g.set_output(green);
+    g.set_output(blue);
+    g
+}
+
+/// `ml_core_datapath1`: the small MAC-with-clamp datapath (2500ps class).
+pub fn ml_core_datapath1() -> Graph {
+    let mut g = Graph::new("ml_core_datapath1");
+    let a = g.param("a", 12);
+    let b = g.param("b", 12);
+    let c = g.param("c", 12);
+    let m = g.binary(OpKind::Mul, a, b).expect("mul");
+    let s = g.binary(OpKind::Add, m, c).expect("add");
+    let r = shr_const(&mut g, s, 2);
+    let out = clamp(&mut g, r, 0x3ff);
+    g.set_name(out, "out");
+    g.set_output(out);
+    g
+}
+
+/// `ml_core_datapath2`: an 8-deep accumulating MAC chain with parallel
+/// checksum and running-max branches — the mid-size design used for the
+/// Fig. 5 / Fig. 6 ablations (2500ps class).
+///
+/// The side branches matter for the ablations: they give every pipeline
+/// stage several competing register producers with different widths and
+/// fanouts (the paper's Fig. 3 scenario), so delay-driven and fanout-driven
+/// scoring genuinely rank candidates differently.
+pub fn ml_core_datapath2() -> Graph {
+    let mut g = Graph::new("ml_core_datapath2");
+    let mut acc = g.param("acc_in", 16);
+    let mut checksum = g.param("csum_in", 16);
+    let mut running_max = g.param("max_in", 8);
+    for i in 0..8 {
+        let a = g.param(format!("a{i}"), 8);
+        let w = g.param(format!("w{i}"), 8);
+        let prod = g.binary(OpKind::Mul, a, w).expect("mul");
+        let prod16 = g.unary(OpKind::ZeroExt { new_width: 16 }, prod).expect("ext");
+        acc = g.binary(OpKind::Add, acc, prod16).expect("add");
+        // Low-cost side branches consuming the same product: a wide xor
+        // checksum (single consumer) and a narrow running max (re-read by
+        // the fold below, i.e. multiple consumers).
+        checksum = g.binary(OpKind::Xor, checksum, prod16).expect("xor");
+        running_max = umax(&mut g, running_max, prod);
+        if i % 3 == 2 {
+            // Periodically fold the stats back into the accumulator so the
+            // branches interleave with the critical MAC chain.
+            let max16 =
+                g.unary(OpKind::ZeroExt { new_width: 16 }, running_max).expect("ext");
+            let folded = shr_const(&mut g, max16, 2);
+            acc = g.binary(OpKind::Add, acc, folded).expect("add");
+        }
+    }
+    let blend = g.binary(OpKind::Xor, acc, checksum).expect("xor");
+    let max16 = g.unary(OpKind::ZeroExt { new_width: 16 }, running_max).expect("ext");
+    let biased = g.binary(OpKind::Add, blend, max16).expect("add");
+    let out = clamp(&mut g, biased, 0x7fff);
+    g.set_name(out, "acc_out");
+    g.set_output(out);
+    g
+}
+
+/// One ML-core datapath0 opcode: `relu(a0*b0 + a1*b1)` (5000ps class).
+pub fn ml_core_datapath0_opcode0() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_opcode0");
+    let a0 = g.param("a0", 16);
+    let b0 = g.param("b0", 16);
+    let a1 = g.param("a1", 16);
+    let b1 = g.param("b1", 16);
+    let m0 = g.binary(OpKind::Mul, a0, b0).expect("mul");
+    let m1 = g.binary(OpKind::Mul, a1, b1).expect("mul");
+    let sum = g.binary(OpKind::Add, m0, m1).expect("add");
+    let sign = g.unary(OpKind::BitSlice { start: 15, width: 1 }, sum).expect("bit");
+    let zero = g.literal_u64(0, 16);
+    let out = g.select(sign, zero, sum).expect("sel");
+    g.set_name(out, "relu_out");
+    g.set_output(out);
+    g
+}
+
+/// Opcode 1: dot-4 with rounding shift and saturation (5000ps class).
+pub fn ml_core_datapath0_opcode1() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_opcode1");
+    let mut terms = Vec::new();
+    for i in 0..4 {
+        let a = g.param(format!("a{i}"), 16);
+        let b = g.param(format!("b{i}"), 16);
+        let m = g.binary(OpKind::Mul, a, b).expect("mul");
+        terms.push(m);
+    }
+    let s01 = g.binary(OpKind::Add, terms[0], terms[1]).expect("add");
+    let s23 = g.binary(OpKind::Add, terms[2], terms[3]).expect("add");
+    let sum = g.binary(OpKind::Add, s01, s23).expect("add");
+    let half = g.literal_u64(1 << 3, 16);
+    let rounded = g.binary(OpKind::Add, sum, half).expect("add");
+    let shifted = shr_const(&mut g, rounded, 4);
+    let out = clamp(&mut g, shifted, 0xfff);
+    g.set_name(out, "out");
+    g.set_output(out);
+    g
+}
+
+/// Opcode 2: dot-8 with a min/max reduction — the largest opcode
+/// (5000ps class).
+pub fn ml_core_datapath0_opcode2() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_opcode2");
+    let mut products = Vec::new();
+    for i in 0..8 {
+        let a = g.param(format!("a{i}"), 16);
+        let b = g.param(format!("b{i}"), 16);
+        products.push(g.binary(OpKind::Mul, a, b).expect("mul"));
+    }
+    // Adder tree.
+    let mut layer = products.clone();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                g.binary(OpKind::Add, pair[0], pair[1]).expect("add")
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    let sum = layer[0];
+    // Running max of the products, then blended with the sum.
+    let mut best = products[0];
+    for &p in &products[1..] {
+        best = umax(&mut g, best, p);
+    }
+    let blend = g.binary(OpKind::Add, sum, best).expect("add");
+    let out = clamp(&mut g, blend, 0x7fff);
+    g.set_name(out, "out");
+    g.set_output(out);
+    g
+}
+
+/// Opcode 3: multiply-shift-round with saturation (5000ps class).
+pub fn ml_core_datapath0_opcode3() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_opcode3");
+    let a = g.param("a", 16);
+    let b = g.param("b", 16);
+    let bias = g.param("bias", 16);
+    let shift = g.param("shift", 4);
+    let m = g.binary(OpKind::Mul, a, b).expect("mul");
+    let biased = g.binary(OpKind::Add, m, bias).expect("add");
+    let shift16 = g.unary(OpKind::ZeroExt { new_width: 16 }, shift).expect("ext");
+    let shifted = g.binary(OpKind::Shrl, biased, shift16).expect("shr");
+    let rounded = g.binary(OpKind::Add, shifted, bias).expect("add");
+    let out = clamp(&mut g, rounded, 0x3fff);
+    g.set_name(out, "out");
+    g.set_output(out);
+    g
+}
+
+/// Opcode 4: 8-way max-pool with bias (5000ps class).
+pub fn ml_core_datapath0_opcode4() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_opcode4");
+    let inputs: Vec<NodeId> = (0..8).map(|i| g.param(format!("x{i}"), 16)).collect();
+    let bias = g.param("bias", 16);
+    let mut best = inputs[0];
+    for &x in &inputs[1..] {
+        best = umax(&mut g, best, x);
+    }
+    let out = g.binary(OpKind::Add, best, bias).expect("add");
+    g.set_name(out, "out");
+    g.set_output(out);
+    g
+}
+
+/// All five opcodes computed on shared operands, selected by a 3-bit opcode
+/// (5000ps class). The multiplexing mirrors the paper's
+/// "ML-core datapath0 (all opcodes)" row.
+pub fn ml_core_datapath0_all() -> Graph {
+    let mut g = Graph::new("ml_core_datapath0_all");
+    let opcode = g.param("opcode", 3);
+    let a: Vec<NodeId> = (0..8).map(|i| g.param(format!("a{i}"), 16)).collect();
+    let b: Vec<NodeId> = (0..8).map(|i| g.param(format!("b{i}"), 16)).collect();
+    let bias = g.param("bias", 16);
+
+    // Opcode 0: relu(dot2).
+    let m0 = g.binary(OpKind::Mul, a[0], b[0]).expect("mul");
+    let m1 = g.binary(OpKind::Mul, a[1], b[1]).expect("mul");
+    let d2 = g.binary(OpKind::Add, m0, m1).expect("add");
+    let sign = g.unary(OpKind::BitSlice { start: 15, width: 1 }, d2).expect("bit");
+    let zero16 = g.literal_u64(0, 16);
+    let r0 = g.select(sign, zero16, d2).expect("sel");
+
+    // Opcode 1: dot4 >> 4.
+    let m2 = g.binary(OpKind::Mul, a[2], b[2]).expect("mul");
+    let m3 = g.binary(OpKind::Mul, a[3], b[3]).expect("mul");
+    let s01 = g.binary(OpKind::Add, m0, m1).expect("add");
+    let s23 = g.binary(OpKind::Add, m2, m3).expect("add");
+    let d4 = g.binary(OpKind::Add, s01, s23).expect("add");
+    let r1 = shr_const(&mut g, d4, 4);
+
+    // Opcode 2: dot4 + max(products).
+    let mut best = m0;
+    for &m in &[m1, m2, m3] {
+        best = umax(&mut g, best, m);
+    }
+    let r2 = g.binary(OpKind::Add, d4, best).expect("add");
+
+    // Opcode 3: (a4*b4 + bias) >> 2, clamped.
+    let m4 = g.binary(OpKind::Mul, a[4], b[4]).expect("mul");
+    let biased = g.binary(OpKind::Add, m4, bias).expect("add");
+    let sh = shr_const(&mut g, biased, 2);
+    let r3 = clamp(&mut g, sh, 0x3fff);
+
+    // Opcode 4: max-pool(a) + bias.
+    let mut pool = a[0];
+    for &x in &a[1..] {
+        pool = umax(&mut g, pool, x);
+    }
+    let r4 = g.binary(OpKind::Add, pool, bias).expect("add");
+
+    // Opcode select chain.
+    let op0 = g.literal_u64(0, 3);
+    let e0 = g.binary(OpKind::Eq, opcode, op0).expect("eq");
+    let op1 = g.literal_u64(1, 3);
+    let e1 = g.binary(OpKind::Eq, opcode, op1).expect("eq");
+    let op2 = g.literal_u64(2, 3);
+    let e2 = g.binary(OpKind::Eq, opcode, op2).expect("eq");
+    let op3 = g.literal_u64(3, 3);
+    let e3 = g.binary(OpKind::Eq, opcode, op3).expect("eq");
+    let s = g.select(e3, r3, r4).expect("sel");
+    let s = g.select(e2, r2, s).expect("sel");
+    let s = g.select(e1, r1, s).expect("sel");
+    let out = g.select(e0, r0, s).expect("sel");
+    g.set_name(out, "result");
+    g.set_output(out);
+    g
+}
+
+/// `video_core_datapath`: two chained color-space transforms plus a 3-tap
+/// filter (2500ps class).
+pub fn video_core_datapath() -> Graph {
+    let mut g = Graph::new("video_core_datapath");
+    let r = g.param("r", 12);
+    let gr = g.param("g", 12);
+    let b = g.param("b", 12);
+    let transform = |g: &mut Graph, x: NodeId, y: NodeId, z: NodeId, c: [u64; 3], shift: u32| {
+        let cx = g.literal_u64(c[0], 12);
+        let cy = g.literal_u64(c[1], 12);
+        let cz = g.literal_u64(c[2], 12);
+        let mx = g.binary(OpKind::Mul, x, cx).expect("mul");
+        let my = g.binary(OpKind::Mul, y, cy).expect("mul");
+        let mz = g.binary(OpKind::Mul, z, cz).expect("mul");
+        let s1 = g.binary(OpKind::Add, mx, my).expect("add");
+        let s2 = g.binary(OpKind::Add, s1, mz).expect("add");
+        shr_const(g, s2, shift)
+    };
+    // RGB -> YCbCr-like.
+    let y = transform(&mut g, r, gr, b, [66, 129, 25], 8);
+    let cb = transform(&mut g, r, gr, b, [38, 74, 112], 8);
+    let cr = transform(&mut g, r, gr, b, [112, 94, 18], 8);
+    // Second-stage transform back (round trip) to deepen the datapath.
+    let y2 = transform(&mut g, y, cb, cr, [76, 84, 29], 8);
+    let cb2 = transform(&mut g, y, cb, cr, [37, 111, 51], 8);
+    let cr2 = transform(&mut g, y, cb, cr, [103, 27, 91], 8);
+    // 3-tap filter on the luma.
+    let t0 = shl_const(&mut g, y2, 1);
+    let sum = g.binary(OpKind::Add, t0, cb2).expect("add");
+    let sum2 = g.binary(OpKind::Add, sum, cr2).expect("add");
+    let filtered = shr_const(&mut g, sum2, 2);
+    let out_y = clamp(&mut g, filtered, 0xff);
+    let out_cb = clamp(&mut g, cb2, 0xff);
+    let out_cr = clamp(&mut g, cr2, 0xff);
+    g.set_name(out_y, "y_out");
+    g.set_name(out_cb, "cb_out");
+    g.set_name(out_cr, "cr_out");
+    g.set_output(out_y);
+    g.set_output(out_cb);
+    g.set_output(out_cr);
+    g
+}
+
+/// `internal_datapath`: a long mixed add/xor/rotate/select chain (2500ps
+/// class) standing in for the paper's deepest proprietary design.
+pub fn internal_datapath() -> Graph {
+    let mut g = Graph::new("internal_datapath");
+    let mut acc = g.param("seed", 10);
+    let key = g.param("key", 10);
+    let sel_bits = g.param("sel", 16);
+    for round in 0..16u32 {
+        // ARX-style round: every arm is a bijection of `acc`, so the digest
+        // stays seed-sensitive across all 16 rounds (a lossy mixer would
+        // collapse to a seed-independent attractor).
+        let k = ror(&mut g, key, round);
+        let k2 = ror(&mut g, key, round + 5);
+        let added = g.binary(OpKind::Add, acc, k).expect("add");
+        let rotated = ror(&mut g, added, 3);
+        let mixed = g.binary(OpKind::Xor, rotated, k2).expect("xor");
+        let bit =
+            g.unary(OpKind::BitSlice { start: round % 16, width: 1 }, sel_bits).expect("bit");
+        acc = g.select(bit, mixed, added).expect("sel");
+    }
+    g.set_name(acc, "digest");
+    g.set_output(acc);
+    g
+}
+
+/// `sha256`: an 8-round compression loop over 16-bit words (2500ps class).
+///
+/// The paper's sha256 uses full 32-bit words; 12-bit words keep each
+/// individual addition comfortably inside the 2500ps clock under our
+/// ripple-carry downstream model (so chained additions can merge, as they
+/// can for the paper's stack) while preserving the structure (message
+/// schedule, Ch/Maj, Σ rotations, long addition chains).
+pub fn sha256() -> Graph {
+    const ROUND_CONSTANTS: [u64; 8] =
+        [0x428a, 0x7137, 0xb5c0, 0xe9b5, 0x3956, 0x59f1, 0x923f, 0xab1c];
+    let mut g = Graph::new("sha256");
+    let mut state: Vec<NodeId> =
+        (0..8).map(|i| g.param(format!("h{i}"), 12)).collect();
+    let mut w: Vec<NodeId> = (0..8).map(|i| g.param(format!("w{i}"), 12)).collect();
+    for round in 0..8usize {
+        // Message schedule extension (16-bit variant of sigma0/sigma1).
+        if round >= 2 {
+            let wm2 = w[round - 2];
+            let wm1 = w[round - 1];
+            let s0a = ror(&mut g, wm1, 7);
+            let s0b = ror(&mut g, wm1, 3);
+            let s0 = g.binary(OpKind::Xor, s0a, s0b).expect("xor");
+            let s1a = ror(&mut g, wm2, 11);
+            let s1b = ror(&mut g, wm2, 5);
+            let s1 = g.binary(OpKind::Xor, s1a, s1b).expect("xor");
+            let t = g.binary(OpKind::Add, w[round], s0).expect("add");
+            let wn = g.binary(OpKind::Add, t, s1).expect("add");
+            w[round] = wn;
+        }
+        let [a, b, c, d, e, f, hh, h] =
+            [state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]];
+        // Sigma1(e), Ch(e, f, g).
+        let e1 = ror(&mut g, e, 6);
+        let e2 = ror(&mut g, e, 11);
+        let e3 = ror(&mut g, e, 3);
+        let x1 = g.binary(OpKind::Xor, e1, e2).expect("xor");
+        let big_sigma1 = g.binary(OpKind::Xor, x1, e3).expect("xor");
+        let ef = g.binary(OpKind::And, e, f).expect("and");
+        let ne = g.unary(OpKind::Not, e).expect("not");
+        let ng = g.binary(OpKind::And, ne, hh).expect("and");
+        let ch = g.binary(OpKind::Xor, ef, ng).expect("xor");
+        // t1 = h + Sigma1 + ch + K + W.
+        let k = g.literal_u64(ROUND_CONSTANTS[round], 12);
+        let t1a = g.binary(OpKind::Add, h, big_sigma1).expect("add");
+        let t1b = g.binary(OpKind::Add, t1a, ch).expect("add");
+        let t1c = g.binary(OpKind::Add, t1b, k).expect("add");
+        let t1 = g.binary(OpKind::Add, t1c, w[round]).expect("add");
+        // Sigma0(a), Maj(a, b, c).
+        let a1 = ror(&mut g, a, 2);
+        let a2 = ror(&mut g, a, 13);
+        let a3 = ror(&mut g, a, 7);
+        let y1 = g.binary(OpKind::Xor, a1, a2).expect("xor");
+        let big_sigma0 = g.binary(OpKind::Xor, y1, a3).expect("xor");
+        let ab = g.binary(OpKind::And, a, b).expect("and");
+        let ac = g.binary(OpKind::And, a, c).expect("and");
+        let bc = g.binary(OpKind::And, b, c).expect("and");
+        let m1 = g.binary(OpKind::Xor, ab, ac).expect("xor");
+        let maj = g.binary(OpKind::Xor, m1, bc).expect("xor");
+        let t2 = g.binary(OpKind::Add, big_sigma0, maj).expect("add");
+        let new_e = g.binary(OpKind::Add, d, t1).expect("add");
+        let new_a = g.binary(OpKind::Add, t1, t2).expect("add");
+        state = vec![new_a, a, b, c, new_e, e, f, hh];
+    }
+    // Final feed-forward additions.
+    for (i, &s) in state.clone().iter().enumerate() {
+        let init = g.params()[i];
+        let fed = g.binary(OpKind::Add, s, init).expect("add");
+        g.set_name(fed, format!("out{i}"));
+        g.set_output(fed);
+    }
+    g
+}
+
+/// `fpexp_32`: fixed-point exponential via range reduction and a 6-term
+/// Horner polynomial (5000ps class).
+pub fn fpexp_32() -> Graph {
+    // Q8.8 coefficients of exp(x) ~ sum x^k / k!.
+    const COEFFS: [u64; 6] = [256, 256, 128, 43, 11, 2];
+    let mut g = Graph::new("fpexp_32");
+    let x = g.param("x", 16);
+    // Range-reduce: split integer/fraction, polynomial on the fraction.
+    let frac = g.unary(OpKind::BitSlice { start: 0, width: 8 }, x).expect("slice");
+    let frac16 = g.unary(OpKind::ZeroExt { new_width: 16 }, frac).expect("ext");
+    let mut acc = g.literal_u64(COEFFS[5], 16);
+    for &c in COEFFS[..5].iter().rev() {
+        let prod = g.binary(OpKind::Mul, acc, frac16).expect("mul");
+        let scaled = shr_const(&mut g, prod, 8);
+        let coeff = g.literal_u64(c, 16);
+        acc = g.binary(OpKind::Add, scaled, coeff).expect("add");
+    }
+    // Scale by 2^int(x) with a dynamic shift.
+    let int_part = g.unary(OpKind::BitSlice { start: 8, width: 4 }, x).expect("slice");
+    let int16 = g.unary(OpKind::ZeroExt { new_width: 16 }, int_part).expect("ext");
+    let out = g.binary(OpKind::Shll, acc, int16).expect("shl");
+    g.set_name(out, "exp_out");
+    g.set_output(out);
+    g
+}
+
+/// `float32_fast_rsqrt`: the fast inverse square root (magic constant plus
+/// one Newton iteration) in fixed point (5000ps class).
+pub fn float32_fast_rsqrt() -> Graph {
+    let mut g = Graph::new("float32_fast_rsqrt");
+    let x = g.param("x", 32);
+    let magic = g.literal_u64(0x5f37_59df, 32);
+    let half = shr_const(&mut g, x, 1);
+    let y0 = g.binary(OpKind::Sub, magic, half).expect("sub");
+    // One Newton step: y = y0 * (3/2 - (x/2) * y0 * y0), in Q16 arithmetic.
+    let y0sq = g.binary(OpKind::Mul, y0, y0).expect("mul");
+    let y0sq_s = shr_const(&mut g, y0sq, 16);
+    let xh = shr_const(&mut g, x, 1);
+    let xyy = g.binary(OpKind::Mul, xh, y0sq_s).expect("mul");
+    let xyy_s = shr_const(&mut g, xyy, 16);
+    let three_half = g.literal_u64(3 << 15, 32);
+    let delta = g.binary(OpKind::Sub, three_half, xyy_s).expect("sub");
+    let y1 = g.binary(OpKind::Mul, y0, delta).expect("mul");
+    let out = shr_const(&mut g, y1, 16);
+    g.set_name(out, "rsqrt_out");
+    g.set_output(out);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdc_ir::{interp, BitVecValue};
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_designs_validate() {
+        for build in [
+            crc32,
+            rrot,
+            binary_divide,
+            hsv2rgb,
+            ml_core_datapath1,
+            ml_core_datapath2,
+            ml_core_datapath0_opcode0,
+            ml_core_datapath0_opcode1,
+            ml_core_datapath0_opcode2,
+            ml_core_datapath0_opcode3,
+            ml_core_datapath0_opcode4,
+            ml_core_datapath0_all,
+            video_core_datapath,
+            internal_datapath,
+            sha256,
+            fpexp_32,
+            float32_fast_rsqrt,
+        ] {
+            let g = build();
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(!g.outputs().is_empty(), "{} has outputs", g.name());
+        }
+    }
+
+    fn eval_u64(g: &Graph, inputs: &[(&str, u64)]) -> Vec<u64> {
+        let map: HashMap<String, BitVecValue> = inputs
+            .iter()
+            .map(|&(name, v)| {
+                let id = g
+                    .params()
+                    .iter()
+                    .copied()
+                    .find(|&p| g.node(p).name.as_deref() == Some(name))
+                    .unwrap_or_else(|| panic!("param {name}"));
+                (name.to_string(), BitVecValue::from_u64(v, g.node(id).width))
+            })
+            .collect();
+        interp::evaluate_outputs(g, &map)
+            .expect("evaluation succeeds")
+            .iter()
+            .map(|v| v.to_u64())
+            .collect()
+    }
+
+    #[test]
+    fn binary_divide_computes_division() {
+        let g = binary_divide();
+        for (dividend, divisor) in [(100u64, 7u64), (255, 16), (9, 3), (5, 9)] {
+            let out = eval_u64(&g, &[("dividend", dividend), ("divisor", divisor)]);
+            assert_eq!(out[0], dividend / divisor, "{dividend}/{divisor}");
+            assert_eq!(out[1], dividend % divisor, "{dividend}%{divisor}");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        // Reference bitwise CRC-32 update over 64 data bits.
+        fn reference(mut state: u32, data: u64) -> u32 {
+            for i in 0..64 {
+                let bit = ((data >> i) & 1) as u32;
+                let x = (state ^ bit) & 1;
+                state >>= 1;
+                if x == 1 {
+                    state ^= 0xEDB8_8320;
+                }
+            }
+            state
+        }
+        let g = crc32();
+        for (state, data) in [(0xffff_ffffu64, 0x1234_5678_9abc_def0u64), (0, u64::MAX)] {
+            let out = eval_u64(&g, &[("state_in", state), ("data", data)]);
+            assert_eq!(out[0], reference(state as u32, data) as u64);
+        }
+    }
+
+    #[test]
+    fn rrot_rotates() {
+        // With amt = 0 the dynamic rotate is identity, so the result only
+        // applies the fixed mixing; check it differs from input and is
+        // deterministic.
+        let g = rrot();
+        let a = eval_u64(&g, &[("x", 0xdead_beef), ("y", 0), ("amt", 0)]);
+        let b = eval_u64(&g, &[("x", 0xdead_beef), ("y", 0), ("amt", 0)]);
+        assert_eq!(a, b);
+        let c = eval_u64(&g, &[("x", 0xdead_beef), ("y", 1), ("amt", 3)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relu_opcode_clamps_negative() {
+        let g = ml_core_datapath0_opcode0();
+        // 0x100 * 0x100 = 0x10000 -> truncated to 0 (16 bits), positive.
+        let out = eval_u64(&g, &[("a0", 3), ("b0", 5), ("a1", 2), ("b1", 4)]);
+        assert_eq!(out[0], 23);
+        // Force a negative (MSB set) sum: 0x8000 has the sign bit.
+        let out = eval_u64(&g, &[("a0", 0x8000 >> 1, ), ("b0", 2), ("a1", 0), ("b1", 0)]);
+        assert_eq!(out[0], 0, "relu clamps MSB-set sums to zero");
+    }
+
+    #[test]
+    fn maxpool_opcode_takes_maximum() {
+        let g = ml_core_datapath0_opcode4();
+        let mut inputs: Vec<(&str, u64)> = vec![
+            ("x0", 5), ("x1", 99), ("x2", 3), ("x3", 0),
+            ("x4", 98), ("x5", 1), ("x6", 50), ("x7", 2),
+        ];
+        inputs.push(("bias", 100));
+        let out = eval_u64(&g, &inputs);
+        assert_eq!(out[0], 199);
+    }
+
+    #[test]
+    fn dispatch_selects_opcode() {
+        let g = ml_core_datapath0_all();
+        let mut base: Vec<(&str, u64)> = Vec::new();
+        for i in 0..8 {
+            base.push((Box::leak(format!("a{i}").into_boxed_str()), (i + 1) as u64));
+            base.push((Box::leak(format!("b{i}").into_boxed_str()), 2));
+        }
+        base.push(("bias", 10));
+        // opcode 0: relu(a0*b0 + a1*b1) = 1*2 + 2*2 = 6.
+        let mut in0 = base.clone();
+        in0.push(("opcode", 0));
+        assert_eq!(eval_u64(&g, &in0)[0], 6);
+        // opcode 4: max(a) + bias = 8 + 10 = 18.
+        let mut in4 = base.clone();
+        in4.push(("opcode", 4));
+        assert_eq!(eval_u64(&g, &in4)[0], 18);
+    }
+
+    #[test]
+    fn sha256_is_input_sensitive() {
+        let g = sha256();
+        let mk = |seed: u64| -> Vec<u64> {
+            let mut inputs: Vec<(String, u64)> = Vec::new();
+            for i in 0..8 {
+                inputs.push((format!("h{i}"), seed + i));
+                inputs.push((format!("w{i}"), seed * 3 + i));
+            }
+            let named: Vec<(&str, u64)> = inputs
+                .iter()
+                .map(|(n, v)| (n.as_str(), *v))
+                .collect();
+            eval_u64(&g, &named)
+        };
+        assert_ne!(mk(1), mk(2));
+        assert_eq!(mk(7), mk(7));
+    }
+
+    #[test]
+    fn designs_have_reasonable_sizes() {
+        assert!(crc32().len() > 300, "crc32 unrolls 64 rounds");
+        assert!(sha256().len() > 250, "sha256 has 8 full rounds");
+        assert!(ml_core_datapath1().len() < 30, "datapath1 is the small one");
+    }
+}

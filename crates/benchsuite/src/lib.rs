@@ -1,0 +1,92 @@
+//! # isdc-benchsuite — the evaluation workloads
+//!
+//! The 17 benchmarks of the paper's Table I (as faithful synthetic
+//! equivalents — see the crate-level notes in [`designs`]), plus random DAG
+//! and design-point generators for property tests and the Fig. 1 / Fig. 8
+//! sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! let suite = isdc_benchsuite::suite();
+//! assert_eq!(suite.len(), 17);
+//! let crc = suite.iter().find(|b| b.name == "crc32").unwrap();
+//! assert_eq!(crc.clock_period_ps, 2500.0);
+//! crc.graph.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod designs;
+mod random;
+
+pub use random::{design_points, random_dag, DesignPoint, RandomDagConfig};
+
+use isdc_ir::Graph;
+
+/// One Table I benchmark: a design plus its target clock period.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The benchmark name, matching the paper's row label.
+    pub name: &'static str,
+    /// The dataflow graph to schedule.
+    pub graph: Graph,
+    /// Target clock period in picoseconds (2500 by default; 5000 when an
+    /// operation's individual delay exceeds 2500 — the paper's rule).
+    pub clock_period_ps: f64,
+}
+
+/// The full 17-benchmark suite in the paper's Table I order.
+pub fn suite() -> Vec<Benchmark> {
+    let bench = |name: &'static str, graph: Graph, clock_period_ps: f64| Benchmark {
+        name,
+        graph,
+        clock_period_ps,
+    };
+    vec![
+        bench("ml_core_datapath1", designs::ml_core_datapath1(), 2500.0),
+        bench("ml_core_datapath0_opcode4", designs::ml_core_datapath0_opcode4(), 5000.0),
+        bench("rrot", designs::rrot(), 2500.0),
+        bench("ml_core_datapath0_opcode3", designs::ml_core_datapath0_opcode3(), 5000.0),
+        bench("binary_divide", designs::binary_divide(), 2500.0),
+        bench("hsv2rgb", designs::hsv2rgb(), 5000.0),
+        bench("ml_core_datapath0_opcode0", designs::ml_core_datapath0_opcode0(), 5000.0),
+        bench("crc32", designs::crc32(), 2500.0),
+        bench("ml_core_datapath0_opcode1", designs::ml_core_datapath0_opcode1(), 5000.0),
+        bench("ml_core_datapath0_opcode2", designs::ml_core_datapath0_opcode2(), 5000.0),
+        bench("ml_core_datapath0_all", designs::ml_core_datapath0_all(), 5000.0),
+        bench("ml_core_datapath2", designs::ml_core_datapath2(), 2500.0),
+        bench("float32_fast_rsqrt", designs::float32_fast_rsqrt(), 5000.0),
+        bench("video_core_datapath", designs::video_core_datapath(), 2500.0),
+        bench("internal_datapath", designs::internal_datapath(), 2500.0),
+        bench("sha256", designs::sha256(), 2500.0),
+        bench("fpexp_32", designs::fpexp_32(), 5000.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table_one() {
+        let suite = suite();
+        assert_eq!(suite.len(), 17);
+        let names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        assert_eq!(names[0], "ml_core_datapath1");
+        assert_eq!(names[15], "sha256");
+        for b in &suite {
+            b.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(b.clock_period_ps == 2500.0 || b.clock_period_ps == 5000.0);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = suite();
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+}

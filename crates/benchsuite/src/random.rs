@@ -1,0 +1,156 @@
+//! Random DAG and design-point generators.
+//!
+//! [`random_dag`] builds arbitrary valid dataflow graphs for property tests
+//! and fuzzing. [`design_points`] generates the family of design variants
+//! behind the paper's Fig. 1 / Fig. 8 scatter plots (the authors profile
+//! 6912 design points of one HLS design; we parameterize a mixed datapath
+//! over width, depth and operator mix).
+
+use isdc_ir::{Graph, NodeId, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_dag`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomDagConfig {
+    /// Number of operation nodes (excluding parameters).
+    pub num_ops: usize,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// Candidate bit widths.
+    pub widths: Vec<u32>,
+    /// Include multiplications (deep logic) in the mix.
+    pub with_muls: bool,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self { num_ops: 40, num_params: 4, widths: vec![8, 12, 16], with_muls: true }
+    }
+}
+
+/// Generates a random, structurally valid dataflow graph.
+///
+/// Every graph validates, has at least one output, and uses only
+/// width-preserving op combinations (operands are zero-extended or sliced to
+/// a common width as needed).
+pub fn random_dag(config: &RandomDagConfig, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(format!("random_{seed}"));
+    let mut pool: Vec<NodeId> = (0..config.num_params)
+        .map(|i| {
+            let w = config.widths[rng.gen_range(0..config.widths.len())];
+            g.param(format!("p{i}"), w)
+        })
+        .collect();
+    for _ in 0..config.num_ops {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let w = g.node(a).width;
+        // Coerce b to a's width.
+        let bw = g.node(b).width;
+        let b = if bw == w {
+            b
+        } else if bw < w {
+            g.unary(OpKind::ZeroExt { new_width: w }, b).expect("ext")
+        } else {
+            g.unary(OpKind::BitSlice { start: 0, width: w }, b).expect("slice")
+        };
+        let choice = rng.gen_range(0..if config.with_muls { 7 } else { 6 });
+        let node = match choice {
+            0 => g.binary(OpKind::Add, a, b).expect("add"),
+            1 => g.binary(OpKind::Sub, a, b).expect("sub"),
+            2 => g.binary(OpKind::Xor, a, b).expect("xor"),
+            3 => g.binary(OpKind::And, a, b).expect("and"),
+            4 => g.binary(OpKind::Or, a, b).expect("or"),
+            5 => {
+                let c = g.binary(OpKind::Ult, a, b).expect("ult");
+                g.select(c, a, b).expect("sel")
+            }
+            _ => g.binary(OpKind::Mul, a, b).expect("mul"),
+        };
+        pool.push(node);
+    }
+    // Outputs: every value with no users.
+    let sinks: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&id| g.users(id).is_empty())
+        .collect();
+    for s in sinks {
+        g.set_output(s);
+    }
+    g
+}
+
+/// One Fig. 1 / Fig. 8 design point: a generated datapath variant.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// The graph.
+    pub graph: Graph,
+    /// The generator seed (for reproducibility).
+    pub seed: u64,
+}
+
+/// Generates `count` design points: variants of a mixed arithmetic datapath
+/// over width, chain depth and operator mix — the population whose
+/// estimated-vs-measured delay scatter reproduces Fig. 1 and Fig. 8.
+pub fn design_points(count: usize) -> Vec<DesignPoint> {
+    (0..count as u64)
+        .map(|seed| {
+            let widths = match seed % 3 {
+                0 => vec![8],
+                1 => vec![8, 16],
+                _ => vec![12, 16],
+            };
+            let config = RandomDagConfig {
+                num_ops: 6 + (seed % 17) as usize,
+                num_params: 3 + (seed % 3) as usize,
+                widths,
+                with_muls: seed % 4 != 0,
+            };
+            DesignPoint { graph: random_dag(&config, seed), seed }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dags_validate() {
+        for seed in 0..30 {
+            let g = random_dag(&RandomDagConfig::default(), seed);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!g.outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = RandomDagConfig::default();
+        assert_eq!(random_dag(&config, 7), random_dag(&config, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = RandomDagConfig::default();
+        assert_ne!(random_dag(&config, 1), random_dag(&config, 2));
+    }
+
+    #[test]
+    fn mul_free_config_has_no_muls() {
+        let config = RandomDagConfig { with_muls: false, ..Default::default() };
+        let g = random_dag(&config, 3);
+        assert_eq!(g.op_histogram().get("mul"), None);
+    }
+
+    #[test]
+    fn design_points_cover_requested_count() {
+        let points = design_points(25);
+        assert_eq!(points.len(), 25);
+        for p in &points {
+            p.graph.validate().expect("valid");
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The critical-path delay matrix `D[n][n]` and its maintenance algorithms.
+//!
+//! ISDC keeps the estimated critical-path delay of every connected node pair.
+//! Three operations mirror the paper:
+//!
+//! - **Initialization** (Alg. 1 lines 1-9): `D[v][v]` is the individual op
+//!   delay; `D[u][v]` for connected pairs is the naive longest sum-of-op-delay
+//!   path; everything else is the `-1` "not connected" sentinel.
+//! - **Delay updating** (Alg. 1 lines 10-14): after downstream tools report a
+//!   subgraph delay `D(g)`, every pair covered by `g` is lowered to `D(g)` if
+//!   that is an improvement. Updates are monotonically decreasing, which
+//!   guarantees that timing constraints only ever relax.
+//! - **Reformulation** (Alg. 2): re-derives all-pairs delays from the updated
+//!   matrix with one forward and one backward topological sweep — an `O(n^2)`
+//!   approximation of the exhaustive `O(n^3)` fixpoint, which is also
+//!   provided ([`DelayMatrix::reformulate_exact`]) for the §IV-B accuracy
+//!   study.
+
+use isdc_ir::analysis::{reverse_topo_order, topo_order};
+use isdc_ir::{Graph, NodeId};
+use isdc_techlib::Picos;
+
+/// Sentinel for "not connected".
+const NOT_CONNECTED: f64 = -1.0;
+
+/// Tolerance below which entry updates do not count as progress (guards the
+/// fixpoint iteration against floating-point churn).
+const EPS: f64 = 1e-9;
+
+/// Dense matrix of estimated critical-path delays between node pairs.
+///
+/// `get(u, v)` is the estimated worst delay of any combinational path that
+/// starts at `u`'s inputs and ends at `v`'s output (both ops' own delays
+/// included), or `None` if `v` is not reachable from `u`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelayMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// Initializes from per-node delays: the naive longest-path estimate the
+    /// original SDC scheduler uses (Alg. 1 lines 1-9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_delays.len() != graph.len()`.
+    pub fn initialize(graph: &Graph, node_delays: &[Picos]) -> Self {
+        let n = graph.len();
+        assert_eq!(node_delays.len(), n, "one delay per node required");
+        let mut m = Self { n, data: vec![NOT_CONNECTED; n * n] };
+        // Longest path DP from every source u: one forward sweep per u.
+        // best[v] = max over operands p of best[p] + d(v), seeded at u.
+        for u in 0..n {
+            m.data[u * n + u] = node_delays[u];
+            for v in u + 1..n {
+                let node = graph.node(NodeId(v as u32));
+                let mut best = NOT_CONNECTED;
+                for &p in &node.operands {
+                    let via = m.data[u * n + p.index()];
+                    if via != NOT_CONNECTED {
+                        best = best.max(via + node_delays[v]);
+                    }
+                }
+                m.data[u * n + v] = best;
+            }
+        }
+        m
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The estimated critical-path delay from `u` to `v`, if connected.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<Picos> {
+        let d = self.data[u.index() * self.n + v.index()];
+        (d != NOT_CONNECTED).then_some(d)
+    }
+
+    /// The per-node individual delay (`D[v][v]`).
+    pub fn node_delay(&self, v: NodeId) -> Picos {
+        self.data[v.index() * self.n + v.index()]
+    }
+
+    /// Raw indexed access used by hot loops.
+    #[inline]
+    fn at(&self, u: usize, v: usize) -> f64 {
+        self.data[u * self.n + v]
+    }
+
+    #[inline]
+    fn set(&mut self, u: usize, v: usize, d: f64) {
+        self.data[u * self.n + v] = d;
+    }
+
+    /// Alg. 1 lines 10-14: lowers every pair covered by an evaluated subgraph
+    /// to the reported delay, when that is an improvement. Returns the number
+    /// of entries updated.
+    pub fn apply_subgraph_feedback(&mut self, members: &[NodeId], delay_ps: Picos) -> usize {
+        let mut updated = 0;
+        for &u in members {
+            for &v in members {
+                let cur = self.at(u.index(), v.index());
+                if cur != NOT_CONNECTED && cur > delay_ps {
+                    self.set(u.index(), v.index(), delay_ps);
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+
+    /// A refinement of Alg. 1 for multi-output subgraphs: pairs ending at a
+    /// subgraph output `v` are lowered to `v`'s own reported arrival rather
+    /// than the subgraph-wide worst (`fallback_ps`, used for pairs ending at
+    /// internal members). Windows benefit the most — their roots can have
+    /// very different arrivals.
+    ///
+    /// Returns the number of entries updated.
+    pub fn apply_subgraph_feedback_per_output(
+        &mut self,
+        members: &[NodeId],
+        output_arrivals: &[(NodeId, Picos)],
+        fallback_ps: Picos,
+    ) -> usize {
+        let mut updated = 0;
+        for &u in members {
+            for &v in members {
+                let bound = output_arrivals
+                    .iter()
+                    .find(|&&(id, _)| id == v)
+                    .map(|&(_, a)| a)
+                    .unwrap_or(fallback_ps);
+                let cur = self.at(u.index(), v.index());
+                if cur != NOT_CONNECTED && cur > bound {
+                    self.set(u.index(), v.index(), bound);
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+
+    /// Alg. 2: the `O(n^2)`-per-sweep reformulation. One forward topological
+    /// sweep recomputes each `D[u][v]` from `v`'s operands; one backward sweep
+    /// catches the complementary paths. Entries only ever decrease (or fill in
+    /// missing connectivity from the sweeps' perspective). Returns true if
+    /// any entry changed.
+    pub fn reformulate(&mut self, graph: &Graph) -> bool {
+        let n = self.n;
+        let mut changed = false;
+        // Forward sweep (paper lines 2-12).
+        let mut dv = vec![NOT_CONNECTED; n];
+        for v in topo_order(graph) {
+            let vi = v.index();
+            let d_vv = self.at(vi, vi);
+            dv.fill(NOT_CONNECTED);
+            let node = graph.node(v);
+            for &p in &node.operands {
+                let pi = p.index();
+                for u in 0..n {
+                    let via = self.at(u, pi);
+                    if via != NOT_CONNECTED && dv[u] < via + d_vv {
+                        dv[u] = via + d_vv;
+                    }
+                }
+            }
+            for (u, &cand) in dv.iter().enumerate() {
+                if cand != NOT_CONNECTED {
+                    let cur = self.at(u, vi);
+                    if cur > cand + EPS || cur == NOT_CONNECTED {
+                        self.set(u, vi, cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Backward sweep (paper lines 13-16): delays from u forward through
+        // its users.
+        let mut du = vec![NOT_CONNECTED; n];
+        for u in reverse_topo_order(graph) {
+            let ui = u.index();
+            let d_uu = self.at(ui, ui);
+            du.fill(NOT_CONNECTED);
+            for &c in graph.users(u) {
+                let ci = c.index();
+                for w in 0..n {
+                    let via = self.at(ci, w);
+                    if via != NOT_CONNECTED && du[w] < via + d_uu {
+                        du[w] = via + d_uu;
+                    }
+                }
+            }
+            for (w, &cand) in du.iter().enumerate() {
+                if cand != NOT_CONNECTED {
+                    let cur = self.at(ui, w);
+                    if cur > cand + EPS || cur == NOT_CONNECTED {
+                        self.set(ui, w, cand);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// The exhaustive `O(n^3)`-worst-case reformulation the paper invokes as
+    /// the reference: Alg. 2's recurrence iterated to a fixpoint. Each round
+    /// costs the same as [`DelayMatrix::reformulate`]; rounds repeat until no
+    /// entry changes (at most `n` rounds, since entries strictly decrease
+    /// along dependency chains).
+    ///
+    /// A naive Floyd-Warshall splice `D[u][w] + D[w][v] - d(w)` is *not* a
+    /// sound reference here: once feedback has fused `w`'s delay into a
+    /// segment, subtracting the full isolated `d(w)` double-discounts and
+    /// collapses estimates toward zero. The fixpoint of the paper's own
+    /// recurrence is the meaningful exact target.
+    ///
+    /// Returns the number of rounds executed.
+    pub fn reformulate_exact(&mut self, graph: &Graph) -> usize {
+        let mut rounds = 0;
+        while self.reformulate(graph) {
+            rounds += 1;
+            if rounds > self.n {
+                debug_assert!(false, "reformulation failed to converge");
+                break;
+            }
+        }
+        rounds.max(1)
+    }
+
+    /// Largest relative difference `|a - b| / max(a, b)` against another
+    /// matrix over pairs connected in both — the §IV-B accuracy metric.
+    pub fn max_relative_gap(&self, other: &DelayMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        let mut worst: f64 = 0.0;
+        for i in 0..self.n * self.n {
+            let (a, b) = (self.data[i], other.data[i]);
+            if a != NOT_CONNECTED && b != NOT_CONNECTED {
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    worst = worst.max((a - b).abs() / denom);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdc_ir::OpKind;
+
+    /// a -> x -> y chain plus an independent z.
+    fn chain() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        let y = g.unary(OpKind::Neg, x).unwrap();
+        let z = g.param("z", 8);
+        g.set_output(y);
+        g.set_output(z);
+        (g, [a, x, y, z])
+    }
+
+    #[test]
+    fn initialize_sums_path_delays() {
+        let (g, [a, x, y, z]) = chain();
+        let d = DelayMatrix::initialize(&g, &[0.0, 10.0, 20.0, 0.0]);
+        assert_eq!(d.get(a, a), Some(0.0));
+        assert_eq!(d.get(x, x), Some(10.0));
+        assert_eq!(d.get(a, x), Some(10.0));
+        assert_eq!(d.get(a, y), Some(30.0));
+        assert_eq!(d.get(x, y), Some(30.0));
+        assert_eq!(d.get(a, z), None);
+        assert_eq!(d.get(y, x), None); // direction matters
+    }
+
+    #[test]
+    fn initialize_takes_longest_path() {
+        // Diamond where one branch is slower.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let fast = g.unary(OpKind::Not, a).unwrap();
+        let slow = g.unary(OpKind::Neg, a).unwrap();
+        let join = g.binary(OpKind::And, fast, slow).unwrap();
+        g.set_output(join);
+        let d = DelayMatrix::initialize(&g, &[0.0, 1.0, 100.0, 5.0]);
+        assert_eq!(d.get(a, join), Some(105.0));
+    }
+
+    #[test]
+    fn feedback_lowers_covered_pairs_only() {
+        let (g, [a, x, y, _]) = chain();
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 10.0, 20.0, 0.0]);
+        let updated = d.apply_subgraph_feedback(&[x, y], 12.0);
+        // (x,y) lowered from 30; (x,x) not (10 < 12); (y,y) lowered from 20.
+        assert_eq!(d.get(x, y), Some(12.0));
+        assert_eq!(d.get(x, x), Some(10.0));
+        assert_eq!(d.get(y, y), Some(12.0));
+        assert_eq!(d.get(a, y), Some(30.0), "pairs outside the subgraph untouched");
+        assert_eq!(updated, 2);
+    }
+
+    #[test]
+    fn feedback_never_increases() {
+        let (g, [_, x, y, _]) = chain();
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 10.0, 20.0, 0.0]);
+        let before = d.clone();
+        d.apply_subgraph_feedback(&[x, y], 1e9);
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn reformulate_propagates_feedback_downstream() {
+        // Chain a -> x -> y -> w; feedback lowers (x,y); the (a,w) estimate
+        // must drop after reformulation.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        let y = g.unary(OpKind::Neg, x).unwrap();
+        let w = g.unary(OpKind::Not, y).unwrap();
+        g.set_output(w);
+        let delays = [0.0, 10.0, 20.0, 5.0];
+        let mut d = DelayMatrix::initialize(&g, &delays);
+        assert_eq!(d.get(a, w), Some(35.0));
+        d.apply_subgraph_feedback(&[x, y], 15.0);
+        d.reformulate(&g);
+        // (a,w) should now reflect the shortened middle: 0 + 15 + 5 = 20.
+        assert_eq!(d.get(a, w), Some(20.0));
+        // Self-delays unchanged.
+        assert_eq!(d.get(x, x), Some(10.0));
+    }
+
+    #[test]
+    fn alg2_fixpoint_matches_single_sweep_on_chains() {
+        // Verify Alg. 2 and its fixpoint against hand-computed values on a
+        // chain a(0) -> n1..n6 with d(i) = i + 1 and feedback D({2,3,4}) = 3.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut prev = a;
+        for _ in 0..6 {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+        }
+        g.set_output(prev);
+        let delays: Vec<f64> = (0..g.len()).map(|i| i as f64 + 1.0).collect();
+        let mut approx = DelayMatrix::initialize(&g, &delays);
+        let mut exact = approx.clone();
+        let before = approx.clone();
+        approx.apply_subgraph_feedback(&[NodeId(2), NodeId(3), NodeId(4)], 3.0);
+        exact.apply_subgraph_feedback(&[NodeId(2), NodeId(3), NodeId(4)], 3.0);
+        approx.reformulate(&g);
+        exact.reformulate_exact(&g);
+        // Alg. 2: D[2][5] = D[2][4] + d(5) = 3 + 6 = 9.
+        assert_eq!(approx.get(NodeId(2), NodeId(5)), Some(9.0));
+        // On a pure chain one sweep already reaches the fixpoint.
+        assert_eq!(exact.get(NodeId(2), NodeId(5)), Some(9.0));
+        assert!(approx.max_relative_gap(&exact) < 1e-9);
+        // Both must stay at or below the pre-feedback estimates everywhere.
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                if let Some(orig) = before.get(u, v) {
+                    for m in [&approx, &exact] {
+                        let cur = m.get(u, v).expect("connectivity preserved");
+                        assert!(cur <= orig + 1e-9, "({u},{v}) grew {orig} -> {cur}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reformulations_never_increase_entries() {
+        // Both sweeps may only relax constraints: no entry may grow, and no
+        // connectivity may be invented or lost.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x = g.binary(OpKind::Add, a, b).unwrap();
+        let l = g.unary(OpKind::Not, x).unwrap();
+        let r = g.unary(OpKind::Neg, x).unwrap();
+        let j = g.binary(OpKind::Xor, l, r).unwrap();
+        let t = g.unary(OpKind::Not, j).unwrap();
+        g.set_output(t);
+        let delays = [0.0, 0.0, 30.0, 10.0, 12.0, 8.0, 6.0];
+        let mut alg2 = DelayMatrix::initialize(&g, &delays);
+        let mut exact = alg2.clone();
+        let before = alg2.clone();
+        for m in [vec![x, l], vec![l, j], vec![x, l, r, j]] {
+            alg2.apply_subgraph_feedback(&m, 9.0);
+            exact.apply_subgraph_feedback(&m, 9.0);
+        }
+        alg2.reformulate(&g);
+        exact.reformulate_exact(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                let b0 = before.get(u, v);
+                for (name, m) in [("alg2", &alg2), ("exact", &exact)] {
+                    let cur = m.get(u, v);
+                    assert_eq!(cur.is_some(), b0.is_some(), "{name}: connectivity changed");
+                    if let (Some(c), Some(orig)) = (cur, b0) {
+                        assert!(c <= orig + 1e-9, "{name}: ({u},{v}) grew {orig} -> {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_output_feedback_is_tighter_than_uniform() {
+        // Window with two roots: fast root f (arrival 5) and slow root s
+        // (arrival 20). Uniform feedback lowers everything to 20; per-output
+        // feedback lowers pairs ending at f to 5.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let f = g.binary(OpKind::Xor, a, b).unwrap();
+        let s = g.binary(OpKind::And, a, b).unwrap();
+        g.set_output(f);
+        g.set_output(s);
+        let delays = [0.0, 0.0, 30.0, 40.0];
+        let mut uniform = DelayMatrix::initialize(&g, &delays);
+        let mut detailed = uniform.clone();
+        let members = [a, b, f, s];
+        uniform.apply_subgraph_feedback(&members, 20.0);
+        detailed.apply_subgraph_feedback_per_output(
+            &members,
+            &[(f, 5.0), (s, 20.0)],
+            20.0,
+        );
+        assert_eq!(uniform.get(a, f), Some(20.0));
+        assert_eq!(detailed.get(a, f), Some(5.0), "f's own arrival wins");
+        assert_eq!(detailed.get(a, s), Some(20.0));
+        assert_eq!(detailed.get(f, f), Some(5.0));
+    }
+
+    #[test]
+    fn per_output_feedback_uses_fallback_for_internal_members() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        let y = g.unary(OpKind::Neg, x).unwrap();
+        g.set_output(y);
+        let mut m = DelayMatrix::initialize(&g, &[0.0, 50.0, 60.0]);
+        // Only y is reported; x falls back to the subgraph-wide 80.
+        m.apply_subgraph_feedback_per_output(&[x, y], &[(y, 70.0)], 80.0);
+        assert_eq!(m.get(a, x), None.or(m.get(a, x)));
+        assert_eq!(m.get(x, y), Some(70.0));
+        assert_eq!(m.get(x, x), Some(50.0), "fallback 80 does not lower 50");
+    }
+
+    #[test]
+    fn per_output_feedback_never_raises() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        g.set_output(x);
+        let mut m = DelayMatrix::initialize(&g, &[0.0, 10.0]);
+        let before = m.clone();
+        m.apply_subgraph_feedback_per_output(&[a, x], &[(x, 100.0)], 200.0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn max_relative_gap_zero_for_identical() {
+        let (g, _) = chain();
+        let d = DelayMatrix::initialize(&g, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.max_relative_gap(&d.clone()), 0.0);
+    }
+}

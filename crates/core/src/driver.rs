@@ -1,0 +1,386 @@
+//! The ISDC iteration driver (paper Fig. 2 and §III-A).
+//!
+//! Ties everything together:
+//!
+//! 1. schedule with the original SDC formulation (naive delay matrix);
+//! 2. extract subgraphs from the schedule (§III-B);
+//! 3. evaluate them downstream, in parallel (§III-A);
+//! 4. fold delays into the matrix (Alg. 1) and reformulate (Alg. 2);
+//! 5. re-solve the LP; repeat until register usage stabilizes.
+
+use crate::delay::DelayMatrix;
+use crate::metrics;
+use crate::schedule::Schedule;
+use crate::scheduler::{schedule_with_matrix, ScheduleError};
+use crate::subgraph::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
+use isdc_ir::Graph;
+use isdc_synth::{evaluate_parallel, DelayOracle, OpDelayModel};
+use isdc_techlib::Picos;
+use std::time::{Duration, Instant};
+
+/// Configuration for an ISDC run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsdcConfig {
+    /// Target clock period in picoseconds.
+    pub clock_period_ps: Picos,
+    /// Subgraphs extracted and evaluated per iteration (the paper's `m`;
+    /// their main evaluation uses 16).
+    pub subgraphs_per_iteration: usize,
+    /// Upper bound on feedback iterations (the paper uses 15 in Table I and
+    /// 30 in the ablations).
+    pub max_iterations: usize,
+    /// Path ranking strategy.
+    pub scoring: ScoringStrategy,
+    /// Path expansion strategy.
+    pub shape: ShapeStrategy,
+    /// Worker threads for subgraph evaluation.
+    pub threads: usize,
+    /// Stop after this many consecutive iterations without a register-usage
+    /// change ("until a stable scheduling result is achieved").
+    pub convergence_patience: usize,
+}
+
+impl IsdcConfig {
+    /// The paper's main-evaluation settings: fanout-driven windows, 16
+    /// subgraphs per iteration, at most 15 iterations.
+    pub fn paper_defaults(clock_period_ps: Picos) -> Self {
+        Self {
+            clock_period_ps,
+            subgraphs_per_iteration: 16,
+            max_iterations: 15,
+            scoring: ScoringStrategy::FanoutDriven,
+            shape: ShapeStrategy::Window,
+            threads: 4,
+            convergence_patience: 2,
+        }
+    }
+
+    fn extraction(&self) -> ExtractionConfig {
+        ExtractionConfig {
+            scoring: self.scoring,
+            shape: self.shape,
+            max_subgraphs: self.subgraphs_per_iteration,
+            clock_period_ps: self.clock_period_ps,
+        }
+    }
+}
+
+/// Per-iteration quality snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index; 0 is the initial (pure SDC) schedule.
+    pub iteration: usize,
+    /// Total pipeline register bits after this iteration's schedule.
+    pub register_bits: u64,
+    /// Pipeline depth.
+    pub num_stages: u32,
+    /// Mean relative delay-estimation error vs. the downstream oracle, in
+    /// percent (Fig. 7's metric).
+    pub estimation_error_pct: f64,
+    /// The same error computed with the *naive* (never-updated) delay matrix
+    /// — what the original SDC scheduler would believe about this schedule.
+    /// Fig. 7 contrasts the two trajectories.
+    pub naive_estimation_error_pct: f64,
+    /// Subgraphs evaluated in this iteration (0 for the initial schedule).
+    pub subgraphs_evaluated: usize,
+    /// Wall-clock time spent in this iteration.
+    pub elapsed: Duration,
+}
+
+/// The outcome of an ISDC run.
+#[derive(Clone, Debug)]
+pub struct IsdcResult {
+    /// The final (best) schedule.
+    pub schedule: Schedule,
+    /// The feedback-updated delay matrix at termination.
+    pub delays: DelayMatrix,
+    /// One record per iteration, starting with the initial SDC schedule.
+    pub history: Vec<IterationRecord>,
+    /// Total wall-clock scheduling time.
+    pub total_time: Duration,
+}
+
+impl IsdcResult {
+    /// The last iteration's record.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a successful run records at least the initial schedule.
+    pub fn final_record(&self) -> &IterationRecord {
+        self.history.last().expect("history is never empty")
+    }
+
+    /// Number of feedback iterations executed (excluding the initial
+    /// schedule).
+    pub fn iterations(&self) -> usize {
+        self.history.len().saturating_sub(1)
+    }
+}
+
+/// Runs plain (baseline) SDC scheduling: one LP solve on the naive delay
+/// matrix. Returns the schedule and the matrix for further analysis.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn run_sdc(
+    graph: &Graph,
+    model: &OpDelayModel,
+    clock_period_ps: Picos,
+) -> Result<(Schedule, DelayMatrix), ScheduleError> {
+    let delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
+    let schedule = schedule_with_matrix(graph, &delays, clock_period_ps)?;
+    Ok((schedule, delays))
+}
+
+/// Runs the full ISDC loop.
+///
+/// `model` provides the naive per-op delays (the initial matrix); `oracle`
+/// is the downstream tool that times extracted subgraphs.
+///
+/// # Errors
+///
+/// See [`ScheduleError`]. Feasibility can only improve across iterations
+/// (delay updates are monotonically non-increasing, so timing constraints
+/// only relax), hence errors after the first solve indicate misuse.
+///
+/// # Examples
+///
+/// ```
+/// use isdc_core::{run_isdc, IsdcConfig};
+/// use isdc_ir::{Graph, OpKind};
+/// use isdc_synth::{OpDelayModel, SynthesisOracle};
+/// use isdc_techlib::TechLibrary;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new("mac");
+/// let a = g.param("a", 16);
+/// let b = g.param("b", 16);
+/// let c = g.param("c", 16);
+/// let p = g.binary(OpKind::Mul, a, b)?;
+/// let s = g.binary(OpKind::Add, p, c)?;
+/// g.set_output(s);
+///
+/// let lib = TechLibrary::sky130();
+/// let model = OpDelayModel::new(lib.clone());
+/// let oracle = SynthesisOracle::new(lib);
+/// let mut config = IsdcConfig::paper_defaults(5000.0);
+/// config.threads = 1;
+/// let result = run_isdc(&g, &model, &oracle, &config)?;
+/// assert!(result.final_record().register_bits <= result.history[0].register_bits);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_isdc<O: DelayOracle + ?Sized>(
+    graph: &Graph,
+    model: &OpDelayModel,
+    oracle: &O,
+    config: &IsdcConfig,
+) -> Result<IsdcResult, ScheduleError> {
+    let start = Instant::now();
+    let mut delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
+    let naive = delays.clone();
+    let mut schedule = schedule_with_matrix(graph, &delays, config.clock_period_ps)?;
+    let mut history =
+        vec![snapshot(graph, &schedule, &delays, &naive, oracle, 0, 0, start.elapsed())];
+
+    let mut stable_for = 0usize;
+    for iteration in 1..=config.max_iterations {
+        let iter_start = Instant::now();
+        let subgraphs = extract_subgraphs(graph, &schedule, &delays, &config.extraction());
+        if subgraphs.is_empty() {
+            break; // nothing left to refine (e.g. single-stage pipeline)
+        }
+        let node_sets: Vec<Vec<isdc_ir::NodeId>> =
+            subgraphs.iter().map(|s| s.nodes.clone()).collect();
+        let reports = evaluate_parallel(oracle, graph, &node_sets, config.threads);
+        for (sub, report) in subgraphs.iter().zip(&reports) {
+            delays.apply_subgraph_feedback_per_output(
+                &sub.nodes,
+                &report.output_arrivals,
+                report.delay_ps,
+            );
+        }
+        let _ = delays.reformulate(graph);
+        let next = schedule_with_matrix(graph, &delays, config.clock_period_ps)?;
+
+        let prev_bits = schedule.register_bits(graph);
+        let next_bits = next.register_bits(graph);
+        schedule = next;
+        history.push(snapshot(
+            graph,
+            &schedule,
+            &delays,
+            &naive,
+            oracle,
+            iteration,
+            subgraphs.len(),
+            iter_start.elapsed(),
+        ));
+        if next_bits == prev_bits {
+            stable_for += 1;
+            if stable_for >= config.convergence_patience {
+                break;
+            }
+        } else {
+            stable_for = 0;
+        }
+    }
+
+    Ok(IsdcResult { schedule, delays, history, total_time: start.elapsed() })
+}
+
+fn snapshot<O: DelayOracle + ?Sized>(
+    graph: &Graph,
+    schedule: &Schedule,
+    delays: &DelayMatrix,
+    naive: &DelayMatrix,
+    oracle: &O,
+    iteration: usize,
+    subgraphs_evaluated: usize,
+    elapsed: Duration,
+) -> IterationRecord {
+    let sta = metrics::stage_sta_delays(graph, schedule, oracle);
+    let est = metrics::estimated_stage_delays(graph, schedule, delays);
+    let naive_est = metrics::estimated_stage_delays(graph, schedule, naive);
+    IterationRecord {
+        iteration,
+        register_bits: schedule.register_bits(graph),
+        num_stages: schedule.num_stages(),
+        estimation_error_pct: metrics::estimation_error_pct(&est, &sta),
+        naive_estimation_error_pct: metrics::estimation_error_pct(&naive_est, &sta),
+        subgraphs_evaluated,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdc_ir::OpKind;
+    use isdc_synth::{NaiveSumOracle, SynthesisOracle};
+    use isdc_techlib::TechLibrary;
+
+    /// A datapath with enough chained arithmetic that naive estimates force
+    /// splits which feedback can undo.
+    fn datapath() -> Graph {
+        // Summing per-op adder delays wildly overestimates a fused
+        // carry-lookahead chain, so feedback has real slack to harvest.
+        let mut g = Graph::new("dp");
+        let inputs: Vec<_> = (0..10).map(|i| g.param(format!("p{i}"), 8)).collect();
+        let mut acc = g.binary(OpKind::Add, inputs[0], inputs[1]).unwrap();
+        for &p in &inputs[2..] {
+            acc = g.binary(OpKind::Add, acc, p).unwrap();
+        }
+        let out = g.binary(OpKind::Xor, acc, inputs[0]).unwrap();
+        g.set_output(out);
+        g
+    }
+
+    fn quick_config(clock: f64) -> IsdcConfig {
+        IsdcConfig {
+            clock_period_ps: clock,
+            subgraphs_per_iteration: 8,
+            max_iterations: 8,
+            scoring: ScoringStrategy::FanoutDriven,
+            shape: ShapeStrategy::Window,
+            threads: 1,
+            convergence_patience: 2,
+        }
+    }
+
+    #[test]
+    fn isdc_never_worse_than_sdc() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let (baseline, _) = run_sdc(&g, &model, 2500.0).unwrap();
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        assert_eq!(result.history[0].register_bits, baseline.register_bits(&g));
+        assert!(
+            result.final_record().register_bits <= result.history[0].register_bits,
+            "feedback must not increase register usage"
+        );
+        assert_eq!(result.schedule.first_dependency_violation(&g), None);
+    }
+
+    #[test]
+    fn isdc_reduces_registers_on_chained_arithmetic() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        assert!(
+            result.final_record().register_bits < result.history[0].register_bits,
+            "history: {:?}",
+            result
+                .history
+                .iter()
+                .map(|r| r.register_bits)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn no_gain_oracle_changes_nothing() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = NaiveSumOracle::new(OpDelayModel::new(lib));
+        let g = datapath();
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        let first = result.history[0].register_bits;
+        for rec in &result.history {
+            assert_eq!(rec.register_bits, first, "naive feedback must be a no-op");
+        }
+        // And it must converge early rather than burn all iterations.
+        assert!(result.iterations() < quick_config(2500.0).max_iterations);
+    }
+
+    #[test]
+    fn single_stage_converges_immediately() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let mut g = Graph::new("tiny");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x = g.binary(OpKind::Xor, a, b).unwrap();
+        g.set_output(x);
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        assert_eq!(result.schedule.num_stages(), 1);
+        assert_eq!(result.iterations(), 0);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing_for_synthesis_oracle() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].register_bits <= w[0].register_bits,
+                "register usage regressed: {:?}",
+                result.history.iter().map(|r| r.register_bits).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn estimation_error_shrinks_with_feedback() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        let first = result.history[0].estimation_error_pct;
+        let last = result.final_record().estimation_error_pct;
+        assert!(
+            last <= first + 1e-9,
+            "error should not grow: {first:.2}% -> {last:.2}%"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! The SDC scheduling LP: constraints, objective and solving.
+//!
+//! Given a delay matrix (naive for the baseline, feedback-updated for ISDC
+//! iterations), this module builds the LP of paper §II and solves it exactly:
+//!
+//! - **dependencies** — an operand is scheduled no later than its user;
+//! - **timing (Eq. 2)** — a pair whose critical-path delay exceeds the clock
+//!   period is split across `ceil(D/Tclk)` cycles;
+//! - **parameters** pinned to the first stage (inputs arrive with the
+//!   transaction);
+//! - **objective** — total register bits: `sum_v width(v) * (last_use_v -
+//!   s_v)`, the metric Table I reports, linearized with one auxiliary
+//!   last-use variable per value and a sink variable for graph outputs.
+
+use crate::delay::DelayMatrix;
+use crate::schedule::Schedule;
+use isdc_ir::{Graph, NodeId};
+use isdc_sdc::{minimize, DifferenceSystem, SolveError, VarId};
+use isdc_techlib::Picos;
+use std::fmt;
+
+/// Errors from schedule construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleError {
+    /// The underlying LP failed (infeasible systems indicate a delay matrix
+    /// inconsistency; unbounded indicates a malformed objective).
+    Solver(SolveError),
+    /// The graph has no nodes to schedule.
+    EmptyGraph,
+    /// An operation's own delay exceeds the clock period — no schedule can
+    /// meet timing (the paper doubles the target period in this case).
+    OperationExceedsClock {
+        /// The offending node.
+        node: NodeId,
+        /// The node's characterized delay.
+        delay_ps: Picos,
+        /// The clock period it does not fit in.
+        clock_period_ps: Picos,
+    },
+    /// The requested latency bound is tighter than timing allows.
+    LatencyUnachievable {
+        /// The requested maximum pipeline stages.
+        max_stages: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Solver(e) => write!(f, "lp solver: {e}"),
+            ScheduleError::EmptyGraph => f.write_str("cannot schedule an empty graph"),
+            ScheduleError::OperationExceedsClock { node, delay_ps, clock_period_ps } => write!(
+                f,
+                "operation {node} delay {delay_ps}ps exceeds clock period {clock_period_ps}ps"
+            ),
+            ScheduleError::LatencyUnachievable { max_stages } => {
+                write!(f, "no schedule meets timing within {max_stages} pipeline stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<SolveError> for ScheduleError {
+    fn from(e: SolveError) -> Self {
+        ScheduleError::Solver(e)
+    }
+}
+
+/// Builds and solves the SDC LP against the given delay matrix.
+///
+/// This one function serves both the baseline (naive matrix) and every ISDC
+/// iteration (feedback-updated matrix) — exactly the reformulation loop of
+/// paper §III-D.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+///
+/// # Examples
+///
+/// ```
+/// use isdc_core::{schedule_with_matrix, DelayMatrix};
+/// use isdc_ir::{Graph, OpKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new("t");
+/// let a = g.param("a", 8);
+/// let b = g.param("b", 8);
+/// let x = g.binary(OpKind::Add, a, b)?;
+/// let y = g.binary(OpKind::Mul, x, x)?;
+/// g.set_output(y);
+/// // add takes 600ps, mul 900ps, clock 1000ps: they cannot chain.
+/// let delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 600.0, 900.0]);
+/// let schedule = schedule_with_matrix(&g, &delays, 1000.0)?;
+/// assert_eq!(schedule.num_stages(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_with_matrix(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    clock_period_ps: Picos,
+) -> Result<Schedule, ScheduleError> {
+    schedule_with_options(
+        graph,
+        delays,
+        &ScheduleOptions { clock_period_ps, max_stages: None },
+    )
+}
+
+/// Scheduling knobs beyond the clock period.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleOptions {
+    /// Target clock period in picoseconds.
+    pub clock_period_ps: Picos,
+    /// Optional upper bound on pipeline depth (like XLS's `pipeline_stages`
+    /// option). `None` leaves depth to the register objective.
+    pub max_stages: Option<u32>,
+}
+
+/// [`schedule_with_matrix`] with explicit [`ScheduleOptions`].
+///
+/// # Errors
+///
+/// In addition to [`schedule_with_matrix`]'s errors, returns
+/// [`ScheduleError::LatencyUnachievable`] when `max_stages` contradicts the
+/// timing constraints.
+pub fn schedule_with_options(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    options: &ScheduleOptions,
+) -> Result<Schedule, ScheduleError> {
+    let clock_period_ps = options.clock_period_ps;
+    let n = graph.len();
+    if n == 0 {
+        return Err(ScheduleError::EmptyGraph);
+    }
+    for v in graph.node_ids() {
+        let d = delays.node_delay(v);
+        if d > clock_period_ps {
+            return Err(ScheduleError::OperationExceedsClock {
+                node: v,
+                delay_ps: d,
+                clock_period_ps,
+            });
+        }
+    }
+
+    // Variable layout: [0, n) node cycles; [n, 2n) last-use; 2n sink.
+    let x = |v: NodeId| VarId(v.0);
+    let m = |v: NodeId| VarId((n + v.index()) as u32);
+    let sink = VarId(2 * n as u32);
+    let mut sys = DifferenceSystem::new(2 * n + 1);
+    let mut weights = vec![0i64; 2 * n + 1];
+
+    // Dependencies: x_p <= x_v.
+    for (v, node) in graph.iter() {
+        for &p in &node.operands {
+            sys.add_constraint(x(p), x(v), 0);
+        }
+    }
+
+    // Timing (Eq. 2): pairs whose critical-path delay exceeds Tclk.
+    for u in graph.node_ids() {
+        for v in graph.node_ids() {
+            let Some(d) = delays.get(u, v) else { continue };
+            if d <= clock_period_ps {
+                continue;
+            }
+            let stages_needed = (d / clock_period_ps - 1e-9).ceil() as i64;
+            let bound = -(stages_needed - 1);
+            if bound < 0 {
+                sys.add_constraint(x(u), x(v), bound);
+            }
+        }
+    }
+
+    // Parameters arrive together in the first stage and precede everything.
+    if let Some(&p0) = graph.params().first() {
+        for &p in &graph.params()[1..] {
+            sys.add_constraint(x(p), x(p0), 0);
+            sys.add_constraint(x(p0), x(p), 0);
+        }
+        for v in graph.node_ids() {
+            if v != p0 {
+                sys.add_constraint(x(p0), x(v), 0);
+            }
+        }
+    }
+
+    // Sink: after every node; the pseudo-last-use of graph outputs.
+    for v in graph.node_ids() {
+        sys.add_constraint(x(v), sink, 0);
+    }
+
+    // Optional latency bound: the whole pipeline fits in max_stages cycles.
+    if let Some(max_stages) = options.max_stages {
+        if max_stages == 0 {
+            return Err(ScheduleError::LatencyUnachievable { max_stages });
+        }
+        if let Some(&p0) = graph.params().first() {
+            // sink - p0 <= max_stages - 1.
+            sys.add_constraint(sink, x(p0), i64::from(max_stages) - 1);
+        }
+    }
+
+    // Register-lifetime objective.
+    for (v, node) in graph.iter() {
+        let users = graph.users(v);
+        let is_output = graph.outputs().contains(&v);
+        if users.is_empty() && !is_output {
+            continue; // dead value: no register cost
+        }
+        for &u in users {
+            sys.add_constraint(x(u), m(v), 0); // m_v >= x_u
+        }
+        if is_output {
+            sys.add_constraint(sink, m(v), 0); // m_v >= sink
+        } else {
+            // Guarantee m_v >= x_v even if all users chain in-stage.
+            sys.add_constraint(x(v), m(v), 0);
+        }
+        let w = node.width as i64;
+        weights[m(v).index()] += w;
+        weights[x(v).index()] -= w;
+    }
+
+    let solution = minimize(&sys, &weights).map_err(|e| match (&e, options.max_stages) {
+        (SolveError::Infeasible { .. }, Some(max_stages)) => {
+            ScheduleError::LatencyUnachievable { max_stages }
+        }
+        _ => ScheduleError::Solver(e),
+    })?;
+    // Normalize: params (or the global minimum) define stage 0.
+    let base = graph
+        .params()
+        .first()
+        .map(|&p| solution.assignment[p.index()])
+        .unwrap_or_else(|| {
+            (0..n).map(|i| solution.assignment[i]).min().unwrap_or(0)
+        });
+    let cycles: Vec<u32> = (0..n)
+        .map(|i| {
+            let c = solution.assignment[i] - base;
+            debug_assert!(c >= 0, "node scheduled before the first stage");
+            c as u32
+        })
+        .collect();
+    Ok(Schedule::new(cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isdc_ir::OpKind;
+
+    fn mac_graph() -> (Graph, [NodeId; 5]) {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let c = g.param("c", 8);
+        let p = g.binary(OpKind::Mul, a, b).unwrap();
+        let s = g.binary(OpKind::Add, p, c).unwrap();
+        g.set_output(s);
+        (g, [a, b, c, p, s])
+    }
+
+    #[test]
+    fn everything_chains_when_timing_allows() {
+        let (g, _) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 300.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(schedule.num_stages(), 1);
+        assert_eq!(schedule.register_bits(&g), 0);
+    }
+
+    #[test]
+    fn timing_splits_stages() {
+        let (g, [_, _, _, p, s]) = mac_graph();
+        // 400 + 700 = 1100 > 1000: mul and add must separate.
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 700.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(schedule.num_stages(), 2);
+        assert!(schedule.cycle(p) < schedule.cycle(s));
+        assert_eq!(schedule.first_dependency_violation(&g), None);
+    }
+
+    #[test]
+    fn long_paths_split_multiple_times() {
+        // Chain of four 400ps ops at 1000ps: pairs chain (800), triples do
+        // not (1200) — two ops per stage, two stages.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut prev = a;
+        for _ in 0..4 {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+        }
+        g.set_output(prev);
+        let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(schedule.num_stages(), 2);
+        // And with 600ps ops even pairs cannot chain: one op per stage.
+        let d = DelayMatrix::initialize(&g, &[0.0, 600.0, 600.0, 600.0, 600.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(schedule.num_stages(), 4);
+    }
+
+    #[test]
+    fn objective_minimizes_register_bits() {
+        // A narrow input feeding a wide intermediate: producing the wide
+        // value early would buffer 32 bits across the stage boundary, while
+        // deferring it only buffers the 8-bit input. The LP must defer.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 32);
+        let c = g.param("c", 32);
+        let slow = g.binary(OpKind::Mul, b, c).unwrap(); // 900ps
+        let e = g.unary(OpKind::ZeroExt { new_width: 32 }, a).unwrap(); // free
+        let wide = g.binary(OpKind::Mul, e, e).unwrap(); // 100ps, 32 bits
+        let out = g.binary(OpKind::Xor, slow, wide).unwrap(); // 200ps
+        g.set_output(out);
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 900.0, 0.0, 100.0, 200.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        // slow -> out is 1100ps: two stages. wide chains with out in the
+        // second stage, so only `a` (8 bits) crosses besides slow's
+        // unavoidable 32-bit register.
+        assert_eq!(schedule.num_stages(), 2);
+        assert_eq!(schedule.cycle(wide), schedule.cycle(out));
+        assert_eq!(schedule.register_bits(&g), 32 + 8);
+    }
+
+    #[test]
+    fn params_pinned_to_stage_zero() {
+        let (g, [a, b, c, _, _]) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 900.0, 900.0]);
+        let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(schedule.cycle(a), 0);
+        assert_eq!(schedule.cycle(b), 0);
+        assert_eq!(schedule.cycle(c), 0);
+    }
+
+    #[test]
+    fn oversized_operation_rejected() {
+        let (g, _) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 2700.0, 100.0]);
+        let err = schedule_with_matrix(&g, &d, 2500.0).unwrap_err();
+        assert!(matches!(err, ScheduleError::OperationExceedsClock { delay_ps, .. }
+            if delay_ps == 2700.0));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::new("empty");
+        let d = DelayMatrix::initialize(&g, &[]);
+        assert_eq!(
+            schedule_with_matrix(&g, &d, 1000.0).unwrap_err(),
+            ScheduleError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn feedback_updated_matrix_reduces_stages() {
+        // The paper's Fig. 2 scenario: naive estimate forces a split, the
+        // downstream-reported delay lets ops merge back into one cycle.
+        let (g, [_, _, _, p, s]) = mac_graph();
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        let before = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(before.num_stages(), 2);
+        // Downstream synthesis reports the {p, s} subgraph fits in 900ps.
+        d.apply_subgraph_feedback(&[p, s], 900.0);
+        d.reformulate(&g);
+        let after = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(after.num_stages(), 1);
+        assert!(after.register_bits(&g) < before.register_bits(&g));
+    }
+
+    #[test]
+    fn loose_latency_bound_changes_nothing() {
+        let (g, _) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        let unbounded = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        let bounded = schedule_with_options(
+            &g,
+            &d,
+            &ScheduleOptions { clock_period_ps: 1000.0, max_stages: Some(10) },
+        )
+        .unwrap();
+        assert_eq!(unbounded, bounded);
+    }
+
+    #[test]
+    fn exact_latency_bound_is_feasible() {
+        let (g, _) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        let schedule = schedule_with_options(
+            &g,
+            &d,
+            &ScheduleOptions { clock_period_ps: 1000.0, max_stages: Some(2) },
+        )
+        .unwrap();
+        assert_eq!(schedule.num_stages(), 2);
+    }
+
+    #[test]
+    fn unachievable_latency_reports_clearly() {
+        let (g, _) = mac_graph();
+        // 700 + 500 > 1000 forces two stages; demanding one must fail.
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        let err = schedule_with_options(
+            &g,
+            &d,
+            &ScheduleOptions { clock_period_ps: 1000.0, max_stages: Some(1) },
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::LatencyUnachievable { max_stages: 1 });
+        let err = schedule_with_options(
+            &g,
+            &d,
+            &ScheduleOptions { clock_period_ps: 1000.0, max_stages: Some(0) },
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::LatencyUnachievable { max_stages: 0 });
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let (g, _) = mac_graph();
+        let d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        let s1 = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        let s2 = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Graphviz DOT export for IR graphs and schedules.
+//!
+//! Emits one cluster per pipeline stage when a schedule is supplied, which
+//! makes register boundaries (every edge leaving a cluster) visible at a
+//! glance — handy for debugging extraction strategies.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format.
+pub fn to_dot(graph: &Graph) -> String {
+    render(graph, None)
+}
+
+/// Renders the graph with nodes grouped into per-stage clusters.
+///
+/// `stage_of` must assign a stage to every node (typically
+/// `schedule.cycles()`).
+///
+/// # Panics
+///
+/// Panics if `stage_of.len() != graph.len()`.
+pub fn to_dot_with_stages(graph: &Graph, stage_of: &[u32]) -> String {
+    assert_eq!(stage_of.len(), graph.len(), "one stage per node required");
+    render(graph, Some(stage_of))
+}
+
+fn render(graph: &Graph, stage_of: Option<&[u32]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+
+    let label = |id: NodeId| -> String {
+        let node = graph.node(id);
+        let name = node.name.as_deref().unwrap_or("");
+        if name.is_empty() {
+            format!("{id}: {}\\nbits[{}]", node.kind.mnemonic(), node.width)
+        } else {
+            format!("{name}\\n{}: bits[{}]", node.kind.mnemonic(), node.width)
+        }
+    };
+    let emit_node = |out: &mut String, id: NodeId| {
+        let node = graph.node(id);
+        let shape = if node.operands.is_empty() { ", style=filled, fillcolor=lightblue" } else { "" };
+        let outline = if graph.outputs().contains(&id) { ", peripheries=2" } else { "" };
+        let _ = writeln!(out, "    n{} [label=\"{}\"{shape}{outline}];", id.0, label(id));
+    };
+
+    match stage_of {
+        Some(stages) => {
+            let max_stage = stages.iter().copied().max().unwrap_or(0);
+            for stage in 0..=max_stage {
+                let _ = writeln!(out, "  subgraph cluster_stage{stage} {{");
+                let _ = writeln!(out, "    label=\"stage {stage}\";");
+                for id in graph.node_ids() {
+                    if stages[id.index()] == stage {
+                        emit_node(&mut out, id);
+                    }
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        None => {
+            for id in graph.node_ids() {
+                emit_node(&mut out, id);
+            }
+        }
+    }
+    for (id, node) in graph.iter() {
+        for &op in &node.operands {
+            let crossing = stage_of
+                .map(|s| s[op.index()] != s[id.index()])
+                .unwrap_or(false);
+            let style = if crossing { " [color=red, penwidth=2]" } else { "" };
+            let _ = writeln!(out, "  n{} -> n{}{};", op.0, id.0, style);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn mac() -> Graph {
+        let mut g = Graph::new("mac-1");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let m = g.binary(OpKind::Mul, a, b).unwrap();
+        g.set_output(m);
+        g
+    }
+
+    #[test]
+    fn plain_dot_contains_all_nodes_and_edges() {
+        let g = mac();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph mac_1 {"));
+        assert_eq!(dot.matches("n0 ->").count() + dot.matches("n1 ->").count(), 2);
+        assert!(dot.contains("mul: bits[8]") || dot.contains("mul\\nbits[8]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn staged_dot_clusters_and_marks_crossings() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        let y = g.unary(OpKind::Neg, x).unwrap();
+        g.set_output(y);
+        let dot = to_dot_with_stages(&g, &[0, 0, 1]);
+        assert!(dot.contains("cluster_stage0"));
+        assert!(dot.contains("cluster_stage1"));
+        // The x -> y edge crosses a boundary and must be highlighted.
+        assert!(dot.contains("n1 -> n2 [color=red"));
+        // The a -> x edge stays in stage 0.
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one stage per node")]
+    fn staged_dot_checks_length() {
+        let g = mac();
+        let _ = to_dot_with_stages(&g, &[0]);
+    }
+
+    #[test]
+    fn outputs_get_double_border() {
+        let dot = to_dot(&mac());
+        assert!(dot.contains("peripheries=2"));
+    }
+}

@@ -1,0 +1,302 @@
+//! A reference interpreter for the IR.
+//!
+//! Evaluates a [`Graph`] on concrete [`BitVecValue`] inputs. The interpreter
+//! is the functional ground truth used to validate gate-level lowering: the
+//! netlist crate simulates its AIGs on random vectors and cross-checks the
+//! results against this module.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::OpKind;
+use crate::value::BitVecValue;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by [`evaluate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A parameter had no binding in the input map.
+    MissingInput(String),
+    /// A bound input value's width differs from the parameter's declared width.
+    InputWidthMismatch {
+        /// Parameter name.
+        name: String,
+        /// Declared parameter width.
+        expected: u32,
+        /// Provided value width.
+        got: u32,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingInput(name) => write!(f, "missing input for parameter `{name}`"),
+            EvalError::InputWidthMismatch { name, expected, got } => write!(
+                f,
+                "input `{name}` has width {got}, parameter declares {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates every node of `graph` on the given named inputs, returning the
+/// value of each node indexed by node id.
+///
+/// # Errors
+///
+/// Returns [`EvalError::MissingInput`] if a parameter is unbound and
+/// [`EvalError::InputWidthMismatch`] if a binding has the wrong width.
+///
+/// # Examples
+///
+/// ```
+/// use isdc_ir::{Graph, OpKind, BitVecValue, interp};
+/// use std::collections::HashMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new("add");
+/// let a = g.param("a", 8);
+/// let b = g.param("b", 8);
+/// let s = g.binary(OpKind::Add, a, b)?;
+/// g.set_output(s);
+///
+/// let mut inputs = HashMap::new();
+/// inputs.insert("a".to_string(), BitVecValue::from_u64(200, 8));
+/// inputs.insert("b".to_string(), BitVecValue::from_u64(100, 8));
+/// let values = interp::evaluate(&g, &inputs)?;
+/// assert_eq!(values[s.index()].to_u64(), 44); // wraps mod 256
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    graph: &Graph,
+    inputs: &HashMap<String, BitVecValue>,
+) -> Result<Vec<BitVecValue>, EvalError> {
+    let mut values: Vec<BitVecValue> = Vec::with_capacity(graph.len());
+    for (_, node) in graph.iter() {
+        let get = |id: NodeId| -> &BitVecValue { &values[id.index()] };
+        let value = match &node.kind {
+            OpKind::Param => {
+                let name = node.name.as_deref().unwrap_or_default();
+                let v = inputs
+                    .get(name)
+                    .ok_or_else(|| EvalError::MissingInput(name.to_string()))?;
+                if v.width() != node.width {
+                    return Err(EvalError::InputWidthMismatch {
+                        name: name.to_string(),
+                        expected: node.width,
+                        got: v.width(),
+                    });
+                }
+                v.clone()
+            }
+            OpKind::Literal(v) => v.clone(),
+            OpKind::Add => get(node.operands[0]).add(get(node.operands[1])),
+            OpKind::Sub => get(node.operands[0]).sub(get(node.operands[1])),
+            OpKind::Mul => get(node.operands[0]).mul(get(node.operands[1])),
+            OpKind::Neg => get(node.operands[0]).neg(),
+            OpKind::And => get(node.operands[0]).and(get(node.operands[1])),
+            OpKind::Or => get(node.operands[0]).or(get(node.operands[1])),
+            OpKind::Xor => get(node.operands[0]).xor(get(node.operands[1])),
+            OpKind::Not => get(node.operands[0]).not(),
+            OpKind::Shll => get(node.operands[0]).shl(shift_amount(get(node.operands[1]))),
+            OpKind::Shrl => get(node.operands[0]).shr(shift_amount(get(node.operands[1]))),
+            OpKind::Shra => get(node.operands[0]).shra(shift_amount(get(node.operands[1]))),
+            OpKind::Eq => bool_value(get(node.operands[0]) == get(node.operands[1])),
+            OpKind::Ne => bool_value(get(node.operands[0]) != get(node.operands[1])),
+            OpKind::Ult => bool_value(get(node.operands[0]).ult(get(node.operands[1]))),
+            OpKind::Ule => bool_value(!get(node.operands[1]).ult(get(node.operands[0]))),
+            OpKind::Ugt => bool_value(get(node.operands[1]).ult(get(node.operands[0]))),
+            OpKind::Uge => bool_value(!get(node.operands[0]).ult(get(node.operands[1]))),
+            OpKind::Sel => {
+                if get(node.operands[0]).bit(0) {
+                    get(node.operands[1]).clone()
+                } else {
+                    get(node.operands[2]).clone()
+                }
+            }
+            OpKind::Concat => {
+                // First operand is most significant.
+                let mut acc = get(node.operands[0]).clone();
+                for &op in &node.operands[1..] {
+                    acc = acc.concat(get(op));
+                }
+                acc
+            }
+            OpKind::BitSlice { start, width } => get(node.operands[0]).slice(*start, *width),
+            OpKind::ZeroExt { new_width } => get(node.operands[0]).zero_ext(*new_width),
+            OpKind::SignExt { new_width } => get(node.operands[0]).sign_ext(*new_width),
+            OpKind::ReduceXor => get(node.operands[0]).reduce_xor(),
+            OpKind::ReduceOr => get(node.operands[0]).reduce_or(),
+            OpKind::ReduceAnd => get(node.operands[0]).reduce_and(),
+        };
+        values.push(value);
+    }
+    Ok(values)
+}
+
+/// Evaluates and returns only the output node values, in output order.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_outputs(
+    graph: &Graph,
+    inputs: &HashMap<String, BitVecValue>,
+) -> Result<Vec<BitVecValue>, EvalError> {
+    let all = evaluate(graph, inputs)?;
+    Ok(graph.outputs().iter().map(|&id| all[id.index()].clone()).collect())
+}
+
+fn shift_amount(v: &BitVecValue) -> u64 {
+    // Saturate huge shift amounts; anything >= width shifts out everything
+    // anyway, so the low 64 bits plus an "is any high bit set" check suffice.
+    if v.width() > 64 {
+        let high = v.slice(64, v.width() - 64);
+        if !high.is_zero() {
+            return u64::MAX;
+        }
+    }
+    v.to_u64()
+}
+
+fn bool_value(b: bool) -> BitVecValue {
+    BitVecValue::from_u64(u64::from(b), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn inputs(pairs: &[(&str, u64, u32)]) -> HashMap<String, BitVecValue> {
+        pairs
+            .iter()
+            .map(|&(n, v, w)| (n.to_string(), BitVecValue::from_u64(v, w)))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let add = g.binary(OpKind::Add, a, b).unwrap();
+        let sub = g.binary(OpKind::Sub, a, b).unwrap();
+        let mul = g.binary(OpKind::Mul, a, b).unwrap();
+        g.set_output(mul);
+        let vals = evaluate(&g, &inputs(&[("a", 7, 8), ("b", 3, 8)])).unwrap();
+        assert_eq!(vals[add.index()].to_u64(), 10);
+        assert_eq!(vals[sub.index()].to_u64(), 4);
+        assert_eq!(vals[mul.index()].to_u64(), 21);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let lt = g.binary(OpKind::Ult, a, b).unwrap();
+        let min = g.select(lt, a, b).unwrap();
+        g.set_output(min);
+        let vals = evaluate(&g, &inputs(&[("a", 9, 8), ("b", 4, 8)])).unwrap();
+        assert_eq!(vals[lt.index()].to_u64(), 0);
+        assert_eq!(vals[min.index()].to_u64(), 4);
+
+        let vals = evaluate(&g, &inputs(&[("a", 2, 8), ("b", 4, 8)])).unwrap();
+        assert_eq!(vals[min.index()].to_u64(), 2);
+    }
+
+    #[test]
+    fn ordered_comparison_family_is_consistent() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let ult = g.binary(OpKind::Ult, a, b).unwrap();
+        let ule = g.binary(OpKind::Ule, a, b).unwrap();
+        let ugt = g.binary(OpKind::Ugt, a, b).unwrap();
+        let uge = g.binary(OpKind::Uge, a, b).unwrap();
+        g.set_output(uge);
+        for (x, y) in [(3u64, 5u64), (5, 3), (4, 4)] {
+            let vals = evaluate(&g, &inputs(&[("a", x, 8), ("b", y, 8)])).unwrap();
+            assert_eq!(vals[ult.index()].to_u64() == 1, x < y);
+            assert_eq!(vals[ule.index()].to_u64() == 1, x <= y);
+            assert_eq!(vals[ugt.index()].to_u64() == 1, x > y);
+            assert_eq!(vals[uge.index()].to_u64() == 1, x >= y);
+        }
+    }
+
+    #[test]
+    fn shifts_by_dynamic_amount() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 16);
+        let s = g.param("s", 4);
+        let shl = g.binary(OpKind::Shll, a, s).unwrap();
+        let shr = g.binary(OpKind::Shrl, a, s).unwrap();
+        g.set_output(shl);
+        let vals = evaluate(&g, &inputs(&[("a", 0x00f0, 16), ("s", 4, 4)])).unwrap();
+        assert_eq!(vals[shl.index()].to_u64(), 0x0f00);
+        assert_eq!(vals[shr.index()].to_u64(), 0x000f);
+    }
+
+    #[test]
+    fn concat_slice_ext_round() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 4);
+        let b = g.param("b", 4);
+        let cat = g.add_node(OpKind::Concat, vec![a, b]).unwrap();
+        let hi = g.unary(OpKind::BitSlice { start: 4, width: 4 }, cat).unwrap();
+        let ext = g.unary(OpKind::SignExt { new_width: 8 }, hi).unwrap();
+        g.set_output(ext);
+        let vals = evaluate(&g, &inputs(&[("a", 0b1010, 4), ("b", 0b0011, 4)])).unwrap();
+        assert_eq!(vals[cat.index()].to_u64(), 0b1010_0011);
+        assert_eq!(vals[hi.index()].to_u64(), 0b1010);
+        assert_eq!(vals[ext.index()].to_u64(), 0b1111_1010);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 4);
+        let rx = g.unary(OpKind::ReduceXor, a).unwrap();
+        let ro = g.unary(OpKind::ReduceOr, a).unwrap();
+        let ra = g.unary(OpKind::ReduceAnd, a).unwrap();
+        g.set_output(rx);
+        let vals = evaluate(&g, &inputs(&[("a", 0b0111, 4)])).unwrap();
+        assert_eq!(vals[rx.index()].to_u64(), 1);
+        assert_eq!(vals[ro.index()].to_u64(), 1);
+        assert_eq!(vals[ra.index()].to_u64(), 0);
+    }
+
+    #[test]
+    fn missing_input_error() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 4);
+        g.set_output(a);
+        let err = evaluate(&g, &HashMap::new()).unwrap_err();
+        assert_eq!(err, EvalError::MissingInput("a".to_string()));
+    }
+
+    #[test]
+    fn width_mismatch_error() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 4);
+        g.set_output(a);
+        let err = evaluate(&g, &inputs(&[("a", 1, 8)])).unwrap_err();
+        assert!(matches!(err, EvalError::InputWidthMismatch { expected: 4, got: 8, .. }));
+    }
+
+    #[test]
+    fn evaluate_outputs_selects_output_nodes() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let n = g.unary(OpKind::Not, a).unwrap();
+        g.set_output(n);
+        g.set_output(a);
+        let outs = evaluate_outputs(&g, &inputs(&[("a", 0x0f, 8)])).unwrap();
+        assert_eq!(outs[0].to_u64(), 0xf0);
+        assert_eq!(outs[1].to_u64(), 0x0f);
+    }
+}

@@ -1,0 +1,58 @@
+//! # isdc-ir — HLS intermediate representation
+//!
+//! The dataflow IR that [ISDC](https://arxiv.org/abs/2401.12343) schedules:
+//! a directed acyclic graph of typed bit-vector operations, modeled on the
+//! scheduling-relevant subset of the Google XLS IR.
+//!
+//! The crate provides:
+//!
+//! - [`Graph`] / [`Node`] / [`OpKind`] — the graph itself and a builder API;
+//! - [`BitVecValue`] — arbitrary-width bit-vector values;
+//! - [`interp`] — a reference interpreter (functional ground truth for
+//!   gate-level lowering);
+//! - [`analysis`] — topological orders, reachability, fan-in/out sets;
+//! - [`transform`] — DCE, CSE and constant folding (the pre-scheduling
+//!   cleanup a frontend runs);
+//! - [`dot`] — Graphviz export, optionally clustered by pipeline stage;
+//! - [`text`] — a parser and printer for a human-readable text format.
+//!
+//! # Examples
+//!
+//! ```
+//! use isdc_ir::{Graph, OpKind, BitVecValue, interp};
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // y = (a * b) + c, all 16-bit.
+//! let mut g = Graph::new("mac");
+//! let a = g.param("a", 16);
+//! let b = g.param("b", 16);
+//! let c = g.param("c", 16);
+//! let prod = g.binary(OpKind::Mul, a, b)?;
+//! let sum = g.binary(OpKind::Add, prod, c)?;
+//! g.set_output(sum);
+//! g.validate()?;
+//!
+//! let mut inputs = HashMap::new();
+//! inputs.insert("a".into(), BitVecValue::from_u64(3, 16));
+//! inputs.insert("b".into(), BitVecValue::from_u64(5, 16));
+//! inputs.insert("c".into(), BitVecValue::from_u64(7, 16));
+//! assert_eq!(interp::evaluate_outputs(&g, &inputs)?[0].to_u64(), 22);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dot;
+mod graph;
+pub mod interp;
+mod op;
+pub mod text;
+pub mod transform;
+mod value;
+
+pub use graph::{Graph, GraphError, Node, NodeId};
+pub use op::OpKind;
+pub use value::BitVecValue;

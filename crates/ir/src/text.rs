@@ -1,0 +1,486 @@
+//! Textual IR format: a human-readable serialization of [`Graph`]s.
+//!
+//! The syntax is a simplified take on the XLS IR text format:
+//!
+//! ```text
+//! fn mac(a: bits[16], b: bits[16], c: bits[16]) {
+//!   t3: bits[16] = mul(a, b)
+//!   t4: bits[16] = add(t3, c)
+//!   ret t4
+//! }
+//! ```
+//!
+//! Attribute-carrying ops spell their attributes as `key=value` pairs:
+//! `bit_slice(x, start=4, width=4)`, `zero_ext(x, new_width=32)`,
+//! `literal(value=0xff, width=8)`.
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::OpKind;
+use crate::value::BitVecValue;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Renders a graph in the textual IR format.
+///
+/// Round-trips with [`parse`]: `parse(&print(&g))` reconstructs a graph that
+/// computes the same function with the same structure.
+pub fn print(graph: &Graph) -> String {
+    let mut out = String::new();
+    let name_of = |id: NodeId| -> String {
+        graph
+            .node(id)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("t{}", id.0))
+    };
+    write!(out, "fn {}(", graph.name()).unwrap();
+    for (i, &p) in graph.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{}: bits[{}]", name_of(p), graph.node(p).width).unwrap();
+    }
+    out.push_str(") {\n");
+    for (id, node) in graph.iter() {
+        if node.kind == OpKind::Param {
+            continue;
+        }
+        write!(out, "  {}: bits[{}] = {}(", name_of(id), node.width, node.kind.mnemonic())
+            .unwrap();
+        let mut first = true;
+        let mut emit = |s: String, out: &mut String| {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&s);
+        };
+        for &op in &node.operands {
+            emit(name_of(op), &mut out);
+        }
+        match &node.kind {
+            OpKind::Literal(v) => {
+                emit(format!("value={}", render_hex(v)), &mut out);
+                emit(format!("width={}", v.width()), &mut out);
+            }
+            OpKind::BitSlice { start, width } => {
+                emit(format!("start={start}"), &mut out);
+                emit(format!("width={width}"), &mut out);
+            }
+            OpKind::ZeroExt { new_width } | OpKind::SignExt { new_width } => {
+                emit(format!("new_width={new_width}"), &mut out);
+            }
+            _ => {}
+        }
+        out.push_str(")\n");
+    }
+    out.push_str("  ret ");
+    for (i, &o) in graph.outputs().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&name_of(o));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn render_hex(v: &BitVecValue) -> String {
+    let s = format!("{v:?}"); // bits[w]:0x....
+    let hex = s.split(":0x").nth(1).unwrap_or("0");
+    let trimmed = hex.trim_start_matches('0');
+    format!("0x{}", if trimmed.is_empty() { "0" } else { trimmed })
+}
+
+/// Errors produced by [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input deviated from the grammar.
+    Syntax {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A structurally invalid graph (bad widths, unknown operand, ...).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses the textual IR format produced by [`print()`](print()).
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] on malformed input and
+/// [`ParseError::Graph`] when the text describes an inconsistent graph.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "fn inc(x: bits[8]) {\n  one: bits[8] = literal(value=0x1, width=8)\n  y: bits[8] = add(x, one)\n  ret y\n}\n";
+/// let g = isdc_ir::text::parse(src)?;
+/// assert_eq!(g.name(), "inc");
+/// assert_eq!(g.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Graph, ParseError> {
+    Parser::new(src).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.split("//").next().unwrap_or("").trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Self { lines, pos: 0 }
+    }
+
+    fn error(&self, line: usize, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax { line, message: message.into() }
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        let item = self.lines.get(self.pos).copied();
+        self.pos += 1;
+        item
+    }
+
+    fn parse(mut self) -> Result<Graph, ParseError> {
+        let (line_no, header) = self
+            .next_line()
+            .ok_or_else(|| self.error(0, "empty input"))?;
+        let header = header
+            .strip_prefix("fn ")
+            .ok_or_else(|| self.error(line_no, "expected `fn <name>(...)`"))?;
+        let open = header
+            .find('(')
+            .ok_or_else(|| self.error(line_no, "expected `(` after function name"))?;
+        let close = header
+            .rfind(')')
+            .ok_or_else(|| self.error(line_no, "expected `)` in function header"))?;
+        let name = header[..open].trim();
+        if name.is_empty() {
+            return Err(self.error(line_no, "missing function name"));
+        }
+        let mut graph = Graph::new(name);
+        let mut env: HashMap<String, NodeId> = HashMap::new();
+        let params_src = &header[open + 1..close];
+        for part in split_top_level(params_src) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (pname, width) = parse_typed_name(part)
+                .ok_or_else(|| self.error(line_no, format!("bad parameter `{part}`")))?;
+            let id = graph.param(pname, width);
+            env.insert(pname.to_string(), id);
+        }
+        loop {
+            let (line_no, line) = self
+                .next_line()
+                .ok_or_else(|| self.error(0, "unexpected end of input (missing `}`)"))?;
+            if line == "}" {
+                break;
+            }
+            if let Some(rets) = line.strip_prefix("ret ") {
+                for r in rets.split(',') {
+                    let r = r.trim();
+                    let id = *env
+                        .get(r)
+                        .ok_or_else(|| self.error(line_no, format!("unknown value `{r}`")))?;
+                    graph.set_output(id);
+                }
+                continue;
+            }
+            // `<name>: bits[w] = <op>(args...)`
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| self.error(line_no, "expected `name: bits[w] = op(...)`"))?;
+            let (vname, declared_width) = parse_typed_name(lhs.trim())
+                .ok_or_else(|| self.error(line_no, format!("bad binding `{}`", lhs.trim())))?;
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| self.error(line_no, "expected `(` after op mnemonic"))?;
+            let close = rhs
+                .rfind(')')
+                .ok_or_else(|| self.error(line_no, "expected closing `)`"))?;
+            let mnemonic = rhs[..open].trim();
+            let mut operands: Vec<NodeId> = Vec::new();
+            let mut attrs: HashMap<&str, &str> = HashMap::new();
+            for arg in split_top_level(&rhs[open + 1..close]) {
+                let arg = arg.trim();
+                if arg.is_empty() {
+                    continue;
+                }
+                if let Some((k, v)) = arg.split_once('=') {
+                    attrs.insert(k.trim(), v.trim());
+                } else {
+                    let id = *env
+                        .get(arg)
+                        .ok_or_else(|| self.error(line_no, format!("unknown value `{arg}`")))?;
+                    operands.push(id);
+                }
+            }
+            let kind = self.kind_from(mnemonic, &attrs, line_no)?;
+            let id = graph.add_node(kind, operands)?;
+            if graph.node(id).width != declared_width {
+                return Err(self.error(
+                    line_no,
+                    format!(
+                        "`{vname}` declares bits[{declared_width}] but op produces bits[{}]",
+                        graph.node(id).width
+                    ),
+                ));
+            }
+            graph.set_name(id, vname);
+            if env.insert(vname.to_string(), id).is_some() {
+                return Err(self.error(line_no, format!("redefinition of `{vname}`")));
+            }
+        }
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    fn kind_from(
+        &self,
+        mnemonic: &str,
+        attrs: &HashMap<&str, &str>,
+        line: usize,
+    ) -> Result<OpKind, ParseError> {
+        let int_attr = |key: &str| -> Result<u32, ParseError> {
+            attrs
+                .get(key)
+                .ok_or_else(|| self.error(line, format!("{mnemonic} requires `{key}=`")))?
+                .parse::<u32>()
+                .map_err(|_| self.error(line, format!("bad integer for `{key}`")))
+        };
+        Ok(match mnemonic {
+            "literal" => {
+                let width = int_attr("width")?;
+                let raw = attrs
+                    .get("value")
+                    .ok_or_else(|| self.error(line, "literal requires `value=`"))?;
+                let v = parse_hex_value(raw, width)
+                    .ok_or_else(|| self.error(line, format!("bad literal value `{raw}`")))?;
+                OpKind::Literal(v)
+            }
+            "add" => OpKind::Add,
+            "sub" => OpKind::Sub,
+            "mul" => OpKind::Mul,
+            "neg" => OpKind::Neg,
+            "and" => OpKind::And,
+            "or" => OpKind::Or,
+            "xor" => OpKind::Xor,
+            "not" => OpKind::Not,
+            "shll" => OpKind::Shll,
+            "shrl" => OpKind::Shrl,
+            "shra" => OpKind::Shra,
+            "eq" => OpKind::Eq,
+            "ne" => OpKind::Ne,
+            "ult" => OpKind::Ult,
+            "ule" => OpKind::Ule,
+            "ugt" => OpKind::Ugt,
+            "uge" => OpKind::Uge,
+            "sel" => OpKind::Sel,
+            "concat" => OpKind::Concat,
+            "bit_slice" => OpKind::BitSlice { start: int_attr("start")?, width: int_attr("width")? },
+            "zero_ext" => OpKind::ZeroExt { new_width: int_attr("new_width")? },
+            "sign_ext" => OpKind::SignExt { new_width: int_attr("new_width")? },
+            "reduce_xor" => OpKind::ReduceXor,
+            "reduce_or" => OpKind::ReduceOr,
+            "reduce_and" => OpKind::ReduceAnd,
+            other => return Err(self.error(line, format!("unknown op `{other}`"))),
+        })
+    }
+}
+
+/// Splits on commas that are not inside brackets.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' | '(' => depth += 1,
+            ']' | ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Parses `name: bits[w]`.
+fn parse_typed_name(s: &str) -> Option<(&str, u32)> {
+    let (name, ty) = s.split_once(':')?;
+    let ty = ty.trim();
+    let width = ty.strip_prefix("bits[")?.strip_suffix(']')?.parse().ok()?;
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+        return None;
+    }
+    Some((name, width))
+}
+
+fn parse_hex_value(raw: &str, width: u32) -> Option<BitVecValue> {
+    let hex = raw.strip_prefix("0x").unwrap_or(raw);
+    if hex.is_empty() || hex.len() as u32 > width.div_ceil(4) {
+        return None;
+    }
+    let mut v = BitVecValue::zero(width);
+    for (i, c) in hex.chars().rev().enumerate() {
+        let nib = c.to_digit(16)? as u64;
+        for b in 0..4 {
+            let pos = (i * 4 + b) as u32;
+            if nib >> b & 1 == 1 {
+                if pos >= width {
+                    return None;
+                }
+                v.set_bit(pos, true);
+            }
+        }
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+
+    fn mac() -> Graph {
+        let mut g = Graph::new("mac");
+        let a = g.param("a", 16);
+        let b = g.param("b", 16);
+        let c = g.param("c", 16);
+        let one = g.literal_u64(0x2a, 16);
+        let prod = g.binary(OpKind::Mul, a, b).unwrap();
+        let masked = g.binary(OpKind::And, prod, one).unwrap();
+        let sum = g.binary(OpKind::Add, masked, c).unwrap();
+        let sl = g.unary(OpKind::BitSlice { start: 4, width: 8 }, sum).unwrap();
+        let ext = g.unary(OpKind::ZeroExt { new_width: 16 }, sl).unwrap();
+        g.set_output(ext);
+        g
+    }
+
+    #[test]
+    fn print_contains_structure() {
+        let text = print(&mac());
+        assert!(text.starts_with("fn mac(a: bits[16], b: bits[16], c: bits[16]) {"));
+        assert!(text.contains("mul(a, b)"));
+        assert!(text.contains("literal(value=0x2a, width=16)"));
+        assert!(text.contains("bit_slice("));
+        assert!(text.contains("start=4"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let g = mac();
+        let g2 = parse(&print(&g)).unwrap();
+        assert_eq!(g.len(), g2.len());
+        let mut inputs = HashMap::new();
+        for (name, val) in [("a", 31u64), ("b", 77), ("c", 1000)] {
+            inputs.insert(name.to_string(), BitVecValue::from_u64(val, 16));
+        }
+        let o1 = interp::evaluate_outputs(&g, &inputs).unwrap();
+        let o2 = interp::evaluate_outputs(&g2, &inputs).unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn roundtrip_twice_is_fixpoint() {
+        let g = mac();
+        let t1 = print(&parse(&print(&g)).unwrap());
+        let t2 = print(&parse(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_value() {
+        let src = "fn f(a: bits[8]) {\n  y: bits[8] = add(a, zzz)\n  ret y\n}";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_op() {
+        let src = "fn f(a: bits[8]) {\n  y: bits[8] = frobnicate(a)\n  ret y\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_width_lie() {
+        let src = "fn f(a: bits[8], b: bits[8]) {\n  y: bits[4] = add(a, b)\n  ret y\n}";
+        let err = parse(src).unwrap_err();
+        assert!(format!("{err}").contains("declares bits[4]"));
+    }
+
+    #[test]
+    fn parse_rejects_redefinition() {
+        let src = "fn f(a: bits[8]) {\n  y: bits[8] = not(a)\n  y: bits[8] = not(a)\n  ret y\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parse_handles_comments_and_blank_lines() {
+        let src = "// header\nfn f(a: bits[8]) {\n\n  // negate\n  y: bits[8] = not(a) // trailing\n  ret y\n}";
+        let g = parse(src).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn parse_multiple_outputs() {
+        let src = "fn f(a: bits[8]) {\n  y: bits[8] = not(a)\n  ret y, a\n}";
+        let g = parse(src).unwrap();
+        assert_eq!(g.outputs().len(), 2);
+    }
+
+    #[test]
+    fn parse_hex_values() {
+        let v = parse_hex_value("0xff", 8).unwrap();
+        assert_eq!(v.to_u64(), 0xff);
+        assert!(parse_hex_value("0x1ff", 8).is_none()); // overflow
+        assert!(parse_hex_value("0xzz", 8).is_none());
+    }
+
+    #[test]
+    fn typed_name_parsing() {
+        assert_eq!(parse_typed_name("x: bits[8]"), Some(("x", 8)));
+        assert_eq!(parse_typed_name("foo_1:bits[128]"), Some(("foo_1", 128)));
+        assert_eq!(parse_typed_name("x bits[8]"), None);
+        assert_eq!(parse_typed_name("x: bits[y]"), None);
+    }
+}

@@ -1,0 +1,352 @@
+//! IR-level optimization passes: dead-code elimination, common-subexpression
+//! elimination and constant folding.
+//!
+//! HLS frontends run these before scheduling; they matter to ISDC because a
+//! cleaner graph means fewer scheduling variables, fewer timing pairs and
+//! tighter register accounting. All passes preserve semantics (checked by
+//! the interpreter-backed tests) and renumber nodes densely, keeping the
+//! id-order-is-topological invariant.
+
+use crate::graph::{Graph, NodeId};
+use crate::interp;
+use crate::op::OpKind;
+use crate::value::BitVecValue;
+use std::collections::HashMap;
+
+/// Statistics from one pass application.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// Nodes in the input graph.
+    pub nodes_before: usize,
+    /// Nodes in the output graph.
+    pub nodes_after: usize,
+}
+
+impl TransformStats {
+    /// Nodes removed by the pass.
+    pub fn removed(&self) -> usize {
+        self.nodes_before - self.nodes_after
+    }
+}
+
+/// Removes every node not reachable from the graph's outputs.
+///
+/// Parameters are always kept (they are the design's interface), even when
+/// dead.
+pub fn dead_code_elimination(graph: &Graph) -> (Graph, TransformStats) {
+    let mut live = vec![false; graph.len()];
+    let mut stack: Vec<NodeId> = graph.outputs().to_vec();
+    for &p in graph.params() {
+        live[p.index()] = true;
+    }
+    while let Some(v) = stack.pop() {
+        if live[v.index()] {
+            continue;
+        }
+        live[v.index()] = true;
+        stack.extend(graph.node(v).operands.iter().copied());
+    }
+    rebuild(graph, |id, _| live[id.index()], |_, _, _| None)
+}
+
+/// Structurally deduplicates identical `(kind, operands)` nodes, commuting
+/// commutative operands into canonical order first.
+pub fn common_subexpression_elimination(graph: &Graph) -> (Graph, TransformStats) {
+    let mut seen: HashMap<(OpKind, Vec<NodeId>), NodeId> = HashMap::new();
+    rebuild(
+        graph,
+        |_, _| true,
+        move |id, kind, operands| {
+            if kind == &OpKind::Param {
+                return None;
+            }
+            let mut key_ops = operands.to_vec();
+            if kind.is_commutative() {
+                key_ops.sort_unstable();
+            }
+            let key = (kind.clone(), key_ops);
+            match seen.get(&key) {
+                Some(&prev) => Some(prev),
+                None => {
+                    seen.insert(key, id);
+                    None
+                }
+            }
+        },
+    )
+}
+
+/// Folds operations whose operands are all literals into literal nodes.
+pub fn constant_folding(graph: &Graph) -> (Graph, TransformStats) {
+    // Evaluate constant-only regions with the interpreter: a node is
+    // foldable when it is not a param and all transitive inputs are
+    // literals.
+    let mut constant: Vec<Option<BitVecValue>> = vec![None; graph.len()];
+    for (id, node) in graph.iter() {
+        if let OpKind::Literal(v) = &node.kind {
+            constant[id.index()] = Some(v.clone());
+            continue;
+        }
+        if node.kind == OpKind::Param || node.operands.is_empty() {
+            continue;
+        }
+        if node.operands.iter().all(|o| constant[o.index()].is_some()) {
+            // Evaluate just this node on its constant operands.
+            let mut sub = Graph::new("fold");
+            let ops: Vec<NodeId> = node
+                .operands
+                .iter()
+                .map(|o| sub.literal(constant[o.index()].clone().expect("const")))
+                .collect();
+            let out = sub.add_node(node.kind.clone(), ops).expect("same validity");
+            sub.set_output(out);
+            let values = interp::evaluate(&sub, &HashMap::new()).expect("constant eval");
+            constant[id.index()] = Some(values[out.index()].clone());
+        }
+    }
+    let folded: Vec<Option<BitVecValue>> = graph
+        .iter()
+        .map(|(id, node)| {
+            if matches!(node.kind, OpKind::Literal(_) | OpKind::Param) {
+                None
+            } else {
+                constant[id.index()].clone()
+            }
+        })
+        .collect();
+    // Rebuild, replacing foldable nodes by fresh literals.
+    let mut out = Graph::new(graph.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; graph.len()];
+    for (id, node) in graph.iter() {
+        let new_id = if let Some(v) = &folded[id.index()] {
+            out.literal(v.clone())
+        } else {
+            match &node.kind {
+                OpKind::Param => out.param(node.name.clone().expect("params named"), node.width),
+                _ => {
+                    let ops: Vec<NodeId> = node
+                        .operands
+                        .iter()
+                        .map(|o| map[o.index()].expect("topological order"))
+                        .collect();
+                    let nid = out.add_node(node.kind.clone(), ops).expect("valid rebuild");
+                    if let Some(name) = &node.name {
+                        out.set_name(nid, name.clone());
+                    }
+                    nid
+                }
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in graph.outputs() {
+        out.set_output(map[o.index()].expect("outputs mapped"));
+    }
+    let stats = TransformStats { nodes_before: graph.len(), nodes_after: out.len() };
+    // Folding by itself does not remove the now-dead literal operands; run
+    // DCE to collect them.
+    let (cleaned, _) = dead_code_elimination(&out);
+    let stats = TransformStats { nodes_before: stats.nodes_before, nodes_after: cleaned.len() };
+    (cleaned, stats)
+}
+
+/// The standard cleanup pipeline: constant folding, CSE, then DCE.
+pub fn optimize(graph: &Graph) -> (Graph, TransformStats) {
+    let before = graph.len();
+    let (g, _) = constant_folding(graph);
+    let (g, _) = common_subexpression_elimination(&g);
+    let (g, _) = dead_code_elimination(&g);
+    (g.clone(), TransformStats { nodes_before: before, nodes_after: g.len() })
+}
+
+/// Shared rebuild helper: copies `graph` keeping nodes passing `keep`,
+/// redirecting each node through `replace` (which may return an existing
+/// *old* node id to alias to).
+fn rebuild(
+    graph: &Graph,
+    keep: impl Fn(NodeId, &Graph) -> bool,
+    mut replace: impl FnMut(NodeId, &OpKind, &[NodeId]) -> Option<NodeId>,
+) -> (Graph, TransformStats) {
+    let mut out = Graph::new(graph.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; graph.len()];
+    for (id, node) in graph.iter() {
+        if !keep(id, graph) {
+            continue;
+        }
+        if let Some(alias) = replace(id, &node.kind, &node.operands) {
+            map[id.index()] = map[alias.index()];
+            continue;
+        }
+        let new_id = match &node.kind {
+            OpKind::Param => out.param(node.name.clone().expect("params named"), node.width),
+            _ => {
+                let ops: Vec<NodeId> = node
+                    .operands
+                    .iter()
+                    .map(|o| map[o.index()].expect("operands kept"))
+                    .collect();
+                let nid = out.add_node(node.kind.clone(), ops).expect("valid rebuild");
+                if let Some(name) = &node.name {
+                    // Names may collide after aliasing; keep the first.
+                    if out.iter().all(|(_, n)| n.name.as_deref() != Some(name.as_str())) {
+                        out.set_name(nid, name.clone());
+                    }
+                }
+                nid
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in graph.outputs() {
+        if let Some(mapped) = map[o.index()] {
+            out.set_output(mapped);
+        }
+    }
+    let stats = TransformStats { nodes_before: graph.len(), nodes_after: out.len() };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equivalent(a: &Graph, b: &Graph, cases: u64) {
+        for seed in 0..cases {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut inputs = HashMap::new();
+            for &p in a.params() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                let node = a.node(p);
+                inputs.insert(
+                    node.name.clone().unwrap(),
+                    BitVecValue::from_u64(state >> 11, node.width),
+                );
+            }
+            let oa = interp::evaluate_outputs(a, &inputs).unwrap();
+            let ob = interp::evaluate_outputs(b, &inputs).unwrap();
+            assert_eq!(oa, ob, "semantics changed (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn dce_removes_dead_chain() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let live = g.unary(OpKind::Not, a).unwrap();
+        let dead1 = g.unary(OpKind::Neg, a).unwrap();
+        let _dead2 = g.unary(OpKind::Not, dead1).unwrap();
+        g.set_output(live);
+        let (out, stats) = dead_code_elimination(&g);
+        assert_eq!(stats.removed(), 2);
+        assert_eq!(out.len(), 2);
+        out.validate().unwrap();
+        check_equivalent(&g, &out, 4);
+    }
+
+    #[test]
+    fn dce_keeps_params() {
+        let mut g = Graph::new("t");
+        let _unused = g.param("unused", 8);
+        let a = g.param("a", 8);
+        let n = g.unary(OpKind::Not, a).unwrap();
+        g.set_output(n);
+        let (out, _) = dead_code_elimination(&g);
+        assert_eq!(out.params().len(), 2, "interface params survive");
+    }
+
+    #[test]
+    fn cse_merges_duplicates() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x1 = g.binary(OpKind::Add, a, b).unwrap();
+        let x2 = g.binary(OpKind::Add, a, b).unwrap();
+        let y = g.binary(OpKind::Xor, x1, x2).unwrap();
+        g.set_output(y);
+        let (out, stats) = common_subexpression_elimination(&g);
+        assert_eq!(stats.removed(), 1);
+        out.validate().unwrap();
+        check_equivalent(&g, &out, 4);
+    }
+
+    #[test]
+    fn cse_canonicalizes_commutative_operands() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x1 = g.binary(OpKind::Mul, a, b).unwrap();
+        let x2 = g.binary(OpKind::Mul, b, a).unwrap(); // commuted duplicate
+        let y = g.binary(OpKind::And, x1, x2).unwrap();
+        g.set_output(y);
+        let (out, stats) = common_subexpression_elimination(&g);
+        assert_eq!(stats.removed(), 1);
+        check_equivalent(&g, &out, 4);
+    }
+
+    #[test]
+    fn cse_does_not_merge_noncommutative_swaps() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x1 = g.binary(OpKind::Sub, a, b).unwrap();
+        let x2 = g.binary(OpKind::Sub, b, a).unwrap();
+        let y = g.binary(OpKind::Xor, x1, x2).unwrap();
+        g.set_output(y);
+        let (out, stats) = common_subexpression_elimination(&g);
+        assert_eq!(stats.removed(), 0);
+        check_equivalent(&g, &out, 4);
+    }
+
+    #[test]
+    fn folding_collapses_constant_trees() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let k1 = g.literal_u64(3, 8);
+        let k2 = g.literal_u64(4, 8);
+        let sum = g.binary(OpKind::Add, k1, k2).unwrap(); // 7
+        let prod = g.binary(OpKind::Mul, sum, sum).unwrap(); // 49
+        let out = g.binary(OpKind::Xor, a, prod).unwrap();
+        g.set_output(out);
+        let (folded, stats) = constant_folding(&g);
+        assert!(stats.removed() >= 2, "constant subtree collapses");
+        folded.validate().unwrap();
+        check_equivalent(&g, &folded, 4);
+        // The folded graph should contain a literal 49.
+        let has_49 = folded.iter().any(|(_, n)| {
+            matches!(&n.kind, OpKind::Literal(v) if v.to_u64() == 49)
+        });
+        assert!(has_49);
+    }
+
+    #[test]
+    fn optimize_pipeline_on_redundant_graph() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let k1 = g.literal_u64(1, 8);
+        let k2 = g.literal_u64(1, 8);
+        let two = g.binary(OpKind::Add, k1, k2).unwrap();
+        let x1 = g.binary(OpKind::Add, a, two).unwrap();
+        let x2 = g.binary(OpKind::Add, a, two).unwrap();
+        let dead = g.binary(OpKind::Mul, x1, x2).unwrap();
+        let _deader = g.unary(OpKind::Not, dead).unwrap();
+        let out = g.binary(OpKind::Xor, x1, x2).unwrap();
+        g.set_output(out);
+        let (opt, stats) = optimize(&g);
+        assert!(stats.removed() >= 4, "removed {}", stats.removed());
+        opt.validate().unwrap();
+        check_equivalent(&g, &opt, 6);
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x = g.binary(OpKind::Add, a, b).unwrap();
+        g.set_output(x);
+        let (once, _) = optimize(&g);
+        let (twice, stats) = optimize(&once);
+        assert_eq!(once, twice);
+        assert_eq!(stats.removed(), 0);
+    }
+}

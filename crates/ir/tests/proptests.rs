@@ -1,0 +1,191 @@
+//! Property-based tests for the IR crate: bit-vector arithmetic against a
+//! native reference, text-format round trips, and structural invariants on
+//! randomly generated graphs.
+
+use isdc_ir::{interp, text, BitVecValue, Graph, OpKind};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn value_and_width() -> impl Strategy<Value = (u64, u32)> {
+    (1u32..=64).prop_flat_map(|w| {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        (0..=mask, Just(w))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_native((a, w) in value_and_width(), b in any::<u64>()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let b = b & mask;
+        let x = BitVecValue::from_u64(a, w);
+        let y = BitVecValue::from_u64(b, w);
+        prop_assert_eq!(x.add(&y).to_u64(), a.wrapping_add(b) & mask);
+        prop_assert_eq!(x.sub(&y).to_u64(), a.wrapping_sub(b) & mask);
+        prop_assert_eq!(x.mul(&y).to_u64(), a.wrapping_mul(b) & mask);
+    }
+
+    #[test]
+    fn logic_matches_native((a, w) in value_and_width(), b in any::<u64>()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let b = b & mask;
+        let x = BitVecValue::from_u64(a, w);
+        let y = BitVecValue::from_u64(b, w);
+        prop_assert_eq!(x.and(&y).to_u64(), a & b);
+        prop_assert_eq!(x.or(&y).to_u64(), a | b);
+        prop_assert_eq!(x.xor(&y).to_u64(), a ^ b);
+        prop_assert_eq!(x.not().to_u64(), !a & mask);
+        prop_assert_eq!(x.ult(&y), a < b);
+    }
+
+    #[test]
+    fn shifts_match_native((a, w) in value_and_width(), amt in 0u64..100) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let x = BitVecValue::from_u64(a, w);
+        let expected_shl = if amt >= w as u64 { 0 } else { (a << amt) & mask };
+        let expected_shr = if amt >= w as u64 { 0 } else { (a & mask) >> amt };
+        prop_assert_eq!(x.shl(amt).to_u64(), expected_shl);
+        prop_assert_eq!(x.shr(amt).to_u64(), expected_shr);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse((a, w) in value_and_width()) {
+        let x = BitVecValue::from_u64(a, w);
+        prop_assert!(x.add(&x.neg()).is_zero());
+    }
+
+    #[test]
+    fn concat_slice_roundtrip((a, w1) in value_and_width(), (b, w2) in value_and_width()) {
+        let hi = BitVecValue::from_u64(a, w1);
+        let lo = BitVecValue::from_u64(b, w2);
+        let cat = hi.concat(&lo);
+        prop_assert_eq!(cat.width(), w1 + w2);
+        prop_assert_eq!(cat.slice(0, w2), lo);
+        prop_assert_eq!(cat.slice(w2, w1), hi);
+    }
+
+    #[test]
+    fn extensions_preserve_value((a, w) in value_and_width(), extra in 0u32..64) {
+        let x = BitVecValue::from_u64(a, w);
+        let ze = x.zero_ext(w + extra);
+        prop_assert_eq!(ze.slice(0, w), x.clone());
+        if extra > 0 {
+            prop_assert!(ze.slice(w, extra).is_zero());
+        }
+        let se = x.sign_ext(w + extra);
+        prop_assert_eq!(se.slice(0, w), x.clone());
+        if extra > 0 {
+            let fill = se.slice(w, extra);
+            prop_assert_eq!(fill.is_zero(), !x.bit(w - 1));
+        }
+    }
+
+    #[test]
+    fn reduce_xor_is_parity((a, w) in value_and_width()) {
+        let x = BitVecValue::from_u64(a, w);
+        prop_assert_eq!(x.reduce_xor().to_u64(), (a.count_ones() % 2) as u64);
+    }
+}
+
+/// Builds a small random graph directly with proptest combinators.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12, any::<u64>()).prop_map(|(ops, seed)| {
+        let mut state = seed;
+        let mut rng = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let mut g = Graph::new("prop");
+        let widths = [4u32, 8, 11];
+        let mut pool = vec![
+            g.param("p0", widths[rng(3)]),
+            g.param("p1", widths[rng(3)]),
+        ];
+        for _ in 0..ops {
+            let a = pool[rng(pool.len())];
+            let b = pool[rng(pool.len())];
+            let w = g.node(a).width;
+            let b = if g.node(b).width == w {
+                b
+            } else if g.node(b).width < w {
+                g.unary(OpKind::ZeroExt { new_width: w }, b).unwrap()
+            } else {
+                g.unary(OpKind::BitSlice { start: 0, width: w }, b).unwrap()
+            };
+            let id = match rng(5) {
+                0 => g.binary(OpKind::Add, a, b).unwrap(),
+                1 => g.binary(OpKind::Xor, a, b).unwrap(),
+                2 => g.binary(OpKind::Mul, a, b).unwrap(),
+                3 => g.unary(OpKind::Not, a).unwrap(),
+                _ => {
+                    let c = g.binary(OpKind::Ult, a, b).unwrap();
+                    g.select(c, a, b).unwrap()
+                }
+            };
+            pool.push(id);
+        }
+        let sinks: Vec<_> = g.node_ids().filter(|&id| g.users(id).is_empty()).collect();
+        for s in sinks {
+            g.set_output(s);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_graphs_validate(g in arbitrary_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_semantics(g in arbitrary_graph(), seed in any::<u64>()) {
+        let printed = text::print(&g);
+        let reparsed = text::parse(&printed).expect("own output parses");
+        prop_assert_eq!(g.len(), reparsed.len());
+        // Compare interpreter results on a random input vector.
+        let mut state = seed;
+        let mut inputs = HashMap::new();
+        for &p in g.params() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let node = g.node(p);
+            inputs.insert(
+                node.name.clone().unwrap(),
+                BitVecValue::from_u64(state >> 13, node.width),
+            );
+        }
+        let o1 = interp::evaluate_outputs(&g, &inputs).unwrap();
+        let o2 = interp::evaluate_outputs(&reparsed, &inputs).unwrap();
+        prop_assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn reachability_agrees_with_fanin(g in arbitrary_graph()) {
+        use isdc_ir::analysis::{transitive_fanin, ReachabilityMatrix};
+        let m = ReachabilityMatrix::compute(&g);
+        for v in g.node_ids() {
+            let fanin = transitive_fanin(&g, &[v]);
+            for u in g.node_ids() {
+                prop_assert_eq!(
+                    m.reaches(u, v),
+                    fanin.contains(&u),
+                    "disagree on ({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logic_levels_respect_edges(g in arbitrary_graph()) {
+        let levels = isdc_ir::analysis::logic_levels(&g);
+        for (id, node) in g.iter() {
+            for &p in &node.operands {
+                prop_assert!(levels[p.index()] < levels[id.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! ASCII AIGER (`aag`) import and export.
+//!
+//! AIGER is the standard exchange format for and-inverter graphs, consumed
+//! by ABC, aigbmc and friends. Supporting it means netlists produced by this
+//! crate can be handed to real logic-synthesis and verification tools — the
+//! interoperability story behind the paper's "compatible with a wide range
+//! of downstream tools" claim.
+//!
+//! Only the combinational subset is supported (no latches), which is all an
+//! ISDC subgraph ever is.
+
+use crate::aig::{Aig, AigLit, AigNode};
+use std::fmt;
+
+/// Errors from [`parse_aag`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseAagError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file declares latches, which are unsupported.
+    LatchesUnsupported,
+    /// A body line deviated from the grammar.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A literal referenced an undefined variable.
+    UndefinedLiteral(u32),
+}
+
+impl fmt::Display for ParseAagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAagError::BadHeader(h) => write!(f, "bad aag header `{h}`"),
+            ParseAagError::LatchesUnsupported => {
+                f.write_str("aag files with latches are not supported")
+            }
+            ParseAagError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            ParseAagError::UndefinedLiteral(l) => write!(f, "undefined literal {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAagError {}
+
+/// Serializes the AIG in ASCII AIGER format.
+///
+/// Nodes are renumbered into AIGER's required order (inputs first, then AND
+/// gates topologically); the function is total for any well-formed [`Aig`].
+pub fn write_aag(aig: &Aig) -> String {
+    let nodes = aig.nodes();
+    // Assign AIGER variable indices: inputs get 1..=I in creation order,
+    // then ANDs in node order.
+    let mut var_of: Vec<u32> = vec![0; nodes.len()];
+    let mut next = 1u32;
+    let mut input_vars = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if matches!(node, AigNode::Input(_)) {
+            var_of[i] = next;
+            input_vars.push(next);
+            next += 1;
+        }
+    }
+    let mut and_rows = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if let AigNode::And(..) = node {
+            var_of[i] = next;
+            next += 1;
+        }
+        let _ = i;
+    }
+    let lit_of = |l: AigLit| -> u32 { var_of[l.node() as usize] * 2 + l.is_complemented() as u32 };
+    for (i, node) in nodes.iter().enumerate() {
+        if let AigNode::And(a, b) = node {
+            and_rows.push((var_of[i] * 2, lit_of(*a), lit_of(*b)));
+        }
+    }
+    let max_var = next - 1;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        max_var,
+        input_vars.len(),
+        aig.outputs().len(),
+        and_rows.len()
+    ));
+    for v in input_vars {
+        out.push_str(&format!("{}\n", v * 2));
+    }
+    for &o in aig.outputs() {
+        out.push_str(&format!("{}\n", lit_of(o)));
+    }
+    for (lhs, r0, r1) in and_rows {
+        out.push_str(&format!("{lhs} {r0} {r1}\n"));
+    }
+    out
+}
+
+/// Parses an ASCII AIGER file into an [`Aig`].
+///
+/// # Errors
+///
+/// See [`ParseAagError`]. Latches are rejected.
+pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
+    let mut lines = src.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAagError::BadHeader("<empty input>".into()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 6 || fields[0] != "aag" {
+        return Err(ParseAagError::BadHeader(header.to_string()));
+    }
+    let parse_count = |s: &str| -> Result<usize, ParseAagError> {
+        s.parse().map_err(|_| ParseAagError::BadHeader(header.to_string()))
+    };
+    let max_var = parse_count(fields[1])?;
+    let num_inputs = parse_count(fields[2])?;
+    let num_latches = parse_count(fields[3])?;
+    let num_outputs = parse_count(fields[4])?;
+    let num_ands = parse_count(fields[5])?;
+    if num_latches != 0 {
+        return Err(ParseAagError::LatchesUnsupported);
+    }
+
+    let mut aig = Aig::new();
+    // var -> literal in our AIG; var 0 is constant false.
+    let mut lit_of_var: Vec<Option<AigLit>> = vec![None; max_var + 1];
+    lit_of_var[0] = Some(AigLit::FALSE);
+
+    let take_line = |lines: &mut std::iter::Enumerate<std::str::Lines>,
+                         what: &str|
+     -> Result<(usize, String), ParseAagError> {
+        for (no, l) in lines.by_ref() {
+            let l = l.trim();
+            if !l.is_empty() {
+                return Ok((no + 1, l.to_string()));
+            }
+        }
+        Err(ParseAagError::BadLine { line: 0, message: format!("missing {what} line") })
+    };
+
+    let mut input_vars = Vec::with_capacity(num_inputs);
+    for _ in 0..num_inputs {
+        let (no, l) = take_line(&mut lines, "input")?;
+        let lit: u32 = l
+            .parse()
+            .map_err(|_| ParseAagError::BadLine { line: no, message: format!("bad input `{l}`") })?;
+        if lit % 2 != 0 || lit == 0 {
+            return Err(ParseAagError::BadLine {
+                line: no,
+                message: format!("input literal {lit} must be positive and even"),
+            });
+        }
+        input_vars.push((lit / 2) as usize);
+    }
+    for &v in &input_vars {
+        if v > max_var {
+            return Err(ParseAagError::UndefinedLiteral(v as u32 * 2));
+        }
+        lit_of_var[v] = Some(aig.input());
+    }
+    let mut output_lits = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let (no, l) = take_line(&mut lines, "output")?;
+        let lit: u32 = l.parse().map_err(|_| ParseAagError::BadLine {
+            line: no,
+            message: format!("bad output `{l}`"),
+        })?;
+        output_lits.push(lit);
+    }
+    for _ in 0..num_ands {
+        let (no, l) = take_line(&mut lines, "and")?;
+        let parts: Vec<u32> = l
+            .split_whitespace()
+            .map(|t| t.parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseAagError::BadLine { line: no, message: format!("bad and `{l}`") })?;
+        let [lhs, r0, r1] = parts.as_slice() else {
+            return Err(ParseAagError::BadLine {
+                line: no,
+                message: "and gates need exactly three literals".to_string(),
+            });
+        };
+        if lhs % 2 != 0 {
+            return Err(ParseAagError::BadLine {
+                line: no,
+                message: format!("and lhs {lhs} must be even"),
+            });
+        }
+        let resolve = |lit: u32, table: &[Option<AigLit>]| -> Result<AigLit, ParseAagError> {
+            let var = (lit / 2) as usize;
+            let base = table
+                .get(var)
+                .copied()
+                .flatten()
+                .ok_or(ParseAagError::UndefinedLiteral(lit))?;
+            Ok(base ^ (lit % 2 == 1))
+        };
+        let a = resolve(*r0, &lit_of_var)?;
+        let b = resolve(*r1, &lit_of_var)?;
+        lit_of_var[(*lhs / 2) as usize] = Some(aig.and(a, b));
+    }
+    for lit in output_lits {
+        let var = (lit / 2) as usize;
+        let base = lit_of_var
+            .get(var)
+            .copied()
+            .flatten()
+            .ok_or(ParseAagError::UndefinedLiteral(lit))?;
+        aig.push_output(base ^ (lit % 2 == 1));
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_netlist() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.xor(a, b);
+        aig.push_output(x);
+        aig.push_output(x.not());
+        aig
+    }
+
+    #[test]
+    fn export_header_is_consistent() {
+        let aig = xor_netlist();
+        let text = write_aag(&aig);
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, format!("aag {} 2 0 2 {}", 2 + aig.num_ands(), aig.num_ands()));
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let aig = xor_netlist();
+        let text = write_aag(&aig);
+        let parsed = parse_aag(&text).unwrap();
+        assert_eq!(parsed.num_inputs(), 2);
+        assert_eq!(parsed.outputs().len(), 2);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(aig.eval(&[a, b]), parsed.eval(&[a, b]), "inputs {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        aig.push_output(AigLit::TRUE);
+        aig.push_output(AigLit::FALSE);
+        aig.push_output(a);
+        let parsed = parse_aag(&write_aag(&aig)).unwrap();
+        assert_eq!(parsed.eval(&[true]), vec![true, false, true]);
+        assert_eq!(parsed.eval(&[false]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn parse_canonical_example() {
+        // AND of two inputs, from the AIGER spec.
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = parse_aag(src).unwrap();
+        assert_eq!(aig.eval(&[true, true]), vec![true]);
+        assert_eq!(aig.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let src = "aag 3 1 1 1 0\n2\n4 2\n4\n";
+        assert_eq!(parse_aag(src).unwrap_err(), ParseAagError::LatchesUnsupported);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_lines() {
+        assert!(matches!(parse_aag("nonsense"), Err(ParseAagError::BadHeader(_))));
+        assert!(matches!(
+            parse_aag("aag 1 1 0 0 0\n3\n"),
+            Err(ParseAagError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_aag("aag 1 0 0 1 0\n4\n"),
+            Err(ParseAagError::UndefinedLiteral(4))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_on_lowered_op() {
+        use isdc_ir::{Graph, OpKind};
+        let mut g = Graph::new("add");
+        let a = g.param("a", 4);
+        let b = g.param("b", 4);
+        let s = g.binary(OpKind::Add, a, b).unwrap();
+        g.set_output(s);
+        let lowered = crate::lower_graph(&g);
+        let parsed = parse_aag(&write_aag(&lowered.aig)).unwrap();
+        // Exhaustive check over all 256 input combinations.
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let bits: Vec<bool> = lowered
+                    .input_map
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let (node, bit) = lowered.input_map[i];
+                        let val = if node == a { x } else { y };
+                        let _ = node;
+                        (val >> bit) & 1 == 1
+                    })
+                    .collect();
+                assert_eq!(lowered.aig.eval(&bits), parsed.eval(&bits));
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # isdc-netlist — gate-level netlists for the downstream-tool simulator
+//!
+//! Bit-blasts HLS IR regions into and-inverter graphs ([`Aig`]) with
+//! structural hashing, the representation consumed by the logic-synthesis
+//! simulator in `isdc-synth`. The combination plays the role Yosys/ABC play
+//! in the paper's evaluation flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use isdc_ir::{Graph, OpKind};
+//! use isdc_netlist::lower_graph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new("add");
+//! let a = g.param("a", 8);
+//! let b = g.param("b", 8);
+//! let s = g.binary(OpKind::Add, a, b)?;
+//! g.set_output(s);
+//!
+//! let lowered = lower_graph(&g);
+//! assert_eq!(lowered.aig.num_inputs(), 16);
+//! assert!(lowered.aig.depth() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod aig;
+pub mod aiger;
+mod lower;
+
+pub use aig::{Aig, AigLit, AigNode};
+pub use lower::{lower_graph, lower_subgraph, LoweredSubgraph};

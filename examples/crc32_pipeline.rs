@@ -1,0 +1,54 @@
+//! Pipeline a real benchmark (the unrolled CRC-32 datapath) and inspect the
+//! per-stage structure of the result: which values cross stage boundaries
+//! and how much the feedback loop shrinks them.
+//!
+//! Run with: `cargo run --example crc32_pipeline --release`
+
+use isdc_core::metrics::{register_breakdown, stage_sta_delays};
+use isdc_core::{run_isdc, run_sdc, IsdcConfig};
+use isdc_synth::{OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = isdc_benchsuite::suite();
+    let bench = suite.iter().find(|b| b.name == "crc32").expect("crc32 in suite");
+    let g = &bench.graph;
+    println!("crc32: {} nodes, clock {}ps", g.len(), bench.clock_period_ps);
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    let (baseline, _) = run_sdc(g, &model, bench.clock_period_ps)?;
+    let mut config = IsdcConfig::paper_defaults(bench.clock_period_ps);
+    config.max_iterations = 10;
+    let refined = run_isdc(g, &model, &oracle, &config)?;
+
+    println!(
+        "registers: {} -> {} bits ({} -> {} stages, {} iterations)",
+        baseline.register_bits(g),
+        refined.schedule.register_bits(g),
+        baseline.num_stages(),
+        refined.schedule.num_stages(),
+        refined.iterations(),
+    );
+
+    // Stage-by-stage view of the refined pipeline.
+    let sta = stage_sta_delays(g, &refined.schedule, &oracle);
+    println!("\nstage | ops | post-synthesis delay");
+    for (stage, delay) in sta.iter().enumerate() {
+        let ops = refined.schedule.stage_members(stage as u32).len();
+        let bar = "#".repeat((delay / 100.0) as usize);
+        println!("{stage:>5} | {ops:>3} | {delay:>7.0}ps {bar}");
+    }
+
+    // The widest surviving pipeline registers.
+    let mut breakdown = register_breakdown(g, &refined.schedule);
+    breakdown.sort_by_key(|&(_, bits)| std::cmp::Reverse(bits));
+    println!("\nlargest pipeline registers after refinement:");
+    for (id, bits) in breakdown.iter().take(5) {
+        let node = g.node(*id);
+        println!("  {id}: {} bits ({}, width {})", bits, node.kind.mnemonic(), node.width);
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Plug a custom downstream tool into the feedback loop.
+//!
+//! ISDC is deliberately tool-agnostic: anything implementing
+//! [`isdc_synth::DelayOracle`] can drive the iterations. This example runs
+//! two non-default oracles:
+//!
+//! 1. the paper's §V.3 proposal — AIG depth scaled to picoseconds, skipping
+//!    technology mapping and STA entirely (calibrated from Fig. 8's slope);
+//! 2. a hand-written oracle wrapping the full flow with a pessimism margin,
+//!    the way a signoff team might guard-band feedback from a fast proxy.
+//!
+//! Run with: `cargo run --example custom_oracle --release`
+
+use isdc_core::{run_isdc, IsdcConfig};
+use isdc_ir::{Graph, NodeId};
+use isdc_synth::{AigDepthOracle, DelayOracle, DelayReport, OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+/// A guard-banded oracle: full synthesis flow plus a fixed pessimism factor.
+struct GuardBandedOracle {
+    inner: SynthesisOracle,
+    margin: f64,
+}
+
+impl DelayOracle for GuardBandedOracle {
+    fn evaluate(&self, graph: &Graph, members: &[NodeId]) -> DelayReport {
+        let mut report = self.inner.evaluate(graph, members);
+        report.delay_ps *= self.margin;
+        report
+    }
+
+    fn name(&self) -> &str {
+        "guard-banded"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = isdc_benchsuite::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == "ml_core_datapath2")
+        .expect("benchmark in suite");
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let mut config = IsdcConfig::paper_defaults(bench.clock_period_ps);
+    config.max_iterations = 10;
+
+    // Reference: the full synthesis + STA oracle.
+    let full = SynthesisOracle::new(lib.clone());
+    let r_full = run_isdc(&bench.graph, &model, &full, &config)?;
+
+    // §V.3: AIG depth as the feedback signal. The ps-per-level slope comes
+    // from the fig8 harness (`cargo run -p isdc-bench --bin fig8`).
+    let depth = AigDepthOracle::new(56.0);
+    let r_depth = run_isdc(&bench.graph, &model, &depth, &config)?;
+
+    // Guard-banded: 15% pessimism on top of the full flow.
+    let banded = GuardBandedOracle { inner: SynthesisOracle::new(lib), margin: 1.15 };
+    let r_banded = run_isdc(&bench.graph, &model, &banded, &config)?;
+
+    println!("oracle          register bits   stages   iterations");
+    for (name, r) in
+        [("synthesis", &r_full), ("aig-depth", &r_depth), ("guard-banded", &r_banded)]
+    {
+        println!(
+            "{name:<15} {:>13} {:>8} {:>12}",
+            r.schedule.register_bits(&bench.graph),
+            r.schedule.num_stages(),
+            r.iterations()
+        );
+    }
+    println!("\nbaseline (no feedback): {} register bits", r_full.history[0].register_bits);
+    println!("The depth oracle trades a little quality for skipping mapping+STA —");
+    println!("the trade the paper's §V.3 proposes for runtime-constrained flows.");
+    Ok(())
+}

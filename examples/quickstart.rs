@@ -1,0 +1,68 @@
+//! Quickstart: schedule a multiply-accumulate datapath with baseline SDC,
+//! then refine it with ISDC feedback and compare.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use isdc_core::metrics::post_synthesis_slack;
+use isdc_core::{run_isdc, run_sdc, IsdcConfig};
+use isdc_ir::{Graph, OpKind};
+use isdc_synth::{OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the datapath: out = clamp(a*b + c*d + e, 0x7fff), 8-bit
+    //    multiplies accumulating into 16 bits.
+    let mut g = Graph::new("quickstart_mac");
+    let a = g.param("a", 8);
+    let b = g.param("b", 8);
+    let c = g.param("c", 8);
+    let d = g.param("d", 8);
+    let e = g.param("e", 16);
+    let ab = g.binary(OpKind::Mul, a, b)?;
+    let cd = g.binary(OpKind::Mul, c, d)?;
+    let ab16 = g.unary(OpKind::ZeroExt { new_width: 16 }, ab)?;
+    let cd16 = g.unary(OpKind::ZeroExt { new_width: 16 }, cd)?;
+    let s1 = g.binary(OpKind::Add, ab16, cd16)?;
+    let s2 = g.binary(OpKind::Add, s1, e)?;
+    let limit = g.literal_u64(0x7fff, 16);
+    let over = g.binary(OpKind::Ugt, s2, limit)?;
+    let out = g.select(over, limit, s2)?;
+    g.set_output(out);
+    g.validate()?;
+
+    // 2. Pick the technology: the SKY130-flavoured library, a 2500ps clock.
+    let clock_ps = 2500.0;
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    // 3. Baseline: one SDC solve on pre-characterized op delays.
+    let (baseline, _) = run_sdc(&g, &model, clock_ps)?;
+    println!(
+        "baseline SDC : {} stages, {} register bits, {:.0}ps slack",
+        baseline.num_stages(),
+        baseline.register_bits(&g),
+        post_synthesis_slack(&g, &baseline, &oracle, clock_ps)
+    );
+
+    // 4. ISDC: iterate with downstream feedback.
+    let mut config = IsdcConfig::paper_defaults(clock_ps);
+    config.threads = 2;
+    let refined = run_isdc(&g, &model, &oracle, &config)?;
+    println!(
+        "ISDC         : {} stages, {} register bits, {:.0}ps slack ({} iterations)",
+        refined.schedule.num_stages(),
+        refined.schedule.register_bits(&g),
+        post_synthesis_slack(&g, &refined.schedule, &oracle, clock_ps),
+        refined.iterations()
+    );
+
+    // 5. Inspect the trajectory.
+    for rec in &refined.history {
+        println!(
+            "  iter {:2}: {:4} register bits, {} stages, est. error {:5.1}%",
+            rec.iteration, rec.register_bits, rec.num_stages, rec.estimation_error_pct
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Compare all six extraction-strategy combinations on one design — a
+//! miniature of the paper's Fig. 5 / Fig. 6 ablations you can run on any
+//! graph you build.
+//!
+//! Run with: `cargo run --example strategy_ablation --release`
+
+use isdc_core::{run_isdc, IsdcConfig, ScoringStrategy, ShapeStrategy};
+use isdc_synth::{OpDelayModel, SynthesisOracle};
+use isdc_techlib::TechLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = isdc_benchsuite::suite();
+    let bench = suite
+        .iter()
+        .find(|b| b.name == "ml_core_datapath2")
+        .expect("benchmark in suite");
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    println!(
+        "{} ({} nodes, {}ps clock), 4 subgraphs/iteration, 12 iterations\n",
+        bench.name,
+        bench.graph.len(),
+        bench.clock_period_ps
+    );
+    println!(
+        "{:<14} {:<8} {:>14} {:>8} {:>11}",
+        "scoring", "shape", "register bits", "stages", "iterations"
+    );
+    for scoring in [ScoringStrategy::DelayDriven, ScoringStrategy::FanoutDriven] {
+        for shape in [ShapeStrategy::Path, ShapeStrategy::Cone, ShapeStrategy::Window] {
+            let config = IsdcConfig {
+                clock_period_ps: bench.clock_period_ps,
+                subgraphs_per_iteration: 4,
+                max_iterations: 12,
+                scoring,
+                shape,
+                threads: 2,
+                convergence_patience: 3,
+            };
+            let result = run_isdc(&bench.graph, &model, &oracle, &config)?;
+            println!(
+                "{:<14} {:<8} {:>14} {:>8} {:>11}",
+                format!("{scoring:?}"),
+                format!("{shape:?}"),
+                result.schedule.register_bits(&bench.graph),
+                result.schedule.num_stages(),
+                result.iterations()
+            );
+        }
+    }
+    let no_feedback = run_isdc(
+        &bench.graph,
+        &model,
+        &oracle,
+        &IsdcConfig { max_iterations: 0, ..IsdcConfig::paper_defaults(bench.clock_period_ps) },
+    )?;
+    println!(
+        "\n(baseline without feedback: {} register bits)",
+        no_feedback.history[0].register_bits
+    );
+    Ok(())
+}

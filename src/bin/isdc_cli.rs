@@ -1,0 +1,206 @@
+//! `isdc-cli` — command-line driver for the ISDC scheduler.
+//!
+//! ```text
+//! isdc-cli show      <design.ir>                    graph statistics
+//! isdc-cli schedule  <design.ir> [options]          schedule (baseline or ISDC)
+//! isdc-cli aiger     <design.ir> [-o out.aag]       lower to gates, export AIGER
+//! isdc-cli bench     [--emit <name> [-o out.ir]]    list / export bundled benchmarks
+//!
+//! schedule options:
+//!   --clock <ps>          target clock period (default 2500)
+//!   --feedback            run the full ISDC loop (default: baseline SDC only)
+//!   --iterations <n>      max feedback iterations (default 15)
+//!   --subgraphs <m>       subgraphs per iteration (default 16)
+//!   --scoring dd|fd       delay- or fanout-driven extraction (default fd)
+//!   --shape path|cone|window   expansion strategy (default window)
+//!   --dot <file>          write the staged pipeline as Graphviz DOT
+//! ```
+
+use isdc::core::metrics::post_synthesis_slack;
+use isdc::core::{run_isdc, run_sdc, IsdcConfig, ScoringStrategy, ShapeStrategy};
+use isdc::ir::{dot, text, transform, Graph};
+use isdc::netlist::{aiger, lower_graph};
+use isdc::synth::{OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("show") => cmd_show(&args[1..]),
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("aiger") => cmd_aiger(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: isdc-cli <show|schedule|aiger|bench> [args]  (see --help in source header)";
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    text::parse(&src).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("show requires a .ir file")?;
+    let g = load_graph(path)?;
+    g.validate().map_err(|e| e.to_string())?;
+    println!("name:    {}", g.name());
+    println!("nodes:   {}", g.len());
+    println!("params:  {}", g.params().len());
+    println!("outputs: {}", g.outputs().len());
+    println!("bits:    {}", g.total_bits());
+    let mut histogram: Vec<(&str, usize)> = g.op_histogram().into_iter().collect();
+    histogram.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("ops:");
+    for (op, n) in histogram {
+        println!("  {op:<12} {n}");
+    }
+    let (optimized, stats) = transform::optimize(&g);
+    if stats.removed() > 0 {
+        println!(
+            "note: transform::optimize would remove {} nodes ({} -> {})",
+            stats.removed(),
+            stats.nodes_before,
+            optimized.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("schedule requires a .ir file")?;
+    let g = load_graph(path)?;
+    let clock: f64 = flag_value(args, "--clock")
+        .map(|v| v.parse().map_err(|_| format!("bad --clock `{v}`")))
+        .transpose()?
+        .unwrap_or(2500.0);
+    let feedback = args.iter().any(|a| a == "--feedback");
+    let iterations: usize = flag_value(args, "--iterations")
+        .map(|v| v.parse().map_err(|_| format!("bad --iterations `{v}`")))
+        .transpose()?
+        .unwrap_or(15);
+    let subgraphs: usize = flag_value(args, "--subgraphs")
+        .map(|v| v.parse().map_err(|_| format!("bad --subgraphs `{v}`")))
+        .transpose()?
+        .unwrap_or(16);
+    let scoring = match flag_value(args, "--scoring").unwrap_or("fd") {
+        "dd" => ScoringStrategy::DelayDriven,
+        "fd" => ScoringStrategy::FanoutDriven,
+        other => return Err(format!("bad --scoring `{other}` (dd|fd)")),
+    };
+    let shape = match flag_value(args, "--shape").unwrap_or("window") {
+        "path" => ShapeStrategy::Path,
+        "cone" => ShapeStrategy::Cone,
+        "window" => ShapeStrategy::Window,
+        other => return Err(format!("bad --shape `{other}` (path|cone|window)")),
+    };
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let (schedule, label) = if feedback {
+        let config = IsdcConfig {
+            clock_period_ps: clock,
+            subgraphs_per_iteration: subgraphs,
+            max_iterations: iterations,
+            scoring,
+            shape,
+            threads: 4,
+            convergence_patience: 2,
+        };
+        let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
+        println!("iterations: {}", result.iterations());
+        for rec in &result.history {
+            println!(
+                "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%",
+                rec.iteration, rec.register_bits, rec.num_stages, rec.estimation_error_pct
+            );
+        }
+        (result.schedule, "isdc")
+    } else {
+        let (schedule, _) = run_sdc(&g, &model, clock).map_err(|e| e.to_string())?;
+        (schedule, "sdc")
+    };
+
+    println!("scheduler:     {label}");
+    println!("clock:         {clock}ps");
+    println!("stages:        {}", schedule.num_stages());
+    println!("register bits: {}", schedule.register_bits(&g));
+    println!(
+        "slack:         {:.0}ps",
+        post_synthesis_slack(&g, &schedule, &oracle, clock)
+    );
+    if let Some(dot_path) = flag_value(args, "--dot") {
+        let rendered = dot::to_dot_with_stages(&g, schedule.cycles());
+        std::fs::write(dot_path, rendered).map_err(|e| format!("writing {dot_path}: {e}"))?;
+        println!("dot:           {dot_path}");
+    }
+    Ok(())
+}
+
+fn cmd_aiger(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("aiger requires a .ir file")?;
+    let g = load_graph(path)?;
+    let lowered = lower_graph(&g);
+    let aag = aiger::write_aag(&lowered.aig);
+    match flag_value(args, "-o") {
+        Some(out) => {
+            std::fs::write(out, aag).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} inputs, {} ANDs, depth {}",
+                lowered.aig.num_inputs(),
+                lowered.aig.num_ands(),
+                lowered.aig.depth()
+            );
+        }
+        None => print!("{aag}"),
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let suite = isdc::benchsuite::suite();
+    match flag_value(args, "--emit") {
+        Some(name) => {
+            let b = suite
+                .iter()
+                .find(|b| b.name == name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let rendered = text::print(&b.graph);
+            match flag_value(args, "-o") {
+                Some(out) => {
+                    std::fs::write(out, rendered).map_err(|e| format!("writing {out}: {e}"))?;
+                    println!("wrote {out}");
+                }
+                None => print!("{rendered}"),
+            }
+        }
+        None => {
+            println!("{:<28} {:>6} {:>8}", "benchmark", "nodes", "clock");
+            for b in &suite {
+                println!("{:<28} {:>6} {:>7.0}ps", b.name, b.graph.len(), b.clock_period_ps);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration tests: the full SDC -> feedback -> ISDC pipeline
+//! on real benchmark designs, checking the invariants the paper's evaluation
+//! relies on.
+
+use isdc::core::{run_isdc, run_sdc, IsdcConfig, ScoringStrategy, ShapeStrategy};
+use isdc::core::metrics::{post_synthesis_slack, stage_sta_delays};
+use isdc::synth::{NaiveSumOracle, OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+
+fn quick_config(clock_ps: f64) -> IsdcConfig {
+    IsdcConfig {
+        clock_period_ps: clock_ps,
+        subgraphs_per_iteration: 8,
+        max_iterations: 6,
+        scoring: ScoringStrategy::FanoutDriven,
+        shape: ShapeStrategy::Window,
+        threads: 2,
+        convergence_patience: 2,
+    }
+}
+
+/// The fast subset of the suite used for per-test runs.
+fn fast_suite() -> Vec<isdc::benchsuite::Benchmark> {
+    isdc::benchsuite::suite()
+        .into_iter()
+        .filter(|b| b.graph.len() < 200)
+        .collect()
+}
+
+#[test]
+fn baseline_schedules_are_valid_on_every_benchmark() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib);
+    for b in isdc::benchsuite::suite() {
+        let (schedule, delays) = run_sdc(&b.graph, &model, b.clock_period_ps)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            schedule.first_dependency_violation(&b.graph),
+            None,
+            "{}: dependency violated",
+            b.name
+        );
+        assert_eq!(schedule.len(), b.graph.len());
+        // Timing: every same-stage pair obeys the estimated delays.
+        for stage in 0..schedule.num_stages() {
+            let members = schedule.stage_members(stage);
+            for &u in &members {
+                for &v in &members {
+                    if let Some(d) = delays.get(u, v) {
+                        assert!(
+                            d <= b.clock_period_ps + 1e-6,
+                            "{}: stage {stage} pair ({u}, {v}) estimated {d}ps",
+                            b.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn isdc_improves_or_preserves_registers_on_fast_benchmarks() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for b in fast_suite() {
+        let result = run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let first = result.history[0].register_bits;
+        let last = result.final_record().register_bits;
+        assert!(last <= first, "{}: registers regressed {first} -> {last}", b.name);
+        assert_eq!(result.schedule.first_dependency_violation(&b.graph), None);
+        total += 1;
+        if last < first {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved * 2 >= total,
+        "feedback should improve at least half the fast suite ({improved}/{total})"
+    );
+}
+
+#[test]
+fn isdc_register_history_is_monotone() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    for b in fast_suite().into_iter().take(6) {
+        let result =
+            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].register_bits <= w[0].register_bits,
+                "{}: non-monotone register history",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn no_gain_oracle_is_a_no_op_across_the_suite() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = NaiveSumOracle::new(OpDelayModel::new(lib));
+    for b in fast_suite().into_iter().take(5) {
+        let result =
+            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let first = result.history[0].register_bits;
+        for rec in &result.history {
+            assert_eq!(rec.register_bits, first, "{}: naive oracle changed schedule", b.name);
+        }
+    }
+}
+
+#[test]
+fn stage_count_never_grows_under_feedback() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    for b in fast_suite() {
+        let result =
+            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        assert!(
+            result.final_record().num_stages <= result.history[0].num_stages,
+            "{}: stages grew",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn slack_stays_finite_and_stage_delays_positive() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    for b in fast_suite().into_iter().take(6) {
+        let result =
+            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let slack =
+            post_synthesis_slack(&b.graph, &result.schedule, &oracle, b.clock_period_ps);
+        assert!(slack.is_finite());
+        assert!(slack <= b.clock_period_ps);
+        let sta = stage_sta_delays(&b.graph, &result.schedule, &oracle);
+        assert_eq!(sta.len() as u32, result.schedule.num_stages());
+        assert!(sta.iter().all(|&d| d >= 0.0));
+    }
+}
+
+#[test]
+fn deterministic_across_runs_and_thread_counts() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let suite = isdc::benchsuite::suite();
+    let b = suite.iter().find(|b| b.name == "ml_core_datapath2").unwrap();
+    let mut config = quick_config(b.clock_period_ps);
+    config.threads = 1;
+    let r1 = run_isdc(&b.graph, &model, &oracle, &config).unwrap();
+    config.threads = 4;
+    let r2 = run_isdc(&b.graph, &model, &oracle, &config).unwrap();
+    assert_eq!(r1.schedule, r2.schedule, "thread count must not affect the result");
+    let bits1: Vec<u64> = r1.history.iter().map(|r| r.register_bits).collect();
+    let bits2: Vec<u64> = r2.history.iter().map(|r| r.register_bits).collect();
+    assert_eq!(bits1, bits2);
+}

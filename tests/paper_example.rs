@@ -1,0 +1,161 @@
+//! The paper's Fig. 2 worked example, reproduced literally.
+//!
+//! §III-A.1: the initial estimate of `D(ccp(v2, v8))` is
+//! `d(v2) + d(v4) + d(v8) = 12ns`, above the 10ns clock, so `v2` and `v8`
+//! land in different cycles. Downstream tools then report the subgraph
+//! `g = {v2, v4}` at 7ns; the recomputed `D(ccp(v2, v8)) = D(g) + d(v8) =
+//! 10ns` fits, `v8` merges into `v2`'s cycle, and register usage drops.
+
+use isdc::core::{run_isdc, schedule_with_matrix, DelayMatrix, IsdcConfig};
+use isdc::ir::{Graph, NodeId, OpKind};
+use isdc::synth::{DelayOracle, DelayReport};
+
+/// A scripted oracle returning fixed delays for specific member sets — the
+/// "downstream tools" of the worked example.
+struct ScriptedOracle {
+    /// `(sorted member set, reported delay)` pairs.
+    responses: Vec<(Vec<NodeId>, f64)>,
+    /// Delay reported for anything not scripted (the naive no-gain value,
+    /// high enough to never update anything).
+    default_ps: f64,
+}
+
+impl DelayOracle for ScriptedOracle {
+    fn evaluate(&self, _graph: &Graph, members: &[NodeId]) -> DelayReport {
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        let delay_ps = self
+            .responses
+            .iter()
+            .find(|(set, _)| *set == sorted)
+            .map(|&(_, d)| d)
+            .unwrap_or(self.default_ps);
+        DelayReport { delay_ps, aig_depth: 0, and_count: 0, output_arrivals: vec![] }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+/// Builds the Fig. 2 pipeline skeleton: v2 -> v4 -> v8 as a combinational
+/// chain (with side inputs so each op is binary).
+fn fig2_graph() -> (Graph, [NodeId; 3]) {
+    let mut g = Graph::new("fig2");
+    let a = g.param("a", 8);
+    let b = g.param("b", 8);
+    let c = g.param("c", 8);
+    let d = g.param("d", 8);
+    let v2 = g.binary(OpKind::Add, a, b).unwrap();
+    let v4 = g.binary(OpKind::Add, v2, c).unwrap();
+    let v8 = g.binary(OpKind::Add, v4, d).unwrap();
+    g.set_output(v8);
+    (g, [v2, v4, v8])
+}
+
+#[test]
+fn initial_estimate_splits_v8_from_v2() {
+    let (g, [v2, v4, v8]) = fig2_graph();
+    // d(v2) = 5ns, d(v4) = 4ns, d(v8) = 3ns: the 12ns total of the paper
+    // (in ps here). Clock = 10ns.
+    let delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
+    assert_eq!(delays.get(v2, v8), Some(12_000.0), "D(ccp(v2, v8)) = 12ns");
+    let schedule = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
+    assert!(
+        schedule.cycle(v8) > schedule.cycle(v2),
+        "12ns > 10ns forces v8 into a later cycle"
+    );
+    let _ = v4;
+}
+
+#[test]
+fn feedback_merges_v8_into_v2s_cycle() {
+    let (g, [v2, v4, v8]) = fig2_graph();
+    let mut delays =
+        DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
+    let before = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
+    assert_eq!(before.num_stages(), 2);
+
+    // Downstream tools report subgraph g = {v2, v4} at 7ns.
+    delays.apply_subgraph_feedback(&[v2, v4], 7000.0);
+    delays.reformulate(&g);
+    assert_eq!(
+        delays.get(v2, v8),
+        Some(10_000.0),
+        "recalculated D(ccp(v2, v8)) = D(g) + d(v8) = 10ns"
+    );
+
+    let after = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
+    assert_eq!(after.num_stages(), 1, "v8 merges into the same clock cycle");
+    assert!(
+        after.register_bits(&g) < before.register_bits(&g),
+        "register usage decreases, as in Fig. 2(b)"
+    );
+}
+
+#[test]
+fn full_isdc_loop_discovers_the_merge_by_itself() {
+    // Same scenario, but let the real driver find it through extraction: the
+    // scripted oracle answers 7ns for the cone {a, b, c, v2, v4} that
+    // extraction discovers in stage 0 (params are in-stage sources).
+    let (g, [v2, v4, v8]) = fig2_graph();
+    let a = g.params()[0];
+    let b = g.params()[1];
+    let c = g.params()[2];
+    let oracle = ScriptedOracle {
+        responses: vec![(vec![a, b, c, v2, v4], 7000.0)],
+        default_ps: 1e9,
+    };
+
+    // A delay model stand-in: naive delays match the worked example. The
+    // driver characterizes via `OpDelayModel`, so instead drive the loop
+    // manually through the public pieces it uses.
+    use isdc::core::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
+    let mut delays =
+        DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
+    let mut schedule = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
+    assert_eq!(schedule.num_stages(), 2);
+    for _iteration in 0..3 {
+        let subs = extract_subgraphs(
+            &g,
+            &schedule,
+            &delays,
+            &ExtractionConfig {
+                scoring: ScoringStrategy::FanoutDriven,
+                shape: ShapeStrategy::Cone,
+                max_subgraphs: 4,
+                clock_period_ps: 10_000.0,
+            },
+        );
+        if subs.is_empty() {
+            break;
+        }
+        for s in &subs {
+            let report = oracle.evaluate(&g, &s.nodes);
+            delays.apply_subgraph_feedback(&s.nodes, report.delay_ps);
+        }
+        delays.reformulate(&g);
+        schedule = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
+    }
+    assert_eq!(schedule.num_stages(), 1, "the loop finds the Fig. 2 merge");
+    let _ = v8;
+}
+
+#[test]
+fn driver_converges_with_scripted_oracle() {
+    // The full `run_isdc` driver with a scripted oracle that reports a big
+    // default: it must terminate early and change nothing.
+    use isdc::synth::OpDelayModel;
+    use isdc::techlib::TechLibrary;
+    let (g, _) = fig2_graph();
+    let oracle = ScriptedOracle { responses: vec![], default_ps: 1e9 };
+    let model = OpDelayModel::new(TechLibrary::sky130());
+    let mut config = IsdcConfig::paper_defaults(2500.0);
+    config.threads = 1;
+    let result = run_isdc(&g, &model, &oracle, &config).unwrap();
+    let first = result.history[0].register_bits;
+    for rec in &result.history {
+        assert_eq!(rec.register_bits, first);
+    }
+    assert!(result.iterations() <= 3, "no-gain feedback converges quickly");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over randomized graphs and constraint systems:
+//! the core invariants that must hold for *any* input, not just the suite.
+
+use isdc::benchsuite::{random_dag, RandomDagConfig};
+use isdc::core::{
+    extract_subgraphs, run_sdc, schedule_with_matrix, DelayMatrix, ExtractionConfig,
+    ScoringStrategy, ShapeStrategy,
+};
+use isdc::ir::NodeId;
+use isdc::sdc::{minimize, DifferenceSystem, VarId};
+use isdc::synth::{DelayOracle, OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+use proptest::prelude::*;
+
+fn dag_config() -> impl Strategy<Value = (RandomDagConfig, u64)> {
+    (2usize..30, 2usize..5, prop::bool::ANY, any::<u64>()).prop_map(
+        |(num_ops, num_params, with_muls, seed)| {
+            (
+                RandomDagConfig {
+                    num_ops,
+                    num_params,
+                    widths: vec![4, 8],
+                    with_muls,
+                },
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random DAG schedules without dependency violations, and every
+    /// same-stage pair respects the delay estimates (Eq. 2 is enforced).
+    #[test]
+    fn random_dags_schedule_validly((config, seed) in dag_config()) {
+        let g = random_dag(&config, seed);
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib);
+        let clock = 2500.0;
+        let (schedule, delays) = run_sdc(&g, &model, clock).expect("schedulable");
+        prop_assert_eq!(schedule.first_dependency_violation(&g), None);
+        for stage in 0..schedule.num_stages() {
+            let members = schedule.stage_members(stage);
+            for &u in &members {
+                for &v in &members {
+                    if let Some(d) = delays.get(u, v) {
+                        prop_assert!(d <= clock + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subgraph feedback never increases any delay-matrix entry, and
+    /// reformulation keeps the matrix self-consistent (self-delays intact
+    /// for unevaluated nodes, connectivity preserved).
+    #[test]
+    fn feedback_monotonically_relaxes((config, seed) in dag_config(), delay in 1.0f64..5000.0) {
+        let g = random_dag(&config, seed);
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib);
+        let mut m = DelayMatrix::initialize(&g, &model.all_node_delays(&g));
+        let before = m.clone();
+        // Feed back an arbitrary subgraph: the first half of the nodes.
+        let members: Vec<NodeId> = g.node_ids().take(g.len() / 2 + 1).collect();
+        m.apply_subgraph_feedback(&members, delay);
+        m.reformulate(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                let b = before.get(u, v);
+                let a = m.get(u, v);
+                prop_assert_eq!(a.is_some(), b.is_some(), "connectivity changed");
+                if let (Some(a), Some(b)) = (a, b) {
+                    prop_assert!(a <= b + 1e-9, "({}, {}) grew {} -> {}", u, v, b, a);
+                }
+            }
+        }
+    }
+
+    /// The LP solver's optimum is feasible and no better than any feasible
+    /// integer point found by hill-descent from it (local optimality probe).
+    #[test]
+    fn lp_optimum_is_feasible_and_locally_minimal(seed in any::<u64>()) {
+        let mut state = seed;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let n = 4 + (seed % 4) as usize;
+        let mut sys = DifferenceSystem::new(n);
+        for _ in 0..2 * n {
+            let u = rng().unsigned_abs() as usize % n;
+            let v = rng().unsigned_abs() as usize % n;
+            if u != v {
+                sys.add_constraint(VarId(u as u32), VarId(v as u32), rng() % 5);
+            }
+        }
+        let mut weights: Vec<i64> = (0..n).map(|_| rng() % 4).collect();
+        let s: i64 = weights.iter().sum();
+        weights[0] -= s;
+        if let Ok(sol) = minimize(&sys, &weights) {
+            prop_assert!(sys.first_violation(&sol.assignment).is_none());
+            // Single-variable perturbations cannot improve a convex LP optimum.
+            for i in 0..n {
+                for delta in [-1i64, 1] {
+                    let mut probe = sol.assignment.clone();
+                    probe[i] += delta;
+                    if sys.first_violation(&probe).is_none() {
+                        let obj: i64 =
+                            weights.iter().zip(&probe).map(|(&w, &x)| w * x).sum();
+                        prop_assert!(obj >= sol.objective,
+                            "perturbation found better objective {} < {}", obj, sol.objective);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extracted subgraphs are well-formed: nonempty, deduplicated, within
+    /// bounds, and every member is scheduled in the seed's stage.
+    #[test]
+    fn extraction_produces_well_formed_subgraphs((config, seed) in dag_config()) {
+        let g = random_dag(&config, seed);
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib);
+        let (schedule, delays) = run_sdc(&g, &model, 2500.0).expect("schedulable");
+        for scoring in [ScoringStrategy::DelayDriven, ScoringStrategy::FanoutDriven] {
+            for shape in [ShapeStrategy::Path, ShapeStrategy::Cone, ShapeStrategy::Window] {
+                let cfg = ExtractionConfig {
+                    scoring,
+                    shape,
+                    max_subgraphs: 6,
+                    clock_period_ps: 2500.0,
+                };
+                let subs = extract_subgraphs(&g, &schedule, &delays, &cfg);
+                prop_assert!(subs.len() <= 6);
+                for s in &subs {
+                    prop_assert!(!s.nodes.is_empty());
+                    let stage = schedule.cycle(s.seed.1);
+                    for &n in &s.nodes {
+                        prop_assert_eq!(schedule.cycle(n), stage,
+                            "subgraph crosses stage boundary");
+                    }
+                    // Sorted and deduplicated.
+                    for w in s.nodes.windows(2) {
+                        prop_assert!(w[0] < w[1]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One feedback round with the real oracle never worsens the schedule
+    /// objective on random DAGs.
+    #[test]
+    fn one_feedback_round_never_hurts((config, seed) in dag_config()) {
+        let g = random_dag(&config, seed);
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let clock = 2500.0;
+        let (schedule, mut delays) = run_sdc(&g, &model, clock).expect("schedulable");
+        let cfg = ExtractionConfig {
+            scoring: ScoringStrategy::FanoutDriven,
+            shape: ShapeStrategy::Window,
+            max_subgraphs: 8,
+            clock_period_ps: clock,
+        };
+        for s in extract_subgraphs(&g, &schedule, &delays, &cfg) {
+            let report = oracle.evaluate(&g, &s.nodes);
+            delays.apply_subgraph_feedback(&s.nodes, report.delay_ps);
+        }
+        delays.reformulate(&g);
+        let refined = schedule_with_matrix(&g, &delays, clock).expect("reschedulable");
+        prop_assert!(refined.register_bits(&g) <= schedule.register_bits(&g));
+        prop_assert_eq!(refined.first_dependency_violation(&g), None);
+    }
+}
