@@ -2,9 +2,7 @@
 //! enumeration, scoring and expansion across the strategy matrix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isdc_core::{
-    extract_subgraphs, run_sdc, ExtractionConfig, ScoringStrategy, ShapeStrategy,
-};
+use isdc_core::{extract_subgraphs, run_sdc, ExtractionConfig, ScoringStrategy, ShapeStrategy};
 use isdc_synth::OpDelayModel;
 use isdc_techlib::TechLibrary;
 
@@ -15,8 +13,7 @@ fn bench_extraction_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("extraction");
     for name in ["ml_core_datapath2", "crc32", "sha256"] {
         let b = suite.iter().find(|b| b.name == name).expect("benchmark");
-        let (schedule, delays) =
-            run_sdc(&b.graph, &model, b.clock_period_ps).expect("schedules");
+        let (schedule, delays) = run_sdc(&b.graph, &model, b.clock_period_ps).expect("schedules");
         for (label, scoring, shape) in [
             ("dd_path", ScoringStrategy::DelayDriven, ShapeStrategy::Path),
             ("fd_path", ScoringStrategy::FanoutDriven, ShapeStrategy::Path),
@@ -29,13 +26,9 @@ fn bench_extraction_strategies(c: &mut Criterion) {
                 max_subgraphs: 16,
                 clock_period_ps: b.clock_period_ps,
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &config,
-                |bencher, config| {
-                    bencher.iter(|| extract_subgraphs(&b.graph, &schedule, &delays, config));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &config, |bencher, config| {
+                bencher.iter(|| extract_subgraphs(&b.graph, &schedule, &delays, config));
+            });
         }
     }
     group.finish();

@@ -70,14 +70,7 @@ fn bench_parallel_oracle(c: &mut Criterion) {
     let bench = suite.iter().find(|b| b.name == "ml_core_datapath2").expect("present");
     // 16 singleton-ish subgraphs: consecutive node windows.
     let subgraphs: Vec<Vec<isdc_ir::NodeId>> = (0..16)
-        .map(|k| {
-            bench
-                .graph
-                .node_ids()
-                .skip(k * 3)
-                .take(6)
-                .collect()
-        })
+        .map(|k| bench.graph.node_ids().skip(k * 3).take(6).collect())
         .filter(|s: &Vec<_>| !s.is_empty())
         .collect();
     let mut group = c.benchmark_group("oracle_16_subgraphs");

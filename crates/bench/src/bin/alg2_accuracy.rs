@@ -8,9 +8,7 @@
 //!
 //! Usage: `cargo run -p isdc-bench --bin alg2_accuracy --release`
 
-use isdc_core::{
-    extract_subgraphs, run_sdc, ExtractionConfig, ScoringStrategy, ShapeStrategy,
-};
+use isdc_core::{extract_subgraphs, run_sdc, ExtractionConfig, ScoringStrategy, ShapeStrategy};
 use isdc_synth::{DelayOracle, OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 use std::time::Instant;

@@ -14,10 +14,7 @@ use isdc_synth::{DelayOracle, OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 
 fn main() {
-    let num_points: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let num_points: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());

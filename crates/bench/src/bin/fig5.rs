@@ -12,21 +12,18 @@ use isdc_synth::{OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let iterations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
 
     let suite = isdc_benchsuite::suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == "ml_core_datapath2")
-        .expect("ablation design present");
+    let bench =
+        suite.iter().find(|b| b.name == "ml_core_datapath2").expect("ablation design present");
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
 
-    println!("Fig. 5: delay-driven (dd) vs fanout-driven (fd), path-based, {iterations} iterations");
+    println!(
+        "Fig. 5: delay-driven (dd) vs fanout-driven (fd), path-based, {iterations} iterations"
+    );
     for m in [4usize, 8, 16] {
         println!("\n-- {m} subgraphs per iteration --");
         let mut series = Vec::new();
@@ -41,6 +38,7 @@ fn main() {
                 shape: ShapeStrategy::Path,
                 threads: 4,
                 convergence_patience: usize::MAX, // run every iteration for the figure
+                ..IsdcConfig::paper_defaults(bench.clock_period_ps)
             };
             series.push((label, ablation_series(&bench.graph, &model, &oracle, &config)));
         }

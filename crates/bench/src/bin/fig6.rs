@@ -12,16 +12,11 @@ use isdc_synth::{OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let iterations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
 
     let suite = isdc_benchsuite::suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == "ml_core_datapath2")
-        .expect("ablation design present");
+    let bench =
+        suite.iter().find(|b| b.name == "ml_core_datapath2").expect("ablation design present");
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
@@ -43,15 +38,13 @@ fn main() {
                 shape,
                 threads: 4,
                 convergence_patience: usize::MAX,
+                ..IsdcConfig::paper_defaults(bench.clock_period_ps)
             };
             series.push((label, ablation_series(&bench.graph, &model, &oracle, &config)));
         }
         println!("{:>5} {:>8} {:>8} {:>8}", "iter", "path", "cone", "window");
         for i in 0..=iterations {
-            println!(
-                "{:>5} {:>8} {:>8} {:>8}",
-                i, series[0].1[i], series[1].1[i], series[2].1[i]
-            );
+            println!("{:>5} {:>8} {:>8} {:>8}", i, series[0].1[i], series[1].1[i], series[2].1[i]);
         }
         let finals: Vec<u64> = series.iter().map(|(_, s)| *s.last().expect("series")).collect();
         println!(

@@ -14,10 +14,7 @@ use isdc_synth::{OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15);
+    let iterations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());

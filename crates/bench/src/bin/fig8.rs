@@ -13,10 +13,7 @@ use isdc_synth::{DelayOracle, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 
 fn main() {
-    let num_points: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let num_points: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
 
     let oracle = SynthesisOracle::new(TechLibrary::sky130());
     let mut depths: Vec<f64> = Vec::new();

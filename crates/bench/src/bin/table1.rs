@@ -10,15 +10,22 @@ use isdc_bench::{geomean, run_table_row, TableRow};
 use isdc_core::IsdcConfig;
 
 fn main() {
-    let max_iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(15);
+    let max_iterations: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
 
     println!("Table I: SDC vs ISDC on 17 benchmarks (fanout-driven, window, m=16, <= {max_iterations} iterations)");
     println!(
         "{:<28} {:>6} | {:>9} {:>6} {:>8} {:>9} | {:>9} {:>6} {:>8} {:>9} {:>5}",
-        "benchmark", "clk", "slack", "stages", "regs", "time(s)", "slack", "stages", "regs", "time(s)", "iter"
+        "benchmark",
+        "clk",
+        "slack",
+        "stages",
+        "regs",
+        "time(s)",
+        "slack",
+        "stages",
+        "regs",
+        "time(s)",
+        "iter"
     );
     println!(
         "{:<28} {:>6} | {:>35} | {:>41}",
@@ -61,12 +68,25 @@ fn main() {
     let isdc_time = gm(&|r| r.isdc_time_s * 1e3);
     println!(
         "{:<28} {:>6} | {:>9.2} {:>6.2} {:>8.1} {:>9.3} | {:>9.2} {:>6.2} {:>8.1} {:>9.3}",
-        "Geo. Mean", "", sdc_slack, sdc_stages, sdc_regs, sdc_time / 1e3,
-        isdc_slack, isdc_stages, isdc_regs, isdc_time / 1e3,
+        "Geo. Mean",
+        "",
+        sdc_slack,
+        sdc_stages,
+        sdc_regs,
+        sdc_time / 1e3,
+        isdc_slack,
+        isdc_stages,
+        isdc_regs,
+        isdc_time / 1e3,
     );
     println!(
         "{:<28} {:>6} | {:>9} {:>6} {:>8} {:>9} | {:>8.1}% {:>5.1}% {:>7.1}% {:>8.1}%",
-        "Ratio", "", "100.0%", "100.0%", "100.0%", "100.0%",
+        "Ratio",
+        "",
+        "100.0%",
+        "100.0%",
+        "100.0%",
+        "100.0%",
         100.0 * isdc_slack / sdc_slack,
         100.0 * isdc_stages / sdc_stages,
         100.0 * isdc_regs / sdc_regs,

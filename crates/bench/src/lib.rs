@@ -17,8 +17,8 @@
 
 #![warn(missing_docs)]
 
-use isdc_core::{run_isdc, run_sdc, IsdcConfig, IsdcResult, ScheduleError};
 use isdc_core::metrics::post_synthesis_slack;
+use isdc_core::{run_isdc, run_sdc, IsdcConfig, IsdcResult, ScheduleError};
 use isdc_synth::{DelayOracle, OpDelayModel, SynthesisOracle};
 use isdc_techlib::TechLibrary;
 use std::time::Instant;

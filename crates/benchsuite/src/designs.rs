@@ -241,8 +241,7 @@ pub fn ml_core_datapath2() -> Graph {
         if i % 3 == 2 {
             // Periodically fold the stats back into the accumulator so the
             // branches interleave with the critical MAC chain.
-            let max16 =
-                g.unary(OpKind::ZeroExt { new_width: 16 }, running_max).expect("ext");
+            let max16 = g.unary(OpKind::ZeroExt { new_width: 16 }, running_max).expect("ext");
             let folded = shr_const(&mut g, max16, 2);
             acc = g.binary(OpKind::Add, acc, folded).expect("add");
         }
@@ -488,8 +487,7 @@ pub fn internal_datapath() -> Graph {
         let added = g.binary(OpKind::Add, acc, k).expect("add");
         let rotated = ror(&mut g, added, 3);
         let mixed = g.binary(OpKind::Xor, rotated, k2).expect("xor");
-        let bit =
-            g.unary(OpKind::BitSlice { start: round % 16, width: 1 }, sel_bits).expect("bit");
+        let bit = g.unary(OpKind::BitSlice { start: round % 16, width: 1 }, sel_bits).expect("bit");
         acc = g.select(bit, mixed, added).expect("sel");
     }
     g.set_name(acc, "digest");
@@ -508,8 +506,7 @@ pub fn sha256() -> Graph {
     const ROUND_CONSTANTS: [u64; 8] =
         [0x428a, 0x7137, 0xb5c0, 0xe9b5, 0x3956, 0x59f1, 0x923f, 0xab1c];
     let mut g = Graph::new("sha256");
-    let mut state: Vec<NodeId> =
-        (0..8).map(|i| g.param(format!("h{i}"), 12)).collect();
+    let mut state: Vec<NodeId> = (0..8).map(|i| g.param(format!("h{i}"), 12)).collect();
     let mut w: Vec<NodeId> = (0..8).map(|i| g.param(format!("w{i}"), 12)).collect();
     for round in 0..8usize {
         // Message schedule extension (16-bit variant of sigma0/sigma1).
@@ -723,7 +720,7 @@ mod tests {
         let out = eval_u64(&g, &[("a0", 3), ("b0", 5), ("a1", 2), ("b1", 4)]);
         assert_eq!(out[0], 23);
         // Force a negative (MSB set) sum: 0x8000 has the sign bit.
-        let out = eval_u64(&g, &[("a0", 0x8000 >> 1, ), ("b0", 2), ("a1", 0), ("b1", 0)]);
+        let out = eval_u64(&g, &[("a0", 0x8000 >> 1), ("b0", 2), ("a1", 0), ("b1", 0)]);
         assert_eq!(out[0], 0, "relu clamps MSB-set sums to zero");
     }
 
@@ -731,8 +728,14 @@ mod tests {
     fn maxpool_opcode_takes_maximum() {
         let g = ml_core_datapath0_opcode4();
         let mut inputs: Vec<(&str, u64)> = vec![
-            ("x0", 5), ("x1", 99), ("x2", 3), ("x3", 0),
-            ("x4", 98), ("x5", 1), ("x6", 50), ("x7", 2),
+            ("x0", 5),
+            ("x1", 99),
+            ("x2", 3),
+            ("x3", 0),
+            ("x4", 98),
+            ("x5", 1),
+            ("x6", 50),
+            ("x7", 2),
         ];
         inputs.push(("bias", 100));
         let out = eval_u64(&g, &inputs);
@@ -767,10 +770,7 @@ mod tests {
                 inputs.push((format!("h{i}"), seed + i));
                 inputs.push((format!("w{i}"), seed * 3 + i));
             }
-            let named: Vec<(&str, u64)> = inputs
-                .iter()
-                .map(|(n, v)| (n.as_str(), *v))
-                .collect();
+            let named: Vec<(&str, u64)> = inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
             eval_u64(&g, &named)
         };
         assert_ne!(mk(1), mk(2));

@@ -72,10 +72,7 @@ pub fn random_dag(config: &RandomDagConfig, seed: u64) -> Graph {
         pool.push(node);
     }
     // Outputs: every value with no users.
-    let sinks: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&id| g.users(id).is_empty())
-        .collect();
+    let sinks: Vec<NodeId> = g.node_ids().filter(|&id| g.users(id).is_empty()).collect();
     for s in sinks {
         g.set_output(s);
     }

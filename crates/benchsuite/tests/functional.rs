@@ -19,11 +19,7 @@ fn eval(g: &Graph, inputs: &[(&str, u64)]) -> Vec<u64> {
             (name.to_string(), BitVecValue::from_u64(v, g.node(id).width))
         })
         .collect();
-    interp::evaluate_outputs(g, &map)
-        .expect("evaluates")
-        .iter()
-        .map(|v| v.to_u64())
-        .collect()
+    interp::evaluate_outputs(g, &map).expect("evaluates").iter().map(|v| v.to_u64()).collect()
 }
 
 #[test]
@@ -67,11 +63,8 @@ fn ml_core_datapath2_accumulates_products() {
     // All-zero weights: products vanish, max stays max_in, checksum stays
     // csum_in; output = clamp((acc_in + max folds) ^ csum ... simplest
     // all-zero case: everything zero.
-    let mut inputs: Vec<(String, u64)> = vec![
-        ("acc_in".into(), 0),
-        ("csum_in".into(), 0),
-        ("max_in".into(), 0),
-    ];
+    let mut inputs: Vec<(String, u64)> =
+        vec![("acc_in".into(), 0), ("csum_in".into(), 0), ("max_in".into(), 0)];
     for i in 0..8 {
         inputs.push((format!("a{i}"), 0));
         inputs.push((format!("w{i}"), 0));

@@ -1,0 +1,456 @@
+//! On-disk snapshots of a [`DelayCache`] as JSON.
+//!
+//! The format is a single object:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "oracle": "synthesis",
+//!   "entries": [
+//!     {"key": "<32 hex digits>", "delay_ps": 812.5, "aig_depth": 14,
+//!      "and_count": 220, "arrivals": [[0, 812.5], [2, 640.0]]}
+//!   ]
+//! }
+//! ```
+//!
+//! The `oracle` tag records which [`DelayOracle`](isdc_synth::DelayOracle)
+//! (by `name()`) produced the entries; loading rejects a mismatch, so a
+//! snapshot cached from one downstream flow is never silently replayed
+//! against another. Oracles that time differently (custom script, different
+//! library) must therefore report distinct names.
+//!
+//! Floats are written in Rust's shortest-roundtrip form, so a
+//! save/load cycle reproduces bit-identical `f64`s. The codec is hand-rolled
+//! because the build environment cannot fetch `serde_json`; it accepts any
+//! whitespace and ignores unknown object keys, so the format can grow.
+
+use crate::fingerprint::Fingerprint;
+use crate::store::{CachedDelay, DelayCache};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+impl DelayCache {
+    /// Serializes every entry to the snapshot JSON format, stamped with the
+    /// producing oracle's name (escaped as needed).
+    pub fn to_json(&self, oracle: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\"version\":");
+        let _ = write!(out, "{SNAPSHOT_VERSION}");
+        let _ = write!(out, ",\"oracle\":\"{}\"", escape_json(oracle));
+        out.push_str(",\"entries\":[");
+        for (i, (fp, entry)) in self.entries().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"key\":\"{fp}\",\"delay_ps\":{:?},\"aig_depth\":{},\"and_count\":{},\"arrivals\":[",
+                entry.delay_ps, entry.aig_depth, entry.and_count
+            );
+            for (j, (idx, ps)) in entry.arrivals.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},{ps:?}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Merges entries from snapshot JSON into this cache (silently, without
+    /// touching the hit/miss/insert counters). Returns the number of entries
+    /// merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct, and rejects
+    /// snapshots whose `oracle` tag is missing or differs from `oracle` —
+    /// delays measured by one downstream flow must not be replayed against
+    /// another.
+    pub fn merge_json(&self, json: &str, oracle: &str) -> Result<usize, String> {
+        let mut p = Parser { bytes: json.as_bytes(), at: 0 };
+        // Parse fully before touching the cache, so a rejected snapshot
+        // (bad tag, malformed tail) merges nothing.
+        let mut parsed: Vec<(Fingerprint, CachedDelay)> = Vec::new();
+        let mut tagged: Option<String> = None;
+        p.expect(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "version" => {
+                    let v = p.number()? as u64;
+                    if v != SNAPSHOT_VERSION {
+                        return Err(format!("unsupported snapshot version {v}"));
+                    }
+                }
+                "oracle" => {
+                    let tag = p.string()?;
+                    if tag != oracle {
+                        return Err(format!(
+                            "snapshot was produced by oracle `{tag}`, not `{oracle}`"
+                        ));
+                    }
+                    tagged = Some(tag);
+                }
+                "entries" => {
+                    p.expect(b'[')?;
+                    if !p.peek_close(b']') {
+                        loop {
+                            parsed.push(parse_entry(&mut p)?);
+                            if !p.comma_or_close(b']')? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => p.skip_value()?,
+            }
+            if !p.comma_or_close(b'}')? {
+                break;
+            }
+        }
+        if tagged.is_none() {
+            return Err("snapshot has no oracle tag".to_string());
+        }
+        let merged = parsed.len();
+        for (fp, entry) in parsed {
+            self.insert_silent(fp, entry);
+        }
+        Ok(merged)
+    }
+
+    /// Best-effort convenience: [`DelayCache::merge_json`] from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or parse failure, including an oracle-tag mismatch.
+    pub fn load(&self, path: &Path, oracle: &str) -> Result<usize, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        self.merge_json(&json, oracle)
+    }
+
+    /// Writes the snapshot JSON to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O failure.
+    pub fn save(&self, path: &Path, oracle: &str) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, self.to_json(oracle))
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+/// Escapes the two JSON-significant characters the codec's strings may carry.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn parse_entry(p: &mut Parser<'_>) -> Result<(Fingerprint, CachedDelay), String> {
+    let mut fp: Option<Fingerprint> = None;
+    let mut entry = CachedDelay { delay_ps: 0.0, aig_depth: 0, and_count: 0, arrivals: Vec::new() };
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "key" => {
+                let s = p.string()?;
+                fp = Some(Fingerprint::parse(&s).ok_or_else(|| format!("bad fingerprint `{s}`"))?);
+            }
+            "delay_ps" => entry.delay_ps = p.number()?,
+            "aig_depth" => entry.aig_depth = p.number()? as u32,
+            "and_count" => entry.and_count = p.number()? as usize,
+            "arrivals" => {
+                p.expect(b'[')?;
+                if !p.peek_close(b']') {
+                    loop {
+                        p.expect(b'[')?;
+                        let idx = p.number()? as u32;
+                        p.expect(b',')?;
+                        let ps = p.number()?;
+                        p.expect(b']')?;
+                        entry.arrivals.push((idx, ps));
+                        if !p.comma_or_close(b']')? {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        if !p.comma_or_close(b'}')? {
+            break;
+        }
+    }
+    let fp = fp.ok_or("entry without key")?;
+    Ok((fp, entry))
+}
+
+/// A minimal JSON reader for the snapshot subset (objects, arrays, strings
+/// without escapes, finite numbers).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.at))
+        }
+    }
+
+    /// True (and consumes) if the next non-space byte is `close`.
+    fn peek_close(&mut self, close: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&close) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// After a value: `,` continues (true), `close` ends (false).
+    fn comma_or_close(&mut self, close: u8) -> Result<bool, String> {
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            Some(b',') => {
+                self.at += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close => {
+                self.at += 1;
+                Ok(false)
+            }
+            _ => Err(format!("expected `,` or `{}` at byte {}", close as char, self.at)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        while let Some(&b) = self.bytes.get(self.at) {
+            self.at += 1;
+            match b {
+                b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.at).ok_or("unterminated escape sequence")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape `\\{}` at byte {}",
+                                other as char, self.at
+                            ));
+                        }
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    /// Skips any value (used for unknown keys).
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'{') => self.skip_nested(b'{', b'}'),
+            Some(b'[') => self.skip_nested(b'[', b']'),
+            Some(_) => self.number().map(|_| ()),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn skip_nested(&mut self, open: u8, close: u8) -> Result<(), String> {
+        let mut depth = 0usize;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b'"' {
+                // Brackets inside string values must not affect nesting.
+                self.string()?;
+                continue;
+            }
+            self.at += 1;
+            if b == open {
+                depth += 1;
+            } else if b == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(());
+                }
+            }
+        }
+        Err("unterminated nesting".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DelayCache {
+        let cache = DelayCache::new();
+        cache.insert(
+            Fingerprint(0xdeadbeef),
+            CachedDelay {
+                delay_ps: 812.625,
+                aig_depth: 14,
+                and_count: 220,
+                arrivals: vec![(0, 812.625), (2, 1.0 / 3.0)],
+            },
+        );
+        cache.insert(
+            Fingerprint(7),
+            CachedDelay { delay_ps: 0.25, aig_depth: 1, and_count: 2, arrivals: vec![] },
+        );
+        cache
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_identical() {
+        let cache = sample();
+        let restored = DelayCache::new();
+        let merged = restored.merge_json(&cache.to_json("synthesis"), "synthesis").unwrap();
+        assert_eq!(merged, 2);
+        assert_eq!(restored.entries(), cache.entries());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cache = sample();
+        let path = std::env::temp_dir()
+            .join(format!("isdc-cache-persist-test-{}.json", std::process::id()));
+        cache.save(&path, "synthesis").unwrap();
+        let restored = DelayCache::new();
+        assert_eq!(restored.load(&path, "synthesis").unwrap(), 2);
+        assert_eq!(restored.entries(), cache.entries());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn whitespace_and_unknown_keys_tolerated() {
+        let json = r#" {
+            "version" : 1 ,
+            "oracle" : "synthesis" ,
+            "comment" : "made by a future version, with sneaky } and ] brackets" ,
+            "entries" : [ {
+                "key" : "000000000000000000000000000000ff" ,
+                "future_field" : [ 1 , { "x" : 2 , "note" : "a}b]c" } ] ,
+                "delay_ps" : 10.5 ,
+                "aig_depth" : 2 ,
+                "and_count" : 3 ,
+                "arrivals" : [ [ 1 , 10.5 ] ]
+            } ]
+        } "#;
+        let cache = DelayCache::new();
+        assert_eq!(cache.merge_json(json, "synthesis").unwrap(), 1);
+        let got = cache.get(Fingerprint(0xff)).unwrap();
+        assert_eq!(got.delay_ps, 10.5);
+        assert_eq!(got.arrivals, vec![(1, 10.5)]);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let cache = DelayCache::new();
+        let err = cache
+            .merge_json(r#"{"version":99,"oracle":"synthesis","entries":[]}"#, "synthesis")
+            .unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oracle_mismatch_rejected() {
+        let cache = sample();
+        let json = cache.to_json("synthesis");
+        let restored = DelayCache::new();
+        let err = restored.merge_json(&json, "aig-depth").unwrap_err();
+        assert!(err.contains("synthesis") && err.contains("aig-depth"), "{err}");
+        assert!(restored.is_empty(), "a rejected snapshot must merge nothing");
+    }
+
+    #[test]
+    fn awkward_oracle_names_roundtrip() {
+        // Nothing forbids quotes or backslashes in a custom oracle's name;
+        // persistence must escape rather than panic or corrupt.
+        let name = r#"my "fast\slow" oracle"#;
+        let cache = sample();
+        let restored = DelayCache::new();
+        assert_eq!(restored.merge_json(&cache.to_json(name), name).unwrap(), 2);
+        assert_eq!(restored.entries(), cache.entries());
+        assert!(restored.merge_json(&cache.to_json(name), "other").is_err());
+    }
+
+    #[test]
+    fn untagged_snapshot_rejected() {
+        let cache = DelayCache::new();
+        let err = cache.merge_json(r#"{"version":1,"entries":[]}"#, "synthesis").unwrap_err();
+        assert!(err.contains("no oracle tag"), "{err}");
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let cache = DelayCache::new();
+        assert!(cache.merge_json("not json", "synthesis").is_err());
+        let missing_key = r#"{"version":1,"oracle":"synthesis","entries":[{"delay_ps":1}]}"#;
+        assert!(cache.merge_json(missing_key, "synthesis").is_err());
+    }
+
+    #[test]
+    fn empty_cache_roundtrip() {
+        let cache = DelayCache::new();
+        let restored = DelayCache::new();
+        assert_eq!(restored.merge_json(&cache.to_json("synthesis"), "synthesis").unwrap(), 0);
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn load_does_not_touch_counters() {
+        let cache = sample();
+        let restored = DelayCache::new();
+        restored.merge_json(&cache.to_json("synthesis"), "synthesis").unwrap();
+        let stats = restored.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (0, 0, 0));
+    }
+}

@@ -1,0 +1,241 @@
+//! The sharded, thread-safe delay cache.
+
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// One memoized downstream evaluation, stored against canonical indices so
+/// it can be replayed onto any structurally identical subgraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedDelay {
+    /// Post-synthesis critical path in picoseconds.
+    pub delay_ps: f64,
+    /// AIG depth after optimization.
+    pub aig_depth: u32,
+    /// AND-node count after optimization.
+    pub and_count: usize,
+    /// Per-output arrivals as `(canonical member index, picoseconds)`,
+    /// ascending by index.
+    pub arrivals: Vec<(u32, f64)>,
+}
+
+/// Lookup/insert counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (excluding snapshot loads).
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, or 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe map from structural fingerprints to delay reports.
+///
+/// Shard count is fixed at construction; a fingerprint's shard is chosen
+/// from its low bits, so concurrent lookups from
+/// [`evaluate_parallel`](isdc_synth::evaluate_parallel) workers rarely
+/// contend on the same lock, and the read-mostly warm path takes only read
+/// locks.
+#[derive(Debug)]
+pub struct DelayCache {
+    shards: Box<[RwLock<HashMap<u128, CachedDelay>>]>,
+    mask: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for DelayCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DelayCache {
+    /// A cache with the default shard count (16).
+    pub fn new() -> Self {
+        Self::with_shards(16)
+    }
+
+    /// A cache with `shards` shards, rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let count = shards.next_power_of_two();
+        Self {
+            shards: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: count - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &RwLock<HashMap<u128, CachedDelay>> {
+        &self.shards[(fp.0 as usize) & self.mask]
+    }
+
+    /// Looks up a fingerprint, counting a hit or miss.
+    pub fn get(&self, fp: Fingerprint) -> Option<CachedDelay> {
+        let found = self.shard(fp).read().expect("shard lock poisoned").get(&fp.0).cloned();
+        match found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, counting an insert.
+    pub fn insert(&self, fp: Fingerprint, entry: CachedDelay) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(fp).write().expect("shard lock poisoned").insert(fp.0, entry);
+    }
+
+    /// Inserts without touching the counters (snapshot loading).
+    pub(crate) fn insert_silent(&self, fp: Fingerprint, entry: CachedDelay) {
+        self.shard(fp).write().expect("shard lock poisoned").insert(fp.0, entry);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("shard lock poisoned").len()).sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all entries, keeping the counters.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().expect("shard lock poisoned").clear();
+        }
+    }
+
+    /// All entries, ascending by fingerprint (a stable order for snapshots
+    /// and tests).
+    pub fn entries(&self) -> Vec<(Fingerprint, CachedDelay)> {
+        let mut out: Vec<(Fingerprint, CachedDelay)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .map(|(&k, v)| (Fingerprint(k), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|&(fp, _)| fp);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(x: u128) -> Fingerprint {
+        Fingerprint(x)
+    }
+
+    fn entry(d: f64) -> CachedDelay {
+        CachedDelay { delay_ps: d, aig_depth: 3, and_count: 7, arrivals: vec![(0, d)] }
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = DelayCache::new();
+        assert_eq!(cache.get(fp(1)), None);
+        cache.insert(fp(1), entry(10.0));
+        assert_eq!(cache.get(fp(1)), Some(entry(10.0)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        let cache = DelayCache::with_shards(5);
+        for i in 0..100u128 {
+            cache.insert(fp(i), entry(i as f64));
+        }
+        assert_eq!(cache.len(), 100);
+        for i in 0..100u128 {
+            assert_eq!(cache.get(fp(i)).unwrap().delay_ps, i as f64);
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let cache = std::sync::Arc::new(DelayCache::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u128 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u128 {
+                        let key = fp((i % 50) * 8 + t);
+                        if cache.get(key).is_none() {
+                            cache.insert(key, entry((key.0 % 1000) as f64));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 400);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 1600);
+    }
+
+    #[test]
+    fn clear_empties_without_resetting_stats() {
+        let cache = DelayCache::new();
+        cache.insert(fp(9), entry(1.0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let cache = DelayCache::new();
+        for k in [5u128, 1, 9, 3] {
+            cache.insert(fp(k), entry(k as f64));
+        }
+        let keys: Vec<u128> = cache.entries().iter().map(|&(f, _)| f.0).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+}

@@ -53,13 +53,13 @@ impl DelayMatrix {
         // best[v] = max over operands p of best[p] + d(v), seeded at u.
         for u in 0..n {
             m.data[u * n + u] = node_delays[u];
-            for v in u + 1..n {
+            for (v, &d_v) in node_delays.iter().enumerate().skip(u + 1) {
                 let node = graph.node(NodeId(v as u32));
                 let mut best = NOT_CONNECTED;
                 for &p in &node.operands {
                     let via = m.data[u * n + p.index()];
                     if via != NOT_CONNECTED {
-                        best = best.max(via + node_delays[v]);
+                        best = best.max(via + d_v);
                     }
                 }
                 m.data[u * n + v] = best;
@@ -165,10 +165,10 @@ impl DelayMatrix {
             let node = graph.node(v);
             for &p in &node.operands {
                 let pi = p.index();
-                for u in 0..n {
+                for (u, best) in dv.iter_mut().enumerate() {
                     let via = self.at(u, pi);
-                    if via != NOT_CONNECTED && dv[u] < via + d_vv {
-                        dv[u] = via + d_vv;
+                    if via != NOT_CONNECTED && *best < via + d_vv {
+                        *best = via + d_vv;
                     }
                 }
             }
@@ -191,10 +191,10 @@ impl DelayMatrix {
             du.fill(NOT_CONNECTED);
             for &c in graph.users(u) {
                 let ci = c.index();
-                for w in 0..n {
+                for (w, best) in du.iter_mut().enumerate() {
                     let via = self.at(ci, w);
-                    if via != NOT_CONNECTED && du[w] < via + d_uu {
-                        du[w] = via + d_uu;
+                    if via != NOT_CONNECTED && *best < via + d_uu {
+                        *best = via + d_uu;
                     }
                 }
             }
@@ -431,11 +431,7 @@ mod tests {
         let mut detailed = uniform.clone();
         let members = [a, b, f, s];
         uniform.apply_subgraph_feedback(&members, 20.0);
-        detailed.apply_subgraph_feedback_per_output(
-            &members,
-            &[(f, 5.0), (s, 20.0)],
-            20.0,
-        );
+        detailed.apply_subgraph_feedback_per_output(&members, &[(f, 5.0), (s, 20.0)], 20.0);
         assert_eq!(uniform.get(a, f), Some(20.0));
         assert_eq!(detailed.get(a, f), Some(5.0), "f's own arrival wins");
         assert_eq!(detailed.get(a, s), Some(20.0));

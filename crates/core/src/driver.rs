@@ -4,7 +4,8 @@
 //!
 //! 1. schedule with the original SDC formulation (naive delay matrix);
 //! 2. extract subgraphs from the schedule (§III-B);
-//! 3. evaluate them downstream, in parallel (§III-A);
+//! 3. evaluate them downstream, in parallel (§III-A), optionally memoized
+//!    through the structural-fingerprint cache (`isdc-cache`);
 //! 4. fold delays into the matrix (Alg. 1) and reformulate (Alg. 2);
 //! 5. re-solve the LP; repeat until register usage stabilizes.
 
@@ -13,13 +14,16 @@ use crate::metrics;
 use crate::schedule::Schedule;
 use crate::scheduler::{schedule_with_matrix, ScheduleError};
 use crate::subgraph::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
+use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 use isdc_ir::Graph;
 use isdc_synth::{evaluate_parallel, DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for an ISDC run.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IsdcConfig {
     /// Target clock period in picoseconds.
     pub clock_period_ps: Picos,
@@ -38,11 +42,19 @@ pub struct IsdcConfig {
     /// Stop after this many consecutive iterations without a register-usage
     /// change ("until a stable scheduling result is achieved").
     pub convergence_patience: usize,
+    /// Memoize downstream evaluations by structural fingerprint
+    /// ([`isdc_cache::CachingOracle`]). Extracted subgraphs overlap heavily
+    /// across iterations, so most lookups hit after the first iteration.
+    pub cache: bool,
+    /// Optional cache snapshot path: loaded (best-effort) before the run
+    /// and saved after it, so delay data survives across runs and sweeps.
+    /// Ignored unless [`IsdcConfig::cache`] is set.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl IsdcConfig {
     /// The paper's main-evaluation settings: fanout-driven windows, 16
-    /// subgraphs per iteration, at most 15 iterations.
+    /// subgraphs per iteration, at most 15 iterations, no memoization.
     pub fn paper_defaults(clock_period_ps: Picos) -> Self {
         Self {
             clock_period_ps,
@@ -52,7 +64,16 @@ impl IsdcConfig {
             shape: ShapeStrategy::Window,
             threads: 4,
             convergence_patience: 2,
+            cache: false,
+            cache_file: None,
         }
+    }
+
+    /// Enables oracle memoization, optionally persisted at `file`.
+    pub fn with_cache(mut self, file: Option<PathBuf>) -> Self {
+        self.cache = true;
+        self.cache_file = file;
+        self
     }
 
     fn extraction(&self) -> ExtractionConfig {
@@ -83,8 +104,26 @@ pub struct IterationRecord {
     pub naive_estimation_error_pct: f64,
     /// Subgraphs evaluated in this iteration (0 for the initial schedule).
     pub subgraphs_evaluated: usize,
+    /// Oracle-cache hits recorded during this iteration (0 with caching
+    /// off). Counts every memoized lookup, including the metric snapshots.
+    pub cache_hits: u64,
+    /// Oracle-cache misses recorded during this iteration (0 with caching
+    /// off).
+    pub cache_misses: u64,
     /// Wall-clock time spent in this iteration.
     pub elapsed: Duration,
+}
+
+impl IterationRecord {
+    /// Cache hits over lookups for this iteration, or 0.0 without lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The outcome of an ISDC run.
@@ -96,6 +135,8 @@ pub struct IsdcResult {
     pub delays: DelayMatrix,
     /// One record per iteration, starting with the initial SDC schedule.
     pub history: Vec<IterationRecord>,
+    /// Final oracle-cache counters, when caching was enabled.
+    pub cache_stats: Option<CacheStats>,
     /// Total wall-clock scheduling time.
     pub total_time: Duration,
 }
@@ -177,12 +218,51 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
     oracle: &O,
     config: &IsdcConfig,
 ) -> Result<IsdcResult, ScheduleError> {
+    if !config.cache {
+        return run_isdc_inner(graph, model, oracle, config, None);
+    }
+    let cache = Arc::new(DelayCache::new());
+    if let Some(path) = &config.cache_file {
+        // Best-effort: a missing, stale or foreign-oracle snapshot only
+        // costs misses. The oracle tag check inside `load` prevents
+        // replaying delays that a *different* downstream flow measured.
+        let _ = cache.load(path, oracle.name());
+    }
+    let caching = CachingOracle::with_cache(oracle, Arc::clone(&cache));
+    let result = run_isdc_inner(graph, model, &caching, config, Some(&cache));
+    if result.is_ok() {
+        if let Some(path) = &config.cache_file {
+            let _ = cache.save(path, oracle.name());
+        }
+    }
+    result
+}
+
+fn run_isdc_inner<O: DelayOracle + ?Sized>(
+    graph: &Graph,
+    model: &OpDelayModel,
+    oracle: &O,
+    config: &IsdcConfig,
+    cache: Option<&DelayCache>,
+) -> Result<IsdcResult, ScheduleError> {
     let start = Instant::now();
+    let stats_now = || cache.map(|c| c.stats()).unwrap_or_default();
+    let mut stats_before = stats_now();
     let mut delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
     let naive = delays.clone();
     let mut schedule = schedule_with_matrix(graph, &delays, config.clock_period_ps)?;
-    let mut history =
-        vec![snapshot(graph, &schedule, &delays, &naive, oracle, 0, 0, start.elapsed())];
+    let mut history = vec![snapshot(
+        graph,
+        &schedule,
+        &delays,
+        &naive,
+        oracle,
+        0,
+        0,
+        &mut stats_before,
+        &stats_now,
+        start.elapsed(),
+    )];
 
     let mut stable_for = 0usize;
     for iteration in 1..=config.max_iterations {
@@ -215,6 +295,8 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
             oracle,
             iteration,
             subgraphs.len(),
+            &mut stats_before,
+            &stats_now,
             iter_start.elapsed(),
         ));
         if next_bits == prev_bits {
@@ -227,9 +309,16 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
         }
     }
 
-    Ok(IsdcResult { schedule, delays, history, total_time: start.elapsed() })
+    Ok(IsdcResult {
+        schedule,
+        delays,
+        history,
+        cache_stats: cache.map(|c| c.stats()),
+        total_time: start.elapsed(),
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn snapshot<O: DelayOracle + ?Sized>(
     graph: &Graph,
     schedule: &Schedule,
@@ -238,20 +327,27 @@ fn snapshot<O: DelayOracle + ?Sized>(
     oracle: &O,
     iteration: usize,
     subgraphs_evaluated: usize,
+    stats_before: &mut CacheStats,
+    stats_now: &dyn Fn() -> CacheStats,
     elapsed: Duration,
 ) -> IterationRecord {
     let sta = metrics::stage_sta_delays(graph, schedule, oracle);
     let est = metrics::estimated_stage_delays(graph, schedule, delays);
     let naive_est = metrics::estimated_stage_delays(graph, schedule, naive);
-    IterationRecord {
+    let stats_after = stats_now();
+    let record = IterationRecord {
         iteration,
         register_bits: schedule.register_bits(graph),
         num_stages: schedule.num_stages(),
         estimation_error_pct: metrics::estimation_error_pct(&est, &sta),
         naive_estimation_error_pct: metrics::estimation_error_pct(&naive_est, &sta),
         subgraphs_evaluated,
+        cache_hits: stats_after.hits - stats_before.hits,
+        cache_misses: stats_after.misses - stats_before.misses,
         elapsed,
-    }
+    };
+    *stats_before = stats_after;
+    record
 }
 
 #[cfg(test)]
@@ -279,13 +375,10 @@ mod tests {
 
     fn quick_config(clock: f64) -> IsdcConfig {
         IsdcConfig {
-            clock_period_ps: clock,
             subgraphs_per_iteration: 8,
             max_iterations: 8,
-            scoring: ScoringStrategy::FanoutDriven,
-            shape: ShapeStrategy::Window,
             threads: 1,
-            convergence_patience: 2,
+            ..IsdcConfig::paper_defaults(clock)
         }
     }
 
@@ -315,11 +408,7 @@ mod tests {
         assert!(
             result.final_record().register_bits < result.history[0].register_bits,
             "history: {:?}",
-            result
-                .history
-                .iter()
-                .map(|r| r.register_bits)
-                .collect::<Vec<_>>()
+            result.history.iter().map(|r| r.register_bits).collect::<Vec<_>>()
         );
     }
 
@@ -370,6 +459,30 @@ mod tests {
     }
 
     #[test]
+    fn cached_run_matches_uncached() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let plain = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        let cached_config = quick_config(2500.0).with_cache(None);
+        let cached = run_isdc(&g, &model, &oracle, &cached_config).unwrap();
+        assert_eq!(cached.schedule, plain.schedule, "memoization must not change results");
+        assert_eq!(
+            cached.history.iter().map(|r| r.register_bits).collect::<Vec<_>>(),
+            plain.history.iter().map(|r| r.register_bits).collect::<Vec<_>>(),
+        );
+        let stats = cached.cache_stats.expect("stats recorded when caching");
+        assert!(stats.hits > 0, "iterations repeat subgraphs, so hits must occur: {stats:?}");
+        assert!(plain.cache_stats.is_none());
+        let total_hits: u64 = cached.history.iter().map(|r| r.cache_hits).sum();
+        let total_misses: u64 = cached.history.iter().map(|r| r.cache_misses).sum();
+        assert_eq!(total_hits, stats.hits, "per-iteration hits must sum to the total");
+        assert_eq!(total_misses, stats.misses);
+        assert!(cached.history.last().unwrap().cache_hit_rate() > 0.0);
+    }
+
+    #[test]
     fn estimation_error_shrinks_with_feedback() {
         let lib = TechLibrary::sky130();
         let model = OpDelayModel::new(lib.clone());
@@ -378,9 +491,6 @@ mod tests {
         let result = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
         let first = result.history[0].estimation_error_pct;
         let last = result.final_record().estimation_error_pct;
-        assert!(
-            last <= first + 1e-9,
-            "error should not grow: {first:.2}% -> {last:.2}%"
-        );
+        assert!(last <= first + 1e-9, "error should not grow: {first:.2}% -> {last:.2}%");
     }
 }

@@ -57,6 +57,7 @@ mod subgraph;
 
 pub use delay::DelayMatrix;
 pub use driver::{run_isdc, run_sdc, IsdcConfig, IsdcResult, IterationRecord};
+pub use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 pub use schedule::Schedule;
 pub use scheduler::{schedule_with_matrix, schedule_with_options, ScheduleError, ScheduleOptions};
 pub use subgraph::{

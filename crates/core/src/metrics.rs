@@ -23,13 +23,15 @@ pub fn stage_sta_delays<O: DelayOracle + ?Sized>(
     schedule
         .stages()
         .iter()
-        .map(|members| {
-            if members.is_empty() {
-                0.0
-            } else {
-                oracle.evaluate(graph, members).delay_ps
-            }
-        })
+        .map(
+            |members| {
+                if members.is_empty() {
+                    0.0
+                } else {
+                    oracle.evaluate(graph, members).delay_ps
+                }
+            },
+        )
         .collect()
 }
 
@@ -66,9 +68,7 @@ pub fn post_synthesis_slack<O: DelayOracle + ?Sized>(
     oracle: &O,
     clock_period_ps: Picos,
 ) -> Picos {
-    let worst = stage_sta_delays(graph, schedule, oracle)
-        .into_iter()
-        .fold(0.0, f64::max);
+    let worst = stage_sta_delays(graph, schedule, oracle).into_iter().fold(0.0, f64::max);
     clock_period_ps - worst
 }
 

@@ -103,11 +103,7 @@ pub fn schedule_with_matrix(
     delays: &DelayMatrix,
     clock_period_ps: Picos,
 ) -> Result<Schedule, ScheduleError> {
-    schedule_with_options(
-        graph,
-        delays,
-        &ScheduleOptions { clock_period_ps, max_stages: None },
-    )
+    schedule_with_options(graph, delays, &ScheduleOptions { clock_period_ps, max_stages: None })
 }
 
 /// Scheduling knobs beyond the clock period.
@@ -238,9 +234,7 @@ pub fn schedule_with_options(
         .params()
         .first()
         .map(|&p| solution.assignment[p.index()])
-        .unwrap_or_else(|| {
-            (0..n).map(|i| solution.assignment[i]).min().unwrap_or(0)
-        });
+        .unwrap_or_else(|| (0..n).map(|i| solution.assignment[i]).min().unwrap_or(0));
     let cycles: Vec<u32> = (0..n)
         .map(|i| {
             let c = solution.assignment[i] - base;
@@ -354,10 +348,7 @@ mod tests {
     fn empty_graph_rejected() {
         let g = Graph::new("empty");
         let d = DelayMatrix::initialize(&g, &[]);
-        assert_eq!(
-            schedule_with_matrix(&g, &d, 1000.0).unwrap_err(),
-            ScheduleError::EmptyGraph
-        );
+        assert_eq!(schedule_with_matrix(&g, &d, 1000.0).unwrap_err(), ScheduleError::EmptyGraph);
     }
 
     #[test]

@@ -120,16 +120,10 @@ fn candidate_paths(
     let mut out = Vec::new();
     for stage in 0..schedule.num_stages() {
         let members = schedule.stage_members(stage);
-        let starts: Vec<NodeId> = members
-            .iter()
-            .copied()
-            .filter(|&v| starts_stage(graph, schedule, v))
-            .collect();
-        let ends: Vec<NodeId> = members
-            .iter()
-            .copied()
-            .filter(|&v| produces_register(graph, schedule, v))
-            .collect();
+        let starts: Vec<NodeId> =
+            members.iter().copied().filter(|&v| starts_stage(graph, schedule, v)).collect();
+        let ends: Vec<NodeId> =
+            members.iter().copied().filter(|&v| produces_register(graph, schedule, v)).collect();
         for &vi in &starts {
             for &vj in &ends {
                 let Some(d) = delays.get(vi, vj) else { continue };
@@ -159,11 +153,8 @@ fn fanout_score(
     clock_period_ps: Picos,
 ) -> f64 {
     let width = graph.node(vj).width as f64;
-    let register_users = graph
-        .users(vj)
-        .iter()
-        .filter(|&&u| schedule.cycle(u) > schedule.cycle(vj))
-        .count();
+    let register_users =
+        graph.users(vj).iter().filter(|&&u| schedule.cycle(u) > schedule.cycle(vj)).count();
     let tie_breaker = (path_delay / clock_period_ps).min(0.999_999);
     (width + tie_breaker) / (register_users as f64 + 1.0)
 }
@@ -172,8 +163,7 @@ fn fanout_score(
 /// operands): `v` starts the stage's combinational logic.
 fn starts_stage(graph: &Graph, schedule: &Schedule, v: NodeId) -> bool {
     let node = graph.node(v);
-    node.operands.iter().all(|&p| schedule.cycle(p) < schedule.cycle(v))
-        || node.operands.is_empty()
+    node.operands.iter().all(|&p| schedule.cycle(p) < schedule.cycle(v)) || node.operands.is_empty()
 }
 
 /// True if `v`'s value crosses a stage boundary (it feeds a pipeline
@@ -300,8 +290,7 @@ mod tests {
         let z = g.binary(OpKind::Add, y, w).unwrap();
         g.set_output(z);
         let schedule = Schedule::new(vec![0, 0, 0, 0, 0, 0, 1]);
-        let delays =
-            DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 100.0, 400.0, 60.0, 100.0]);
+        let delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 100.0, 400.0, 60.0, 100.0]);
         (g, schedule, delays, [a, b, c, x, y, w, z])
     }
 
@@ -312,7 +301,12 @@ mod tests {
     #[test]
     fn delay_driven_prefers_long_path() {
         let (g, s, d, [a, _, _, _, y, _, _]) = setup();
-        let subs = extract_subgraphs(&g, &s, &d, &config(ScoringStrategy::DelayDriven, ShapeStrategy::Path));
+        let subs = extract_subgraphs(
+            &g,
+            &s,
+            &d,
+            &config(ScoringStrategy::DelayDriven, ShapeStrategy::Path),
+        );
         assert!(!subs.is_empty());
         // The top subgraph's seed must be the a->y (500ps) path.
         assert_eq!(subs[0].seed.1, y);
@@ -330,10 +324,7 @@ mod tests {
         g.set_name(extra, "extra");
         g.set_output(extra);
         let schedule = Schedule::new(vec![0, 0, 0, 0, 0, 0, 1, 1]);
-        let delays = DelayMatrix::initialize(
-            &g,
-            &[0.0, 0.0, 0.0, 100.0, 400.0, 60.0, 100.0, 50.0],
-        );
+        let delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 100.0, 400.0, 60.0, 100.0, 50.0]);
         let cfg = config(ScoringStrategy::FanoutDriven, ShapeStrategy::Path);
         let subs = extract_subgraphs(&g, &schedule, &delays, &cfg);
         assert!(!subs.is_empty());
@@ -360,7 +351,12 @@ mod tests {
     #[test]
     fn path_shape_is_a_connected_chain() {
         let (g, s, d, [a, _, _, x, y, _, _]) = setup();
-        let subs = extract_subgraphs(&g, &s, &d, &config(ScoringStrategy::DelayDriven, ShapeStrategy::Path));
+        let subs = extract_subgraphs(
+            &g,
+            &s,
+            &d,
+            &config(ScoringStrategy::DelayDriven, ShapeStrategy::Path),
+        );
         let top = &subs[0];
         assert_eq!(top.nodes, vec![a, x, y]);
     }
@@ -439,8 +435,12 @@ mod tests {
     fn single_stage_schedule_yields_no_candidates() {
         let (g, _, d, _) = setup();
         let s = Schedule::new(vec![0; 7]);
-        let subs =
-            extract_subgraphs(&g, &s, &d, &config(ScoringStrategy::FanoutDriven, ShapeStrategy::Window));
+        let subs = extract_subgraphs(
+            &g,
+            &s,
+            &d,
+            &config(ScoringStrategy::FanoutDriven, ShapeStrategy::Window),
+        );
         assert!(subs.is_empty(), "no registers, nothing to reposition");
     }
 }

@@ -104,12 +104,7 @@ impl ReachabilityMatrix {
 pub fn logic_levels(graph: &Graph) -> Vec<u32> {
     let mut levels = vec![0u32; graph.len()];
     for (id, node) in graph.iter() {
-        let lvl = node
-            .operands
-            .iter()
-            .map(|&o| levels[o.index()] + 1)
-            .max()
-            .unwrap_or(0);
+        let lvl = node.operands.iter().map(|&o| levels[o.index()] + 1).max().unwrap_or(0);
         levels[id.index()] = lvl;
     }
     levels
@@ -127,11 +122,7 @@ pub fn transitive_fanout(graph: &Graph, roots: &[NodeId]) -> Vec<NodeId> {
     collect(graph.len(), roots, |id| graph.users(id).to_vec())
 }
 
-fn collect(
-    n: usize,
-    roots: &[NodeId],
-    neighbors: impl Fn(NodeId) -> Vec<NodeId>,
-) -> Vec<NodeId> {
+fn collect(n: usize, roots: &[NodeId], neighbors: impl Fn(NodeId) -> Vec<NodeId>) -> Vec<NodeId> {
     let mut seen = vec![false; n];
     let mut queue: VecDeque<NodeId> = VecDeque::new();
     for &r in roots {

@@ -42,7 +42,8 @@ fn render(graph: &Graph, stage_of: Option<&[u32]>) -> String {
     };
     let emit_node = |out: &mut String, id: NodeId| {
         let node = graph.node(id);
-        let shape = if node.operands.is_empty() { ", style=filled, fillcolor=lightblue" } else { "" };
+        let shape =
+            if node.operands.is_empty() { ", style=filled, fillcolor=lightblue" } else { "" };
         let outline = if graph.outputs().contains(&id) { ", peripheries=2" } else { "" };
         let _ = writeln!(out, "    n{} [label=\"{}\"{shape}{outline}];", id.0, label(id));
     };
@@ -69,9 +70,7 @@ fn render(graph: &Graph, stage_of: Option<&[u32]>) -> String {
     }
     for (id, node) in graph.iter() {
         for &op in &node.operands {
-            let crossing = stage_of
-                .map(|s| s[op.index()] != s[id.index()])
-                .unwrap_or(false);
+            let crossing = stage_of.map(|s| s[op.index()] != s[id.index()]).unwrap_or(false);
             let style = if crossing { " [color=red, penwidth=2]" } else { "" };
             let _ = writeln!(out, "  n{} -> n{}{};", op.0, id.0, style);
         }
@@ -81,8 +80,7 @@ fn render(graph: &Graph, stage_of: Option<&[u32]>) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    let cleaned: String = name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")
     } else {

@@ -70,10 +70,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::InvalidOperand { operand, node_count } => write!(
-                f,
-                "operand {operand} is out of range for graph with {node_count} nodes"
-            ),
+            GraphError::InvalidOperand { operand, node_count } => {
+                write!(f, "operand {operand} is out of range for graph with {node_count} nodes")
+            }
             GraphError::WidthMismatch { message } => f.write_str(message),
             GraphError::NoOutputs => f.write_str("graph has no output nodes"),
             GraphError::DuplicateName(name) => write!(f, "duplicate node name `{name}`"),
@@ -192,12 +191,7 @@ impl Graph {
     /// Adds a literal (constant) node.
     pub fn literal(&mut self, value: BitVecValue) -> NodeId {
         let width = value.width();
-        self.push(Node {
-            kind: OpKind::Literal(value),
-            operands: vec![],
-            width,
-            name: None,
-        })
+        self.push(Node { kind: OpKind::Literal(value), operands: vec![], width, name: None })
     }
 
     /// Convenience: a literal from the low `width` bits of `x`.
@@ -222,9 +216,8 @@ impl Graph {
             }
         }
         let widths: Vec<u32> = operands.iter().map(|&o| self.nodes[o.index()].width).collect();
-        let width = kind
-            .infer_width(&widths)
-            .map_err(|message| GraphError::WidthMismatch { message })?;
+        let width =
+            kind.infer_width(&widths).map_err(|message| GraphError::WidthMismatch { message })?;
         Ok(self.push(Node { kind, operands, width, name: None }))
     }
 
@@ -319,10 +312,7 @@ impl Graph {
         for (id, node) in self.iter() {
             for &op in &node.operands {
                 if op.index() >= id.index() {
-                    return Err(GraphError::InvalidOperand {
-                        operand: op,
-                        node_count: id.index(),
-                    });
+                    return Err(GraphError::InvalidOperand { operand: op, node_count: id.index() });
                 }
             }
             let widths: Vec<u32> =

@@ -31,10 +31,9 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::MissingInput(name) => write!(f, "missing input for parameter `{name}`"),
-            EvalError::InputWidthMismatch { name, expected, got } => write!(
-                f,
-                "input `{name}` has width {got}, parameter declares {expected}"
-            ),
+            EvalError::InputWidthMismatch { name, expected, got } => {
+                write!(f, "input `{name}` has width {got}, parameter declares {expected}")
+            }
         }
     }
 }
@@ -80,9 +79,8 @@ pub fn evaluate(
         let value = match &node.kind {
             OpKind::Param => {
                 let name = node.name.as_deref().unwrap_or_default();
-                let v = inputs
-                    .get(name)
-                    .ok_or_else(|| EvalError::MissingInput(name.to_string()))?;
+                let v =
+                    inputs.get(name).ok_or_else(|| EvalError::MissingInput(name.to_string()))?;
                 if v.width() != node.width {
                     return Err(EvalError::InputWidthMismatch {
                         name: name.to_string(),
@@ -172,10 +170,7 @@ mod tests {
     use crate::graph::Graph;
 
     fn inputs(pairs: &[(&str, u64, u32)]) -> HashMap<String, BitVecValue> {
-        pairs
-            .iter()
-            .map(|&(n, v, w)| (n.to_string(), BitVecValue::from_u64(v, w)))
-            .collect()
+        pairs.iter().map(|&(n, v, w)| (n.to_string(), BitVecValue::from_u64(v, w))).collect()
     }
 
     #[test]

@@ -98,10 +98,16 @@ impl OpKind {
         use OpKind::*;
         match self {
             Param | Literal(_) => Some(0),
-            Not | Neg | BitSlice { .. } | ZeroExt { .. } | SignExt { .. } | ReduceXor
-            | ReduceOr | ReduceAnd => Some(1),
-            Add | Sub | Mul | And | Or | Xor | Shll | Shrl | Shra | Eq | Ne | Ult | Ule
-            | Ugt | Uge => Some(2),
+            Not
+            | Neg
+            | BitSlice { .. }
+            | ZeroExt { .. }
+            | SignExt { .. }
+            | ReduceXor
+            | ReduceOr
+            | ReduceAnd => Some(1),
+            Add | Sub | Mul | And | Or | Xor | Shll | Shrl | Shra | Eq | Ne | Ult | Ule | Ugt
+            | Uge => Some(2),
             Sel => Some(3),
             Concat => None,
         }
@@ -112,8 +118,14 @@ impl OpKind {
     pub fn is_arithmetic(&self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Neg | OpKind::Ult
-                | OpKind::Ule | OpKind::Ugt | OpKind::Uge
+            OpKind::Add
+                | OpKind::Sub
+                | OpKind::Mul
+                | OpKind::Neg
+                | OpKind::Ult
+                | OpKind::Ule
+                | OpKind::Ugt
+                | OpKind::Uge
         )
     }
 
@@ -134,8 +146,13 @@ impl OpKind {
     pub fn is_commutative(&self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor
-                | OpKind::Eq | OpKind::Ne
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Eq
+                | OpKind::Ne
         )
     }
 
@@ -191,12 +208,7 @@ impl OpKind {
         }
         let same2 = |w: &[u32]| -> Result<u32, String> {
             if w[0] != w[1] {
-                Err(format!(
-                    "{} operand widths differ: {} vs {}",
-                    self.mnemonic(),
-                    w[0],
-                    w[1]
-                ))
+                Err(format!("{} operand widths differ: {} vs {}", self.mnemonic(), w[0], w[1]))
             } else {
                 Ok(w[0])
             }

@@ -28,11 +28,7 @@ use std::fmt::Write as _;
 pub fn print(graph: &Graph) -> String {
     let mut out = String::new();
     let name_of = |id: NodeId| -> String {
-        graph
-            .node(id)
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("t{}", id.0))
+        graph.node(id).name.clone().unwrap_or_else(|| format!("t{}", id.0))
     };
     write!(out, "fn {}(", graph.name()).unwrap();
     for (i, &p) in graph.params().iter().enumerate() {
@@ -46,8 +42,7 @@ pub fn print(graph: &Graph) -> String {
         if node.kind == OpKind::Param {
             continue;
         }
-        write!(out, "  {}: bits[{}] = {}(", name_of(id), node.width, node.kind.mnemonic())
-            .unwrap();
+        write!(out, "  {}: bits[{}] = {}(", name_of(id), node.width, node.kind.mnemonic()).unwrap();
         let mut first = true;
         let mut emit = |s: String, out: &mut String| {
             if !first {
@@ -173,9 +168,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(mut self) -> Result<Graph, ParseError> {
-        let (line_no, header) = self
-            .next_line()
-            .ok_or_else(|| self.error(0, "empty input"))?;
+        let (line_no, header) = self.next_line().ok_or_else(|| self.error(0, "empty input"))?;
         let header = header
             .strip_prefix("fn ")
             .ok_or_else(|| self.error(line_no, "expected `fn <name>(...)`"))?;
@@ -229,9 +222,8 @@ impl<'a> Parser<'a> {
             let open = rhs
                 .find('(')
                 .ok_or_else(|| self.error(line_no, "expected `(` after op mnemonic"))?;
-            let close = rhs
-                .rfind(')')
-                .ok_or_else(|| self.error(line_no, "expected closing `)`"))?;
+            let close =
+                rhs.rfind(')').ok_or_else(|| self.error(line_no, "expected closing `)`"))?;
             let mnemonic = rhs[..open].trim();
             let mut operands: Vec<NodeId> = Vec::new();
             let mut attrs: HashMap<&str, &str> = HashMap::new();
@@ -311,7 +303,9 @@ impl<'a> Parser<'a> {
             "uge" => OpKind::Uge,
             "sel" => OpKind::Sel,
             "concat" => OpKind::Concat,
-            "bit_slice" => OpKind::BitSlice { start: int_attr("start")?, width: int_attr("width")? },
+            "bit_slice" => {
+                OpKind::BitSlice { start: int_attr("start")?, width: int_attr("width")? }
+            }
             "zero_ext" => OpKind::ZeroExt { new_width: int_attr("new_width")? },
             "sign_ext" => OpKind::SignExt { new_width: int_attr("new_width")? },
             "reduce_xor" => OpKind::ReduceXor,

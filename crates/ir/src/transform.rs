@@ -180,11 +180,8 @@ fn rebuild(
         let new_id = match &node.kind {
             OpKind::Param => out.param(node.name.clone().expect("params named"), node.width),
             _ => {
-                let ops: Vec<NodeId> = node
-                    .operands
-                    .iter()
-                    .map(|o| map[o.index()].expect("operands kept"))
-                    .collect();
+                let ops: Vec<NodeId> =
+                    node.operands.iter().map(|o| map[o.index()].expect("operands kept")).collect();
                 let nid = out.add_node(node.kind.clone(), ops).expect("valid rebuild");
                 if let Some(name) = &node.name {
                     // Names may collide after aliasing; keep the first.
@@ -312,9 +309,8 @@ mod tests {
         folded.validate().unwrap();
         check_equivalent(&g, &folded, 4);
         // The folded graph should contain a literal 49.
-        let has_49 = folded.iter().any(|(_, n)| {
-            matches!(&n.kind, OpKind::Literal(v) if v.to_u64() == 49)
-        });
+        let has_49 =
+            folded.iter().any(|(_, n)| matches!(&n.kind, OpKind::Literal(v) if v.to_u64() == 49));
         assert!(has_49);
     }
 

@@ -224,9 +224,8 @@ impl BitVecValue {
                 continue;
             }
             for j in 0..n - i {
-                let cur = acc[i + j] as u128
-                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    acc[i + j] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }

@@ -99,10 +99,7 @@ fn arbitrary_graph() -> impl Strategy<Value = Graph> {
         };
         let mut g = Graph::new("prop");
         let widths = [4u32, 8, 11];
-        let mut pool = vec![
-            g.param("p0", widths[rng(3)]),
-            g.param("p1", widths[rng(3)]),
-        ];
+        let mut pool = vec![g.param("p0", widths[rng(3)]), g.param("p1", widths[rng(3)])];
         for _ in 0..ops {
             let a = pool[rng(pool.len())];
             let b = pool[rng(pool.len())];

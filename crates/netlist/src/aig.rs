@@ -35,6 +35,11 @@ impl AigLit {
     }
 
     /// The complemented literal.
+    ///
+    /// Deliberately an inherent method (not `std::ops::Not`): literal
+    /// complementation is cheap bit math, and `l.not()` mirrors AIGER
+    /// terminology.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Self {
         AigLit(self.0 ^ 1)
@@ -277,10 +282,7 @@ impl Aig {
                 }
             };
         }
-        self.outputs
-            .iter()
-            .map(|lit| values[lit.node() as usize] ^ lit.is_complemented())
-            .collect()
+        self.outputs.iter().map(|lit| values[lit.node() as usize] ^ lit.is_complemented()).collect()
     }
 
     /// Per-node AND-depth: constants and inputs are depth 0, an AND node is
@@ -289,8 +291,7 @@ impl Aig {
         let mut depths = vec![0u32; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             if let AigNode::And(a, b) = node {
-                depths[i] =
-                    1 + depths[a.node() as usize].max(depths[b.node() as usize]);
+                depths[i] = 1 + depths[a.node() as usize].max(depths[b.node() as usize]);
             }
         }
         depths
@@ -299,11 +300,7 @@ impl Aig {
     /// The maximum AND-depth over all outputs — the paper's Fig. 8 metric.
     pub fn depth(&self) -> u32 {
         let depths = self.depths();
-        self.outputs
-            .iter()
-            .map(|lit| depths[lit.node() as usize])
-            .max()
-            .unwrap_or(0)
+        self.outputs.iter().map(|lit| depths[lit.node() as usize]).max().unwrap_or(0)
     }
 
     /// Per-node fanout counts (uses by AND nodes plus output uses).
@@ -349,10 +346,8 @@ impl Aig {
                 continue;
             }
             if let AigNode::And(a, b) = node {
-                let la = map[a.node() as usize].expect("topological order")
-                    ^ a.is_complemented();
-                let lb = map[b.node() as usize].expect("topological order")
-                    ^ b.is_complemented();
+                let la = map[a.node() as usize].expect("topological order") ^ a.is_complemented();
+                let lb = map[b.node() as usize].expect("topological order") ^ b.is_complemented();
                 map[i] = Some(out.and(la, lb));
             }
         }

@@ -105,9 +105,8 @@ pub fn write_aag(aig: &Aig) -> String {
 /// See [`ParseAagError`]. Latches are rejected.
 pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
     let mut lines = src.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseAagError::BadHeader("<empty input>".into()))?;
+    let (_, header) =
+        lines.next().ok_or_else(|| ParseAagError::BadHeader("<empty input>".into()))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 6 || fields[0] != "aag" {
         return Err(ParseAagError::BadHeader(header.to_string()));
@@ -130,7 +129,7 @@ pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
     lit_of_var[0] = Some(AigLit::FALSE);
 
     let take_line = |lines: &mut std::iter::Enumerate<std::str::Lines>,
-                         what: &str|
+                     what: &str|
      -> Result<(usize, String), ParseAagError> {
         for (no, l) in lines.by_ref() {
             let l = l.trim();
@@ -144,10 +143,11 @@ pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
     let mut input_vars = Vec::with_capacity(num_inputs);
     for _ in 0..num_inputs {
         let (no, l) = take_line(&mut lines, "input")?;
-        let lit: u32 = l
-            .parse()
-            .map_err(|_| ParseAagError::BadLine { line: no, message: format!("bad input `{l}`") })?;
-        if lit % 2 != 0 || lit == 0 {
+        let lit: u32 = l.parse().map_err(|_| ParseAagError::BadLine {
+            line: no,
+            message: format!("bad input `{l}`"),
+        })?;
+        if !lit.is_multiple_of(2) || lit == 0 {
             return Err(ParseAagError::BadLine {
                 line: no,
                 message: format!("input literal {lit} must be positive and even"),
@@ -172,11 +172,10 @@ pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
     }
     for _ in 0..num_ands {
         let (no, l) = take_line(&mut lines, "and")?;
-        let parts: Vec<u32> = l
-            .split_whitespace()
-            .map(|t| t.parse::<u32>())
-            .collect::<Result<_, _>>()
-            .map_err(|_| ParseAagError::BadLine { line: no, message: format!("bad and `{l}`") })?;
+        let parts: Vec<u32> =
+            l.split_whitespace().map(|t| t.parse::<u32>()).collect::<Result<_, _>>().map_err(
+                |_| ParseAagError::BadLine { line: no, message: format!("bad and `{l}`") },
+            )?;
         let [lhs, r0, r1] = parts.as_slice() else {
             return Err(ParseAagError::BadLine {
                 line: no,
@@ -191,11 +190,8 @@ pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
         }
         let resolve = |lit: u32, table: &[Option<AigLit>]| -> Result<AigLit, ParseAagError> {
             let var = (lit / 2) as usize;
-            let base = table
-                .get(var)
-                .copied()
-                .flatten()
-                .ok_or(ParseAagError::UndefinedLiteral(lit))?;
+            let base =
+                table.get(var).copied().flatten().ok_or(ParseAagError::UndefinedLiteral(lit))?;
             Ok(base ^ (lit % 2 == 1))
         };
         let a = resolve(*r0, &lit_of_var)?;
@@ -204,11 +200,8 @@ pub fn parse_aag(src: &str) -> Result<Aig, ParseAagError> {
     }
     for lit in output_lits {
         let var = (lit / 2) as usize;
-        let base = lit_of_var
-            .get(var)
-            .copied()
-            .flatten()
-            .ok_or(ParseAagError::UndefinedLiteral(lit))?;
+        let base =
+            lit_of_var.get(var).copied().flatten().ok_or(ParseAagError::UndefinedLiteral(lit))?;
         aig.push_output(base ^ (lit % 2 == 1));
     }
     Ok(aig)
@@ -280,14 +273,8 @@ mod tests {
     #[test]
     fn rejects_bad_header_and_lines() {
         assert!(matches!(parse_aag("nonsense"), Err(ParseAagError::BadHeader(_))));
-        assert!(matches!(
-            parse_aag("aag 1 1 0 0 0\n3\n"),
-            Err(ParseAagError::BadLine { .. })
-        ));
-        assert!(matches!(
-            parse_aag("aag 1 0 0 1 0\n4\n"),
-            Err(ParseAagError::UndefinedLiteral(4))
-        ));
+        assert!(matches!(parse_aag("aag 1 1 0 0 0\n3\n"), Err(ParseAagError::BadLine { .. })));
+        assert!(matches!(parse_aag("aag 1 0 0 1 0\n4\n"), Err(ParseAagError::UndefinedLiteral(4))));
     }
 
     #[test]

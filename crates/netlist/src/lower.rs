@@ -118,9 +118,9 @@ pub fn lower_subgraph(graph: &Graph, members: &[NodeId]) -> LoweredSubgraph {
 fn lower_op(aig: &mut Aig, kind: &OpKind, operands: &[Vec<AigLit>], width: u32) -> Vec<AigLit> {
     match kind {
         OpKind::Param => unreachable!("params are handled by the caller"),
-        OpKind::Literal(v) => (0..width)
-            .map(|i| if v.bit(i) { AigLit::TRUE } else { AigLit::FALSE })
-            .collect(),
+        OpKind::Literal(v) => {
+            (0..width).map(|i| if v.bit(i) { AigLit::TRUE } else { AigLit::FALSE }).collect()
+        }
         OpKind::Add => {
             let (sum, _carry) = ripple_add(aig, &operands[0], &operands[1], AigLit::FALSE);
             sum
@@ -141,7 +141,9 @@ fn lower_op(aig: &mut Aig, kind: &OpKind, operands: &[Vec<AigLit>], width: u32) 
         OpKind::Or => zip2(aig, &operands[0], &operands[1], Aig::or),
         OpKind::Xor => zip2(aig, &operands[0], &operands[1], Aig::xor),
         OpKind::Not => operands[0].iter().map(|l| l.not()).collect(),
-        OpKind::Shll => barrel_shift(aig, &operands[0], &operands[1], ShiftDir::Left, AigLit::FALSE),
+        OpKind::Shll => {
+            barrel_shift(aig, &operands[0], &operands[1], ShiftDir::Left, AigLit::FALSE)
+        }
         OpKind::Shrl => {
             barrel_shift(aig, &operands[0], &operands[1], ShiftDir::Right, AigLit::FALSE)
         }
@@ -169,11 +171,7 @@ fn lower_op(aig: &mut Aig, kind: &OpKind, operands: &[Vec<AigLit>], width: u32) 
         }
         OpKind::Sel => {
             let s = operands[0][0];
-            operands[1]
-                .iter()
-                .zip(&operands[2])
-                .map(|(&t, &e)| aig.mux(s, t, e))
-                .collect()
+            operands[1].iter().zip(&operands[2]).map(|(&t, &e)| aig.mux(s, t, e)).collect()
         }
         OpKind::Concat => {
             // First operand is most significant: little-endian result takes
@@ -223,7 +221,12 @@ fn zip2(
 /// consumer. Summing per-op characterized delays therefore grossly
 /// overestimates fused regions, and that unused slack is exactly what ISDC's
 /// downstream feedback recovers.
-fn ripple_add(aig: &mut Aig, a: &[AigLit], b: &[AigLit], carry_in: AigLit) -> (Vec<AigLit>, AigLit) {
+fn ripple_add(
+    aig: &mut Aig,
+    a: &[AigLit],
+    b: &[AigLit],
+    carry_in: AigLit,
+) -> (Vec<AigLit>, AigLit) {
     debug_assert_eq!(a.len(), b.len());
     let mut carry = carry_in;
     let mut sum = Vec::with_capacity(a.len());
@@ -346,11 +349,7 @@ fn barrel_shift(
                 }
             })
             .collect();
-        cur = cur
-            .iter()
-            .zip(&shifted)
-            .map(|(&keep, &shift)| aig.mux(abit, shift, keep))
-            .collect();
+        cur = cur.iter().zip(&shifted).map(|(&keep, &shift)| aig.mux(abit, shift, keep)).collect();
     }
     cur
 }
@@ -402,11 +401,8 @@ mod tests {
                 inputs.insert(name.to_string(), BitVecValue::from_u64(val, graph.node(id).width));
             }
             let values = interp::evaluate(graph, &inputs).expect("interp");
-            let aig_inputs: Vec<bool> = lowered
-                .input_map
-                .iter()
-                .map(|&(id, bit)| values[id.index()].bit(bit))
-                .collect();
+            let aig_inputs: Vec<bool> =
+                lowered.input_map.iter().map(|&(id, bit)| values[id.index()].bit(bit)).collect();
             let aig_out = lowered.aig.eval(&aig_inputs);
             for (pos, &(id, bit)) in lowered.output_map.iter().enumerate() {
                 assert_eq!(
@@ -495,11 +491,7 @@ mod tests {
             let g = binop_graph(kind.clone(), 5);
             check_equivalence(
                 &g,
-                &[
-                    vec![("a", 3), ("b", 17)],
-                    vec![("a", 17), ("b", 3)],
-                    vec![("a", 9), ("b", 9)],
-                ],
+                &[vec![("a", 3), ("b", 17)], vec![("a", 17), ("b", 3)], vec![("a", 9), ("b", 9)]],
             );
         }
     }

@@ -17,8 +17,7 @@ fn arbitrary_graph() -> impl Strategy<Value = (Graph, u64)> {
         };
         let mut g = Graph::new("prop");
         let widths = [1u32, 3, 8, 13];
-        let mut pool =
-            vec![g.param("p0", widths[1 + rng(3)]), g.param("p1", widths[1 + rng(3)])];
+        let mut pool = vec![g.param("p0", widths[1 + rng(3)]), g.param("p1", widths[1 + rng(3)])];
         for _ in 0..ops {
             let a = pool[rng(pool.len())];
             let b = pool[rng(pool.len())];

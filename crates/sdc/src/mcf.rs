@@ -17,9 +17,9 @@
 //! solution — integral, because all bounds are integers (total
 //! unimodularity, the property the paper's §II leans on).
 
-use crate::system::{DifferenceSystem, SolveError};
 #[cfg(test)]
 use crate::system::VarId;
+use crate::system::{DifferenceSystem, SolveError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -90,16 +90,13 @@ pub fn minimize(system: &DifferenceSystem, weights: &[i64]) -> Result<LpSolution
     // cost b + pi_u - pi_v = b - x_u + x_v >= 0.
     let mut pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
 
-    loop {
-        let Some(source) = excess.iter().position(|&e| e > 0) else {
-            break; // all supply delivered
-        };
+    // Repeat until all supply is delivered.
+    while let Some(source) = excess.iter().position(|&e| e > 0) {
         // Dijkstra on reduced costs from `source`.
         let (dist, parent_arc) = net.dijkstra(source, &pi);
         // Nearest node with deficit among reached nodes.
-        let target = (0..n)
-            .filter(|&v| excess[v] < 0 && dist[v] != i64::MAX)
-            .min_by_key(|&v| dist[v]);
+        let target =
+            (0..n).filter(|&v| excess[v] < 0 && dist[v] != i64::MAX).min_by_key(|&v| dist[v]);
         let Some(target) = target else {
             // Supply cannot reach any deficit: the dual is infeasible, so
             // the primal objective is unbounded below.
@@ -295,10 +292,7 @@ mod tests {
         let mut sys = DifferenceSystem::new(2);
         sys.add_constraint(VarId(0), VarId(1), -1);
         sys.add_constraint(VarId(1), VarId(0), 0);
-        assert!(matches!(
-            minimize(&sys, &[-1, 1]).unwrap_err(),
-            SolveError::Infeasible { .. }
-        ));
+        assert!(matches!(minimize(&sys, &[-1, 1]).unwrap_err(), SolveError::Infeasible { .. }));
     }
 
     #[test]

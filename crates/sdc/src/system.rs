@@ -127,9 +127,9 @@ impl DifferenceSystem {
     /// Checks a candidate assignment against every constraint, returning the
     /// index of the first violated constraint, if any.
     pub fn first_violation(&self, assignment: &[i64]) -> Option<usize> {
-        self.constraints.iter().position(|c| {
-            assignment[c.u.index()] - assignment[c.v.index()] > c.bound
-        })
+        self.constraints
+            .iter()
+            .position(|c| assignment[c.u.index()] - assignment[c.v.index()] > c.bound)
     }
 
     /// Finds an integral feasible assignment via Bellman-Ford, or a negative
@@ -219,9 +219,7 @@ mod tests {
         let c0 = sys.add_constraint(VarId(0), VarId(1), -1);
         let c1 = sys.add_constraint(VarId(1), VarId(0), 0);
         let err = sys.solve_feasible().unwrap_err();
-        let SolveError::Infeasible { cycle } = err else {
-            panic!("expected infeasible")
-        };
+        let SolveError::Infeasible { cycle } = err else { panic!("expected infeasible") };
         let mut sorted = cycle.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![c0, c1]);
@@ -245,9 +243,7 @@ mod tests {
         sys.add_constraint(VarId(2), VarId(0), 0);
         sys.add_constraint(VarId(3), VarId(0), 5); // unrelated
         let err = sys.solve_feasible().unwrap_err();
-        let SolveError::Infeasible { cycle } = err else {
-            panic!("expected infeasible")
-        };
+        let SolveError::Infeasible { cycle } = err else { panic!("expected infeasible") };
         let sum: i64 = cycle.iter().map(|&i| sys.constraints()[i].bound).sum();
         assert!(sum < 0);
     }

@@ -16,8 +16,8 @@ use crate::sta;
 use isdc_ir::{Graph, Node, NodeId, OpKind};
 use isdc_netlist::lower_graph;
 use isdc_techlib::{Picos, TechLibrary};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A cache key: the op mnemonic with embedded attributes, plus operand widths.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -41,8 +41,9 @@ impl OpSignature {
 
 /// Pre-characterized per-operation delays.
 ///
-/// Thread-safe: characterization results are cached behind a mutex so a model
-/// can be shared across parallel subgraph evaluations.
+/// Thread-safe: characterization results are cached behind a reader-writer
+/// lock so a model shared across parallel subgraph evaluations serves the
+/// read-mostly hot path without serializing readers.
 ///
 /// # Examples
 ///
@@ -68,7 +69,7 @@ impl OpSignature {
 pub struct OpDelayModel {
     lib: TechLibrary,
     script: SynthScript,
-    cache: Mutex<HashMap<OpSignature, Picos>>,
+    cache: RwLock<HashMap<OpSignature, Picos>>,
 }
 
 impl OpDelayModel {
@@ -80,7 +81,7 @@ impl OpDelayModel {
 
     /// Creates a model with an explicit synthesis script.
     pub fn with_script(lib: TechLibrary, script: SynthScript) -> Self {
-        Self { lib, script, cache: Mutex::new(HashMap::new()) }
+        Self { lib, script, cache: RwLock::new(HashMap::new()) }
     }
 
     /// The technology library this model characterizes against.
@@ -105,14 +106,15 @@ impl OpDelayModel {
         if node.kind.is_free() {
             return 0.0;
         }
-        let operand_widths: Vec<u32> =
-            node.operands.iter().map(|&o| graph.node(o).width).collect();
+        let operand_widths: Vec<u32> = node.operands.iter().map(|&o| graph.node(o).width).collect();
         let sig = OpSignature::of(node, operand_widths.clone());
-        if let Some(&d) = self.cache.lock().get(&sig) {
+        if let Some(&d) = self.cache.read().expect("cache lock poisoned").get(&sig) {
             return d;
         }
+        // Characterize outside the lock: concurrent misses on the same
+        // signature may duplicate work, but they insert identical values.
         let d = self.characterize(&node.kind, &operand_widths);
-        self.cache.lock().insert(sig, d);
+        self.cache.write().expect("cache lock poisoned").insert(sig, d);
         d
     }
 
@@ -123,20 +125,15 @@ impl OpDelayModel {
 
     /// Number of distinct signatures characterized so far.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.read().expect("cache lock poisoned").len()
     }
 
     /// Builds a one-op graph for the signature, synthesizes and times it.
     fn characterize(&self, kind: &OpKind, operand_widths: &[u32]) -> Picos {
         let mut g = Graph::new("char");
-        let operands: Vec<NodeId> = operand_widths
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| g.param(format!("p{i}"), w))
-            .collect();
-        let node = g
-            .add_node(kind.clone(), operands)
-            .expect("signature came from a valid node");
+        let operands: Vec<NodeId> =
+            operand_widths.iter().enumerate().map(|(i, &w)| g.param(format!("p{i}"), w)).collect();
+        let node = g.add_node(kind.clone(), operands).expect("signature came from a valid node");
         g.set_output(node);
         let lowered = lower_graph(&g);
         let optimized = self.script.run(&lowered.aig);
@@ -155,11 +152,8 @@ mod tests {
     fn delay_of(kind: OpKind, widths: &[u32]) -> Picos {
         let m = model();
         let mut g = Graph::new("t");
-        let ops: Vec<NodeId> = widths
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| g.param(format!("x{i}"), w))
-            .collect();
+        let ops: Vec<NodeId> =
+            widths.iter().enumerate().map(|(i, &w)| g.param(format!("x{i}"), w)).collect();
         let n = g.add_node(kind, ops).unwrap();
         g.set_output(n);
         m.node_delay(&g, n)

@@ -45,8 +45,23 @@ pub trait DelayOracle: Sync {
     fn evaluate(&self, graph: &Graph, members: &[NodeId]) -> DelayReport;
 
     /// A short human-readable name for reports.
+    ///
+    /// Also identifies this oracle in persisted delay-cache snapshots
+    /// (`isdc-cache`): two oracles that can report different delays for the
+    /// same subgraph must return different names, or a snapshot from one
+    /// could be replayed against the other.
     fn name(&self) -> &str {
         "oracle"
+    }
+}
+
+impl<O: DelayOracle + ?Sized> DelayOracle for &O {
+    fn evaluate(&self, graph: &Graph, members: &[NodeId]) -> DelayReport {
+        (**self).evaluate(graph, members)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
     }
 }
 
@@ -56,6 +71,7 @@ pub trait DelayOracle: Sync {
 pub struct SynthesisOracle {
     lib: TechLibrary,
     script: SynthScript,
+    name: String,
 }
 
 impl SynthesisOracle {
@@ -66,7 +82,10 @@ impl SynthesisOracle {
 
     /// Creates the oracle with an explicit script.
     pub fn with_script(lib: TechLibrary, script: SynthScript) -> Self {
-        Self { lib, script }
+        // The name carries the full timing identity (library + script):
+        // delay caches keyed on it must never mix configurations.
+        let name = format!("synthesis[{};{}]", lib.name(), script.mnemonic());
+        Self { lib, script, name }
     }
 
     /// The library used for timing.
@@ -84,15 +103,12 @@ impl DelayOracle for SynthesisOracle {
             delay_ps: report.critical_path_ps,
             aig_depth: report.depth,
             and_count: report.and_count,
-            output_arrivals: fold_output_arrivals(
-                &lowered.output_map,
-                &report.output_arrivals_ps,
-            ),
+            output_arrivals: fold_output_arrivals(&lowered.output_map, &report.output_arrivals_ps),
         }
     }
 
     fn name(&self) -> &str {
-        "synthesis"
+        &self.name
     }
 }
 
@@ -102,13 +118,16 @@ impl DelayOracle for SynthesisOracle {
 pub struct AigDepthOracle {
     script: SynthScript,
     ps_per_level: Picos,
+    name: String,
 }
 
 impl AigDepthOracle {
     /// Creates the oracle. `ps_per_level` calibrates depth to time; the
     /// paper's Fig. 8 shows the relation is close to linear.
     pub fn new(ps_per_level: Picos) -> Self {
-        Self { script: SynthScript::resyn(), ps_per_level }
+        let script = SynthScript::resyn();
+        let name = format!("aig-depth[{ps_per_level}ps;{}]", script.mnemonic());
+        Self { script, ps_per_level, name }
     }
 
     /// The calibration slope.
@@ -138,7 +157,7 @@ impl DelayOracle for AigDepthOracle {
     }
 
     fn name(&self) -> &str {
-        "aig-depth"
+        &self.name
     }
 }
 
@@ -151,12 +170,14 @@ impl DelayOracle for AigDepthOracle {
 #[derive(Debug)]
 pub struct NaiveSumOracle {
     model: OpDelayModel,
+    name: String,
 }
 
 impl NaiveSumOracle {
     /// Creates the oracle around a characterization model.
     pub fn new(model: OpDelayModel) -> Self {
-        Self { model }
+        let name = format!("naive-sum[{};{}]", model.library().name(), model.script().mnemonic());
+        Self { model, name }
     }
 }
 
@@ -181,23 +202,18 @@ impl DelayOracle for NaiveSumOracle {
             worst = worst.max(a);
             arrival.insert(id, a);
         }
-        let output_arrivals: Vec<(NodeId, Picos)> = sorted
-            .iter()
-            .map(|&id| (id, arrival[&id]))
-            .collect();
+        let output_arrivals: Vec<(NodeId, Picos)> =
+            sorted.iter().map(|&id| (id, arrival[&id])).collect();
         DelayReport { delay_ps: worst, aig_depth: 0, and_count: 0, output_arrivals }
     }
 
     fn name(&self) -> &str {
-        "naive-sum"
+        &self.name
     }
 }
 
 /// Collapses per-bit output arrivals into per-IR-node worst arrivals.
-fn fold_output_arrivals(
-    output_map: &[(NodeId, u32)],
-    arrivals: &[Picos],
-) -> Vec<(NodeId, Picos)> {
+fn fold_output_arrivals(output_map: &[(NodeId, u32)], arrivals: &[Picos]) -> Vec<(NodeId, Picos)> {
     let mut per_node: Vec<(NodeId, Picos)> = Vec::new();
     for (&(id, _bit), &a) in output_map.iter().zip(arrivals) {
         match per_node.iter_mut().find(|(n, _)| *n == id) {
@@ -228,16 +244,15 @@ pub fn evaluate_parallel<O: DelayOracle + ?Sized>(
     }
     let mut reports: Vec<Option<DelayReport>> = vec![None; subgraphs.len()];
     let chunk = subgraphs.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, work_chunk) in reports.chunks_mut(chunk).zip(subgraphs.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, members) in slot_chunk.iter_mut().zip(work_chunk) {
                     *slot = Some(oracle.evaluate(graph, members));
                 }
             });
         }
-    })
-    .expect("oracle worker panicked");
+    });
     reports.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
@@ -329,10 +344,28 @@ mod tests {
     }
 
     #[test]
-    fn oracle_names() {
+    fn oracle_names_carry_timing_identity() {
+        // Names key persisted delay caches, so everything that changes
+        // measured delays — library, corner, script, calibration — must
+        // show up in them.
         let lib = TechLibrary::sky130();
-        assert_eq!(SynthesisOracle::new(lib.clone()).name(), "synthesis");
-        assert_eq!(AigDepthOracle::new(40.0).name(), "aig-depth");
-        assert_eq!(NaiveSumOracle::new(OpDelayModel::new(lib)).name(), "naive-sum");
+        assert_eq!(
+            SynthesisOracle::new(lib.clone()).name(),
+            "synthesis[sky130-like;sweep,balance,sweep]"
+        );
+        assert_ne!(
+            SynthesisOracle::new(lib.clone()).name(),
+            SynthesisOracle::new(TechLibrary::uniform(50.0)).name(),
+        );
+        assert_ne!(
+            SynthesisOracle::new(lib.clone()).name(),
+            SynthesisOracle::with_script(lib.clone(), SynthScript::none()).name(),
+        );
+        assert_eq!(AigDepthOracle::new(40.0).name(), "aig-depth[40ps;sweep,balance,sweep]");
+        assert_ne!(AigDepthOracle::new(40.0).name(), AigDepthOracle::new(45.0).name());
+        assert_eq!(
+            NaiveSumOracle::new(OpDelayModel::new(lib)).name(),
+            "naive-sum[sky130-like;sweep,balance,sweep]"
+        );
     }
 }

@@ -57,6 +57,24 @@ impl SynthScript {
         &self.passes
     }
 
+    /// A compact identity string, e.g. `sweep,balance,sweep` (`none` for the
+    /// empty script). Used to tell scripts apart in oracle names and cache
+    /// snapshots.
+    pub fn mnemonic(&self) -> String {
+        if self.passes.is_empty() {
+            return "none".to_string();
+        }
+        let names: Vec<&str> = self
+            .passes
+            .iter()
+            .map(|p| match p {
+                Pass::Sweep => "sweep",
+                Pass::Balance => "balance",
+            })
+            .collect();
+        names.join(",")
+    }
+
     /// Runs every pass in order and returns the optimized AIG.
     pub fn run(&self, aig: &Aig) -> Aig {
         let mut cur = aig.clone();
@@ -121,10 +139,8 @@ pub fn balance(aig: &Aig) -> Aig {
                     }
                     let d = out_depths[combined.node() as usize];
                     // Insert keeping descending depth order.
-                    let pos = translated
-                        .iter()
-                        .position(|&(dd, _)| dd <= d)
-                        .unwrap_or(translated.len());
+                    let pos =
+                        translated.iter().position(|&(dd, _)| dd <= d).unwrap_or(translated.len());
                     translated.insert(pos, (d, combined));
                 }
                 map[i] = Some(translated.pop().map(|(_, l)| l).unwrap_or(AigLit::TRUE));
@@ -172,7 +188,9 @@ mod tests {
             .map(|_| {
                 (0..n_inputs)
                     .map(|_| {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         (state >> 33) & 1 == 1
                     })
                     .collect()

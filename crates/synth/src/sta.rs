@@ -59,15 +59,12 @@ pub fn analyze(aig: &Aig, lib: &TechLibrary) -> TimingReport {
                 // per-op characterization consistent with fused subgraph
                 // evaluation — both see the same load on high-fanout nets.
                 let f = fanouts[i] as usize;
-                arrival[i] =
-                    lib.gate_delay(GateKind::Buf, f) - lib.gate_delay(GateKind::Buf, 1);
+                arrival[i] = lib.gate_delay(GateKind::Buf, f) - lib.gate_delay(GateKind::Buf, 1);
             }
             AigNode::And(a, b) => {
                 and_count += 1;
-                let input_arrival =
-                    arrival[a.node() as usize].max(arrival[b.node() as usize]);
-                arrival[i] =
-                    input_arrival + lib.gate_delay(GateKind::Nand2, fanouts[i] as usize);
+                let input_arrival = arrival[a.node() as usize].max(arrival[b.node() as usize]);
+                arrival[i] = input_arrival + lib.gate_delay(GateKind::Nand2, fanouts[i] as usize);
             }
             AigNode::Const => {}
         }
@@ -75,12 +72,7 @@ pub fn analyze(aig: &Aig, lib: &TechLibrary) -> TimingReport {
     let output_arrivals_ps: Vec<Picos> =
         aig.outputs().iter().map(|l| arrival[l.node() as usize]).collect();
     let critical_path_ps = output_arrivals_ps.iter().copied().fold(0.0, f64::max);
-    TimingReport {
-        critical_path_ps,
-        output_arrivals_ps,
-        and_count,
-        depth: aig.depth(),
-    }
+    TimingReport { critical_path_ps, output_arrivals_ps, and_count, depth: aig.depth() }
 }
 
 #[cfg(test)]

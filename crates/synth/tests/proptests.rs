@@ -43,9 +43,7 @@ fn arbitrary_aig() -> impl Strategy<Value = Aig> {
 
 fn exhaustive_or_sampled_inputs(n: usize, seed: u64) -> Vec<Vec<bool>> {
     if n <= 10 {
-        (0..1usize << n)
-            .map(|k| (0..n).map(|i| (k >> i) & 1 == 1).collect())
-            .collect()
+        (0..1usize << n).map(|k| (0..n).map(|i| (k >> i) & 1 == 1).collect()).collect()
     } else {
         let mut state = seed;
         (0..64)
@@ -126,10 +124,7 @@ fn oracle_is_deterministic_and_monotone_on_chains() {
         let r1 = oracle.evaluate(&g, members);
         let r2 = oracle.evaluate(&g, members);
         assert_eq!(r1, r2, "oracle must be deterministic");
-        assert!(
-            r1.delay_ps >= prev,
-            "adding ops to a chain cannot reduce its delay"
-        );
+        assert!(r1.delay_ps >= prev, "adding ops to a chain cannot reduce its delay");
         prev = r1.delay_ps;
     }
 }

@@ -203,8 +203,7 @@ impl TechLibrary {
             let buf = self.cell(GateKind::Buf);
             let levels = ((f as f64) / Self::MAX_DIRECT_FANOUT as f64).log2().ceil();
             delay += levels
-                * (buf.intrinsic_ps
-                    + buf.load_slope_ps * (Self::MAX_DIRECT_FANOUT - 1) as f64);
+                * (buf.intrinsic_ps + buf.load_slope_ps * (Self::MAX_DIRECT_FANOUT - 1) as f64);
         }
         delay
     }
@@ -344,7 +343,11 @@ mod tests {
         // Doubling fanout past the cap adds exactly one buffer level.
         let level = lib.gate_delay(GateKind::Nand2, 32) - lib.gate_delay(GateKind::Nand2, 16);
         assert!(level > 0.0);
-        assert!((lib.gate_delay(GateKind::Nand2, 64) - lib.gate_delay(GateKind::Nand2, 32) - level).abs() < 1e-9);
+        assert!(
+            (lib.gate_delay(GateKind::Nand2, 64) - lib.gate_delay(GateKind::Nand2, 32) - level)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -36,10 +36,7 @@ impl DelayOracle for GuardBandedOracle {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = isdc_benchsuite::suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == "ml_core_datapath2")
-        .expect("benchmark in suite");
+    let bench = suite.iter().find(|b| b.name == "ml_core_datapath2").expect("benchmark in suite");
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let mut config = IsdcConfig::paper_defaults(bench.clock_period_ps);
@@ -59,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r_banded = run_isdc(&bench.graph, &model, &banded, &config)?;
 
     println!("oracle          register bits   stages   iterations");
-    for (name, r) in
-        [("synthesis", &r_full), ("aig-depth", &r_depth), ("guard-banded", &r_banded)]
+    for (name, r) in [("synthesis", &r_full), ("aig-depth", &r_depth), ("guard-banded", &r_banded)]
     {
         println!(
             "{name:<15} {:>13} {:>8} {:>12}",

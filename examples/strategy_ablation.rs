@@ -10,10 +10,7 @@ use isdc_techlib::TechLibrary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = isdc_benchsuite::suite();
-    let bench = suite
-        .iter()
-        .find(|b| b.name == "ml_core_datapath2")
-        .expect("benchmark in suite");
+    let bench = suite.iter().find(|b| b.name == "ml_core_datapath2").expect("benchmark in suite");
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
@@ -38,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 shape,
                 threads: 2,
                 convergence_patience: 3,
+                ..IsdcConfig::paper_defaults(bench.clock_period_ps)
             };
             let result = run_isdc(&bench.graph, &model, &oracle, &config)?;
             println!(

@@ -13,6 +13,8 @@
 //!   --subgraphs <m>       subgraphs per iteration (default 16)
 //!   --scoring dd|fd       delay- or fanout-driven extraction (default fd)
 //!   --shape path|cone|window   expansion strategy (default window)
+//!   --cache               memoize downstream evaluations by structural fingerprint
+//!   --cache-file <file>   persist the cache snapshot across runs (implies --cache)
 //!   --dot <file>          write the staged pipeline as Graphviz DOT
 //! ```
 
@@ -46,7 +48,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: isdc-cli <show|schedule|aiger|bench> [args]  (see --help in source header)";
+const USAGE: &str =
+    "usage: isdc-cli <show|schedule|aiger|bench> [args]  (see --help in source header)";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -54,10 +57,7 @@ fn load_graph(path: &str) -> Result<Graph, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn cmd_show(args: &[String]) -> Result<(), String> {
@@ -115,6 +115,12 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         other => return Err(format!("bad --shape `{other}` (path|cone|window)")),
     };
 
+    let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
+    let cache = args.iter().any(|a| a == "--cache") || cache_file.is_some();
+    if cache && !feedback {
+        eprintln!("note: --cache/--cache-file only apply with --feedback; ignoring");
+    }
+
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
@@ -127,13 +133,38 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             shape,
             threads: 4,
             convergence_patience: 2,
+            cache,
+            cache_file,
         };
         let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
         println!("iterations: {}", result.iterations());
         for rec in &result.history {
+            if cache {
+                println!(
+                    "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%, \
+                     cache {:3}/{:3} hits ({:4.0}%)",
+                    rec.iteration,
+                    rec.register_bits,
+                    rec.num_stages,
+                    rec.estimation_error_pct,
+                    rec.cache_hits,
+                    rec.cache_hits + rec.cache_misses,
+                    rec.cache_hit_rate() * 100.0
+                );
+            } else {
+                println!(
+                    "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%",
+                    rec.iteration, rec.register_bits, rec.num_stages, rec.estimation_error_pct
+                );
+            }
+        }
+        if let Some(stats) = result.cache_stats {
             println!(
-                "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%",
-                rec.iteration, rec.register_bits, rec.num_stages, rec.estimation_error_pct
+                "cache: {} hits / {} lookups ({:.0}% hit rate), {} entries inserted",
+                stats.hits,
+                stats.hits + stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.inserts
             );
         }
         (result.schedule, "isdc")
@@ -146,10 +177,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     println!("clock:         {clock}ps");
     println!("stages:        {}", schedule.num_stages());
     println!("register bits: {}", schedule.register_bits(&g));
-    println!(
-        "slack:         {:.0}ps",
-        post_synthesis_slack(&g, &schedule, &oracle, clock)
-    );
+    println!("slack:         {:.0}ps", post_synthesis_slack(&g, &schedule, &oracle, clock));
     if let Some(dot_path) = flag_value(args, "--dot") {
         let rendered = dot::to_dot_with_stages(&g, schedule.cycles());
         std::fs::write(dot_path, rendered).map_err(|e| format!("writing {dot_path}: {e}"))?;

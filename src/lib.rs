@@ -14,6 +14,7 @@
 //! - [`netlist`] — AIG netlists and bit-blasting;
 //! - [`synth`] — the downstream-tool simulator (passes, STA, oracles);
 //! - [`sdc`] — the difference-constraint LP solver;
+//! - [`cache`] — structural-fingerprint memoization of oracle evaluations;
 //! - [`core`] — ISDC itself (delay matrix, extraction, iteration driver);
 //! - [`benchsuite`] — the 17 evaluation benchmarks and sweep generators.
 //!
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use isdc_benchsuite as benchsuite;
+pub use isdc_cache as cache;
 pub use isdc_core as core;
 pub use isdc_ir as ir;
 pub use isdc_netlist as netlist;

@@ -4,7 +4,7 @@
 
 use isdc::ir::{interp, text, BitVecValue, Graph};
 use isdc::netlist::lower_graph;
-use isdc::synth::{DelayOracle, OpDelayModel, SynthesisOracle, SynthScript};
+use isdc::synth::{DelayOracle, OpDelayModel, SynthScript, SynthesisOracle};
 use isdc::techlib::TechLibrary;
 use std::collections::HashMap;
 
@@ -46,11 +46,8 @@ fn lowering_matches_interpreter_on_every_benchmark() {
         for _ in 0..4 {
             let inputs = random_inputs(g, &mut seed);
             let values = interp::evaluate(g, &inputs).expect("interp");
-            let aig_inputs: Vec<bool> = lowered
-                .input_map
-                .iter()
-                .map(|&(id, bit)| values[id.index()].bit(bit))
-                .collect();
+            let aig_inputs: Vec<bool> =
+                lowered.input_map.iter().map(|&(id, bit)| values[id.index()].bit(bit)).collect();
             let aig_out = lowered.aig.eval(&aig_inputs);
             for (pos, &(id, bit)) in lowered.output_map.iter().enumerate() {
                 assert_eq!(
@@ -76,11 +73,8 @@ fn synthesis_passes_preserve_functionality() {
         for _ in 0..3 {
             let inputs = random_inputs(g, &mut seed);
             let values = interp::evaluate(g, &inputs).expect("interp");
-            let aig_inputs: Vec<bool> = lowered
-                .input_map
-                .iter()
-                .map(|&(id, bit)| values[id.index()].bit(bit))
-                .collect();
+            let aig_inputs: Vec<bool> =
+                lowered.input_map.iter().map(|&(id, bit)| values[id.index()].bit(bit)).collect();
             assert_eq!(
                 optimized.eval(&aig_inputs),
                 lowered.aig.eval(&aig_inputs),
@@ -99,8 +93,8 @@ fn text_roundtrip_on_every_benchmark() {
     for b in isdc::benchsuite::suite() {
         let g = &b.graph;
         let printed = text::print(g);
-        let reparsed = text::parse(&printed)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
+        let reparsed =
+            text::parse(&printed).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
         assert_eq!(g.len(), reparsed.len(), "{}", b.name);
         let inputs = random_inputs(g, &mut seed);
         let out1 = interp::evaluate_outputs(g, &inputs).expect("interp original");
@@ -131,10 +125,7 @@ fn fused_chain_delay_is_at_most_naive_sum() {
         g.set_output(acc);
         let fused = oracle.evaluate(&g, &ops).delay_ps;
         let naive: f64 = ops.iter().map(|&id| model.node_delay(&g, id)).sum();
-        assert!(
-            fused <= naive + 1e-6,
-            "{n}-chain: fused {fused}ps > naive {naive}ps"
-        );
+        assert!(fused <= naive + 1e-6, "{n}-chain: fused {fused}ps > naive {naive}ps");
     }
 }
 

@@ -2,29 +2,23 @@
 //! on real benchmark designs, checking the invariants the paper's evaluation
 //! relies on.
 
-use isdc::core::{run_isdc, run_sdc, IsdcConfig, ScoringStrategy, ShapeStrategy};
 use isdc::core::metrics::{post_synthesis_slack, stage_sta_delays};
+use isdc::core::{run_isdc, run_sdc, IsdcConfig};
 use isdc::synth::{NaiveSumOracle, OpDelayModel, SynthesisOracle};
 use isdc::techlib::TechLibrary;
 
 fn quick_config(clock_ps: f64) -> IsdcConfig {
     IsdcConfig {
-        clock_period_ps: clock_ps,
         subgraphs_per_iteration: 8,
         max_iterations: 6,
-        scoring: ScoringStrategy::FanoutDriven,
-        shape: ShapeStrategy::Window,
         threads: 2,
-        convergence_patience: 2,
+        ..IsdcConfig::paper_defaults(clock_ps)
     }
 }
 
 /// The fast subset of the suite used for per-test runs.
 fn fast_suite() -> Vec<isdc::benchsuite::Benchmark> {
-    isdc::benchsuite::suite()
-        .into_iter()
-        .filter(|b| b.graph.len() < 200)
-        .collect()
+    isdc::benchsuite::suite().into_iter().filter(|b| b.graph.len() < 200).collect()
 }
 
 #[test]
@@ -90,8 +84,7 @@ fn isdc_register_history_is_monotone() {
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
     for b in fast_suite().into_iter().take(6) {
-        let result =
-            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let result = run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
         for w in result.history.windows(2) {
             assert!(
                 w[1].register_bits <= w[0].register_bits,
@@ -108,8 +101,7 @@ fn no_gain_oracle_is_a_no_op_across_the_suite() {
     let model = OpDelayModel::new(lib.clone());
     let oracle = NaiveSumOracle::new(OpDelayModel::new(lib));
     for b in fast_suite().into_iter().take(5) {
-        let result =
-            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let result = run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
         let first = result.history[0].register_bits;
         for rec in &result.history {
             assert_eq!(rec.register_bits, first, "{}: naive oracle changed schedule", b.name);
@@ -123,8 +115,7 @@ fn stage_count_never_grows_under_feedback() {
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
     for b in fast_suite() {
-        let result =
-            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let result = run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
         assert!(
             result.final_record().num_stages <= result.history[0].num_stages,
             "{}: stages grew",
@@ -139,10 +130,8 @@ fn slack_stays_finite_and_stage_delays_positive() {
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
     for b in fast_suite().into_iter().take(6) {
-        let result =
-            run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
-        let slack =
-            post_synthesis_slack(&b.graph, &result.schedule, &oracle, b.clock_period_ps);
+        let result = run_isdc(&b.graph, &model, &oracle, &quick_config(b.clock_period_ps)).unwrap();
+        let slack = post_synthesis_slack(&b.graph, &result.schedule, &oracle, b.clock_period_ps);
         assert!(slack.is_finite());
         assert!(slack <= b.clock_period_ps);
         let sta = stage_sta_delays(&b.graph, &result.schedule, &oracle);

@@ -61,18 +61,14 @@ fn initial_estimate_splits_v8_from_v2() {
     let delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
     assert_eq!(delays.get(v2, v8), Some(12_000.0), "D(ccp(v2, v8)) = 12ns");
     let schedule = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
-    assert!(
-        schedule.cycle(v8) > schedule.cycle(v2),
-        "12ns > 10ns forces v8 into a later cycle"
-    );
+    assert!(schedule.cycle(v8) > schedule.cycle(v2), "12ns > 10ns forces v8 into a later cycle");
     let _ = v4;
 }
 
 #[test]
 fn feedback_merges_v8_into_v2s_cycle() {
     let (g, [v2, v4, v8]) = fig2_graph();
-    let mut delays =
-        DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
+    let mut delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
     let before = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
     assert_eq!(before.num_stages(), 2);
 
@@ -102,17 +98,14 @@ fn full_isdc_loop_discovers_the_merge_by_itself() {
     let a = g.params()[0];
     let b = g.params()[1];
     let c = g.params()[2];
-    let oracle = ScriptedOracle {
-        responses: vec![(vec![a, b, c, v2, v4], 7000.0)],
-        default_ps: 1e9,
-    };
+    let oracle =
+        ScriptedOracle { responses: vec![(vec![a, b, c, v2, v4], 7000.0)], default_ps: 1e9 };
 
     // A delay model stand-in: naive delays match the worked example. The
     // driver characterizes via `OpDelayModel`, so instead drive the loop
     // manually through the public pieces it uses.
     use isdc::core::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
-    let mut delays =
-        DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
+    let mut delays = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 0.0, 5000.0, 4000.0, 3000.0]);
     let mut schedule = schedule_with_matrix(&g, &delays, 10_000.0).unwrap();
     assert_eq!(schedule.num_stages(), 2);
     for _iteration in 0..3 {

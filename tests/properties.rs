@@ -15,15 +15,7 @@ use proptest::prelude::*;
 fn dag_config() -> impl Strategy<Value = (RandomDagConfig, u64)> {
     (2usize..30, 2usize..5, prop::bool::ANY, any::<u64>()).prop_map(
         |(num_ops, num_params, with_muls, seed)| {
-            (
-                RandomDagConfig {
-                    num_ops,
-                    num_params,
-                    widths: vec![4, 8],
-                    with_muls,
-                },
-                seed,
-            )
+            (RandomDagConfig { num_ops, num_params, widths: vec![4, 8], with_muls }, seed)
         },
     )
 }
