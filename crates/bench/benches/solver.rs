@@ -1,14 +1,26 @@
 //! LP-solver scaling benchmarks: Bellman-Ford feasibility and min-cost-flow
-//! optimization over growing difference-constraint systems, plus the Alg. 2
-//! vs exhaustive-fixpoint reformulation cost (§III-D's O(n^2) vs O(n^3)
-//! trade).
+//! optimization over growing difference-constraint systems, the Alg. 2 vs
+//! exhaustive-fixpoint reformulation cost (§III-D's O(n^2) vs O(n^3) trade),
+//! and the headline cold-vs-warm comparison: a from-scratch LP rebuild +
+//! cold solve against the incremental engine's dirty re-emission +
+//! warm-started re-solve, per ISDC iteration, on every Table I design.
+//!
+//! The cold-vs-warm pass also writes `BENCH_solver.json` at the workspace
+//! root with per-design per-iteration solve times, so the perf trajectory
+//! of the solver is tracked across PRs. Set `ISDC_BENCH_QUICK=1` (CI does)
+//! to run a reduced design subset with fewer rounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isdc_benchsuite::{random_dag, RandomDagConfig};
-use isdc_core::DelayMatrix;
+use isdc_benchsuite::{random_dag, Benchmark, RandomDagConfig};
+use isdc_core::{
+    schedule_with_matrix, DelayMatrix, DirtySet, IncrementalScheduler, ScheduleOptions,
+};
+use isdc_ir::NodeId;
 use isdc_sdc::{minimize, DifferenceSystem, VarId};
 use isdc_synth::OpDelayModel;
 use isdc_techlib::TechLibrary;
+use std::path::Path;
+use std::time::Instant;
 
 /// Builds a feasible chain-plus-random system of `n` variables.
 fn build_system(n: usize) -> (DifferenceSystem, Vec<i64>) {
@@ -76,6 +88,13 @@ fn bench_reformulation(c: &mut Criterion) {
                 m.reformulate(g)
             });
         });
+        group.bench_with_input(BenchmarkId::new("alg2_worklist", num_ops), &g, |bencher, g| {
+            bencher.iter(|| {
+                let mut m = base.clone();
+                let dirty = m.apply_subgraph_feedback(&members, 500.0);
+                m.reformulate_incremental(g, &dirty)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("exact_fixpoint", num_ops), &g, |bencher, g| {
             bencher.iter(|| {
                 let mut m = base.clone();
@@ -87,5 +106,145 @@ fn bench_reformulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_feasibility, bench_lp_optimization, bench_reformulation);
+/// A synthetic-but-shaped ISDC feedback trace: per round, eight overlapping
+/// windows report 80% of their current worst pair delay (always a pure
+/// relaxation, like Alg. 1 guarantees), followed by an incremental Alg. 2
+/// pass with the dirty carry the driver uses.
+struct FeedbackTrace {
+    /// Matrix state after round `r` (index 0 = initial).
+    matrices: Vec<DelayMatrix>,
+    /// Dirty set accompanying the transition into `matrices[r + 1]`.
+    dirties: Vec<DirtySet>,
+}
+
+fn feedback_trace(bench: &Benchmark, model: &OpDelayModel, rounds: usize) -> FeedbackTrace {
+    let g = &bench.graph;
+    let n = g.len();
+    let mut m = DelayMatrix::initialize(g, &model.all_node_delays(g));
+    let mut matrices = vec![m.clone()];
+    let mut dirties = Vec::new();
+    let mut carry = DirtySet::new(n);
+    for r in 0..rounds {
+        let mut dirty = DirtySet::new(n);
+        for k in 0..8usize {
+            let start = (r * 31 + k * 7) % n;
+            let members: Vec<NodeId> =
+                (start..(start + 6).min(n)).map(|i| NodeId(i as u32)).collect();
+            let worst = members
+                .iter()
+                .flat_map(|&u| members.iter().map(move |&v| (u, v)))
+                .filter_map(|(u, v)| m.get(u, v))
+                .fold(0.0f64, f64::max);
+            dirty.union(&m.apply_subgraph_feedback(&members, worst * 0.8));
+        }
+        dirty.union(&carry);
+        carry = m.reformulate_incremental(g, &dirty);
+        dirty.union(&carry);
+        matrices.push(m.clone());
+        dirties.push(dirty);
+    }
+    FeedbackTrace { matrices, dirties }
+}
+
+/// Minimum wall time of `runs` executions, in nanoseconds.
+fn time_min_ns<R>(runs: usize, mut f: impl FnMut() -> R) -> u128 {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .expect("runs > 0")
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let quick = std::env::var_os("ISDC_BENCH_QUICK").is_some();
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib);
+    let suite = isdc_benchsuite::suite();
+    let largest = suite.iter().map(|b| b.graph.len()).max().unwrap_or(0);
+    let designs: Vec<&Benchmark> = suite
+        .iter()
+        .filter(|b| !quick || b.graph.len() < 150 || b.graph.len() == largest)
+        .collect();
+    let rounds = if quick { 3 } else { 6 };
+    let timing_runs = if quick { 3 } else { 5 };
+
+    let mut group = c.benchmark_group("solver_cold_vs_warm");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for b in designs {
+        let n = b.graph.len();
+        let options = ScheduleOptions { clock_period_ps: b.clock_period_ps, max_stages: None };
+        let trace = feedback_trace(b, &model, rounds);
+        let last = trace.matrices.len() - 1;
+        let final_m = &trace.matrices[last];
+        let final_dirty = &trace.dirties[last - 1];
+        // Prime the engine up to the state *before* the final round, so each
+        // timed warm solve applies one genuine iteration's worth of deltas.
+        let mut engine =
+            IncrementalScheduler::new(&b.graph, &trace.matrices[0], &options).expect("schedulable");
+        engine.reschedule(&b.graph, &trace.matrices[0], &DirtySet::new(n)).unwrap();
+        for r in 0..last - 1 {
+            engine.reschedule(&b.graph, &trace.matrices[r + 1], &trace.dirties[r]).unwrap();
+        }
+        let primed = engine;
+        // Sanity: the timed paths must agree before we compare their speed.
+        let cold_reference = schedule_with_matrix(&b.graph, final_m, b.clock_period_ps).unwrap();
+        {
+            let mut e = primed.clone();
+            let warm = e.reschedule(&b.graph, final_m, final_dirty).unwrap();
+            assert!(e.last_solve_was_warm(), "{}: final round should warm-start", b.name);
+            assert_eq!(warm, cold_reference, "{}: warm diverged from cold", b.name);
+        }
+        group.bench_with_input(BenchmarkId::new("cold", b.name), b, |bencher, b| {
+            bencher.iter(|| schedule_with_matrix(&b.graph, final_m, b.clock_period_ps).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("warm", b.name), b, |bencher, b| {
+            bencher.iter(|| {
+                // The clone (pure memcpy) stands in for state the driver
+                // keeps alive; it biases against the warm path if anything.
+                let mut e = primed.clone();
+                e.reschedule(&b.graph, final_m, final_dirty).unwrap()
+            });
+        });
+        let cold_ns = time_min_ns(timing_runs, || {
+            schedule_with_matrix(&b.graph, final_m, b.clock_period_ps).unwrap()
+        });
+        let warm_ns = time_min_ns(timing_runs, || {
+            let mut e = primed.clone();
+            e.reschedule(&b.graph, final_m, final_dirty).unwrap()
+        });
+        let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"clock_ps\": {}, \
+             \"cold_solve_ns\": {}, \"warm_solve_ns\": {}, \"speedup\": {:.2}}}",
+            b.name, n, b.clock_period_ps, cold_ns, warm_ns, speedup
+        ));
+    }
+    group.finish();
+
+    let json = format!(
+        "{{\n  \"bench\": \"solver\",\n  \"mode\": \"{}\",\n  \"feedback_rounds\": {},\n  \
+         \"unit\": \"ns per ISDC iteration re-solve (constraint emission + LP solve)\",\n  \
+         \"designs\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        rounds,
+        rows.join(",\n")
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solver.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_feasibility,
+    bench_lp_optimization,
+    bench_reformulation,
+    bench_cold_vs_warm
+);
 criterion_main!(benches);

@@ -19,9 +19,98 @@
 use isdc_ir::analysis::{reverse_topo_order, topo_order};
 use isdc_ir::{Graph, NodeId};
 use isdc_techlib::Picos;
+use std::collections::HashMap;
 
 /// Sentinel for "not connected".
 const NOT_CONNECTED: f64 = -1.0;
+
+/// The rows and columns of a [`DelayMatrix`] whose entries changed.
+///
+/// Feedback application and reformulation report their writes here; the
+/// incremental scheduling engine consumes the set twice — to drive the
+/// worklist of [`DelayMatrix::reformulate_incremental`], and to re-emit only
+/// the timing constraints that can have changed (every changed entry
+/// `(u, v)` satisfies `u ∈ rows ∧ v ∈ cols`, so `rows × cols` is a sound
+/// over-approximation of the changed pairs).
+#[derive(Clone, Debug)]
+pub struct DirtySet {
+    rows: Vec<bool>,
+    cols: Vec<bool>,
+    row_list: Vec<u32>,
+    col_list: Vec<u32>,
+    /// Number of matrix entries written (counting duplicates across merged
+    /// sets) — the old `apply_subgraph_feedback` return value.
+    pub updated: usize,
+}
+
+impl DirtySet {
+    /// An empty set over an `n`-node matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            rows: vec![false; n],
+            cols: vec![false; n],
+            row_list: Vec::new(),
+            col_list: Vec::new(),
+            updated: 0,
+        }
+    }
+
+    /// Records a write to entry `(u, v)`.
+    pub fn mark(&mut self, u: usize, v: usize) {
+        self.updated += 1;
+        if !self.rows[u] {
+            self.rows[u] = true;
+            self.row_list.push(u as u32);
+        }
+        if !self.cols[v] {
+            self.cols[v] = true;
+            self.col_list.push(v as u32);
+        }
+    }
+
+    /// True when no entry was written.
+    pub fn is_empty(&self) -> bool {
+        self.updated == 0
+    }
+
+    /// Whether some entry in row `u` changed.
+    pub fn row_dirty(&self, u: NodeId) -> bool {
+        self.rows[u.index()]
+    }
+
+    /// Whether some entry in column `v` changed.
+    pub fn col_dirty(&self, v: NodeId) -> bool {
+        self.cols[v.index()]
+    }
+
+    /// The dirty rows, in first-marked order.
+    pub fn rows(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.row_list.iter().map(|&u| NodeId(u))
+    }
+
+    /// The dirty columns, in first-marked order.
+    pub fn cols(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.col_list.iter().map(|&v| NodeId(v))
+    }
+
+    /// Folds another set into this one.
+    pub fn union(&mut self, other: &DirtySet) {
+        assert_eq!(self.rows.len(), other.rows.len(), "dirty sets cover different matrices");
+        for r in other.rows() {
+            if !self.rows[r.index()] {
+                self.rows[r.index()] = true;
+                self.row_list.push(r.0);
+            }
+        }
+        for c in other.cols() {
+            if !self.cols[c.index()] {
+                self.cols[c.index()] = true;
+                self.col_list.push(c.0);
+            }
+        }
+        self.updated += other.updated;
+    }
+}
 
 /// Tolerance below which entry updates do not count as progress (guards the
 /// fixpoint iteration against floating-point churn).
@@ -101,20 +190,20 @@ impl DelayMatrix {
     }
 
     /// Alg. 1 lines 10-14: lowers every pair covered by an evaluated subgraph
-    /// to the reported delay, when that is an improvement. Returns the number
-    /// of entries updated.
-    pub fn apply_subgraph_feedback(&mut self, members: &[NodeId], delay_ps: Picos) -> usize {
-        let mut updated = 0;
+    /// to the reported delay, when that is an improvement. Returns the dirty
+    /// rows/columns (with [`DirtySet::updated`] counting changed entries).
+    pub fn apply_subgraph_feedback(&mut self, members: &[NodeId], delay_ps: Picos) -> DirtySet {
+        let mut dirty = DirtySet::new(self.n);
         for &u in members {
             for &v in members {
                 let cur = self.at(u.index(), v.index());
                 if cur != NOT_CONNECTED && cur > delay_ps {
                     self.set(u.index(), v.index(), delay_ps);
-                    updated += 1;
+                    dirty.mark(u.index(), v.index());
                 }
             }
         }
-        updated
+        dirty
     }
 
     /// A refinement of Alg. 1 for multi-output subgraphs: pairs ending at a
@@ -123,29 +212,28 @@ impl DelayMatrix {
     /// internal members). Windows benefit the most — their roots can have
     /// very different arrivals.
     ///
-    /// Returns the number of entries updated.
+    /// Returns the dirty rows/columns (with [`DirtySet::updated`] counting
+    /// changed entries).
     pub fn apply_subgraph_feedback_per_output(
         &mut self,
         members: &[NodeId],
         output_arrivals: &[(NodeId, Picos)],
         fallback_ps: Picos,
-    ) -> usize {
-        let mut updated = 0;
-        for &u in members {
-            for &v in members {
-                let bound = output_arrivals
-                    .iter()
-                    .find(|&&(id, _)| id == v)
-                    .map(|&(_, a)| a)
-                    .unwrap_or(fallback_ps);
+    ) -> DirtySet {
+        let mut dirty = DirtySet::new(self.n);
+        // One arrival lookup per call instead of a linear scan per pair.
+        let arrivals: HashMap<NodeId, Picos> = output_arrivals.iter().copied().collect();
+        for &v in members {
+            let bound = arrivals.get(&v).copied().unwrap_or(fallback_ps);
+            for &u in members {
                 let cur = self.at(u.index(), v.index());
                 if cur != NOT_CONNECTED && cur > bound {
                     self.set(u.index(), v.index(), bound);
-                    updated += 1;
+                    dirty.mark(u.index(), v.index());
                 }
             }
         }
-        updated
+        dirty
     }
 
     /// Alg. 2: the `O(n^2)`-per-sweep reformulation. One forward topological
@@ -159,52 +247,173 @@ impl DelayMatrix {
         // Forward sweep (paper lines 2-12).
         let mut dv = vec![NOT_CONNECTED; n];
         for v in topo_order(graph) {
-            let vi = v.index();
-            let d_vv = self.at(vi, vi);
-            dv.fill(NOT_CONNECTED);
-            let node = graph.node(v);
-            for &p in &node.operands {
-                let pi = p.index();
-                for (u, best) in dv.iter_mut().enumerate() {
-                    let via = self.at(u, pi);
-                    if via != NOT_CONNECTED && *best < via + d_vv {
-                        *best = via + d_vv;
-                    }
-                }
-            }
-            for (u, &cand) in dv.iter().enumerate() {
-                if cand != NOT_CONNECTED {
-                    let cur = self.at(u, vi);
-                    if cur > cand + EPS || cur == NOT_CONNECTED {
-                        self.set(u, vi, cand);
-                        changed = true;
-                    }
-                }
-            }
+            changed |= self.forward_node(graph, v, &mut dv, |_, _| {});
         }
         // Backward sweep (paper lines 13-16): delays from u forward through
         // its users.
         let mut du = vec![NOT_CONNECTED; n];
         for u in reverse_topo_order(graph) {
-            let ui = u.index();
-            let d_uu = self.at(ui, ui);
-            du.fill(NOT_CONNECTED);
-            for &c in graph.users(u) {
-                let ci = c.index();
-                for (w, best) in du.iter_mut().enumerate() {
-                    let via = self.at(ci, w);
-                    if via != NOT_CONNECTED && *best < via + d_uu {
-                        *best = via + d_uu;
-                    }
+            changed |= self.backward_node(graph, u, &mut du, |_, _| {});
+        }
+        changed
+    }
+
+    /// One forward-sweep step: recomputes column `v` from its operands'
+    /// columns and `D[v][v]`. `on_write(u, v)` fires for every entry
+    /// lowered (or filled in). Returns true if anything changed.
+    fn forward_node(
+        &mut self,
+        graph: &Graph,
+        v: NodeId,
+        dv: &mut [f64],
+        mut on_write: impl FnMut(usize, usize),
+    ) -> bool {
+        let vi = v.index();
+        let d_vv = self.at(vi, vi);
+        dv.fill(NOT_CONNECTED);
+        for &p in &graph.node(v).operands {
+            let pi = p.index();
+            for (u, best) in dv.iter_mut().enumerate() {
+                let via = self.at(u, pi);
+                if via != NOT_CONNECTED && *best < via + d_vv {
+                    *best = via + d_vv;
                 }
             }
-            for (w, &cand) in du.iter().enumerate() {
-                if cand != NOT_CONNECTED {
-                    let cur = self.at(ui, w);
-                    if cur > cand + EPS || cur == NOT_CONNECTED {
-                        self.set(ui, w, cand);
-                        changed = true;
-                    }
+        }
+        let mut changed = false;
+        for (u, &cand) in dv.iter().enumerate() {
+            if cand != NOT_CONNECTED {
+                let cur = self.at(u, vi);
+                if cur > cand + EPS || cur == NOT_CONNECTED {
+                    self.set(u, vi, cand);
+                    on_write(u, vi);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// One backward-sweep step: recomputes row `u` from its users' rows and
+    /// `D[u][u]`. `on_write(u, w)` fires for every entry lowered (or filled
+    /// in). Returns true if anything changed.
+    fn backward_node(
+        &mut self,
+        graph: &Graph,
+        u: NodeId,
+        du: &mut [f64],
+        mut on_write: impl FnMut(usize, usize),
+    ) -> bool {
+        let ui = u.index();
+        let d_uu = self.at(ui, ui);
+        du.fill(NOT_CONNECTED);
+        for &c in graph.users(u) {
+            let ci = c.index();
+            for (w, best) in du.iter_mut().enumerate() {
+                let via = self.at(ci, w);
+                if via != NOT_CONNECTED && *best < via + d_uu {
+                    *best = via + d_uu;
+                }
+            }
+        }
+        let mut changed = false;
+        for (w, &cand) in du.iter().enumerate() {
+            if cand != NOT_CONNECTED {
+                let cur = self.at(ui, w);
+                if cur > cand + EPS || cur == NOT_CONNECTED {
+                    self.set(ui, w, cand);
+                    on_write(ui, w);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Worklist-driven Alg. 2: one reformulation pass that only re-sweeps
+    /// nodes whose inputs can have changed, instead of all `n`. Produces a
+    /// matrix bit-identical to [`DelayMatrix::reformulate`] from the same
+    /// state, provided `dirty` covers every entry written since the
+    /// previous pass.
+    ///
+    /// A node is a no-op for the forward sweep unless an operand's column,
+    /// or its own diagonal, changed since the sweep last visited it (the
+    /// recomputation is a pure function of those inputs; a fresh
+    /// [`DelayMatrix::initialize`] matrix is already at the sweeps'
+    /// fixpoint). Writes made *during* the pass are chased in-pass where
+    /// their readers still lie ahead (forward writes are only read by
+    /// topologically later nodes; backward row-writes only by
+    /// reverse-topologically later ones).
+    ///
+    /// The one escape is backward-sweep writes landing in columns whose
+    /// forward readers already ran — exactly what a full second
+    /// [`DelayMatrix::reformulate`] pass would pick up. They are reported in
+    /// the returned set, which callers must therefore fold into the `dirty`
+    /// set of the **next** call (the driver carries it across iterations).
+    pub fn reformulate_incremental(&mut self, graph: &Graph, dirty: &DirtySet) -> DirtySet {
+        let n = self.n;
+        let mut changed = DirtySet::new(n);
+        if dirty.is_empty() {
+            return changed;
+        }
+        let mut process_fwd = vec![false; n];
+        let mut process_bwd = vec![false; n];
+        for c in dirty.cols() {
+            for &user in graph.users(c) {
+                process_fwd[user.index()] = true;
+            }
+        }
+        for r in dirty.rows() {
+            for &p in &graph.node(r).operands {
+                process_bwd[p.index()] = true;
+            }
+            // A dirty (r, r) entry means D[r][r] itself may have dropped
+            // (feedback lowers diagonals too); r must re-run both sweeps.
+            // Row+col dirtiness over-approximates that, which is safe:
+            // processing an extra node is a no-op, never a divergence.
+            if dirty.col_dirty(r) {
+                process_fwd[r.index()] = true;
+                process_bwd[r.index()] = true;
+            }
+        }
+
+        let mut fwd_wrote_row = vec![false; n];
+        let mut dv = vec![NOT_CONNECTED; n];
+        for v in topo_order(graph) {
+            if !process_fwd[v.index()] {
+                continue;
+            }
+            let wrote = self.forward_node(graph, v, &mut dv, |u, vi| {
+                changed.mark(u, vi);
+                fwd_wrote_row[u] = true;
+            });
+            if wrote {
+                for &user in graph.users(v) {
+                    process_fwd[user.index()] = true;
+                }
+            }
+        }
+        // Forward writes to row u are read by the backward sweep at u's
+        // operands (their candidate paths route through u's row).
+        for (u, &wrote) in fwd_wrote_row.iter().enumerate() {
+            if wrote {
+                for &p in &graph.node(NodeId(u as u32)).operands {
+                    process_bwd[p.index()] = true;
+                }
+            }
+        }
+
+        let mut du = vec![NOT_CONNECTED; n];
+        for u in reverse_topo_order(graph) {
+            if !process_bwd[u.index()] {
+                continue;
+            }
+            let wrote = self.backward_node(graph, u, &mut du, |ui, w| {
+                changed.mark(ui, w);
+            });
+            if wrote {
+                for &p in &graph.node(u).operands {
+                    process_bwd[p.index()] = true;
                 }
             }
         }
@@ -301,13 +510,17 @@ mod tests {
     fn feedback_lowers_covered_pairs_only() {
         let (g, [a, x, y, _]) = chain();
         let mut d = DelayMatrix::initialize(&g, &[0.0, 10.0, 20.0, 0.0]);
-        let updated = d.apply_subgraph_feedback(&[x, y], 12.0);
+        let dirty = d.apply_subgraph_feedback(&[x, y], 12.0);
         // (x,y) lowered from 30; (x,x) not (10 < 12); (y,y) lowered from 20.
         assert_eq!(d.get(x, y), Some(12.0));
         assert_eq!(d.get(x, x), Some(10.0));
         assert_eq!(d.get(y, y), Some(12.0));
         assert_eq!(d.get(a, y), Some(30.0), "pairs outside the subgraph untouched");
-        assert_eq!(updated, 2);
+        assert_eq!(dirty.updated, 2);
+        // Dirty tracking: entries (x,y) and (y,y) changed.
+        assert!(dirty.row_dirty(x) && dirty.row_dirty(y));
+        assert!(!dirty.row_dirty(a));
+        assert!(dirty.col_dirty(y) && !dirty.col_dirty(x));
     }
 
     #[test]
@@ -448,7 +661,7 @@ mod tests {
         let mut m = DelayMatrix::initialize(&g, &[0.0, 50.0, 60.0]);
         // Only y is reported; x falls back to the subgraph-wide 80.
         m.apply_subgraph_feedback_per_output(&[x, y], &[(y, 70.0)], 80.0);
-        assert_eq!(m.get(a, x), None.or(m.get(a, x)));
+        assert_eq!(m.get(a, x), Some(50.0), "pair outside the subgraph untouched");
         assert_eq!(m.get(x, y), Some(70.0));
         assert_eq!(m.get(x, x), Some(50.0), "fallback 80 does not lower 50");
     }
@@ -463,6 +676,54 @@ mod tests {
         let before = m.clone();
         m.apply_subgraph_feedback_per_output(&[a, x], &[(x, 100.0)], 200.0);
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn incremental_reformulation_matches_full_pass() {
+        // Chain a -> x -> y -> w: feedback on {x, y}, then both maintenance
+        // strategies; matrices must be bit-identical after every pass.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let x = g.unary(OpKind::Not, a).unwrap();
+        let y = g.unary(OpKind::Neg, x).unwrap();
+        let w = g.unary(OpKind::Not, y).unwrap();
+        g.set_output(w);
+        let delays = [0.0, 10.0, 20.0, 5.0];
+        let mut full = DelayMatrix::initialize(&g, &delays);
+        let mut inc = full.clone();
+        let mut carry = DirtySet::new(g.len());
+        for feedback in [15.0, 9.0, 4.0] {
+            full.apply_subgraph_feedback(&[x, y], feedback);
+            full.reformulate(&g);
+            let mut dirty = inc.apply_subgraph_feedback(&[x, y], feedback);
+            dirty.union(&carry);
+            carry = inc.reformulate_incremental(&g, &dirty);
+            assert_eq!(inc, full, "divergence after feedback {feedback}");
+        }
+    }
+
+    #[test]
+    fn incremental_reformulation_with_empty_dirty_set_is_noop() {
+        let (g, _) = chain();
+        let mut d = DelayMatrix::initialize(&g, &[1.0, 2.0, 3.0, 4.0]);
+        let before = d.clone();
+        let changed = d.reformulate_incremental(&g, &DirtySet::new(g.len()));
+        assert!(changed.is_empty());
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn dirty_set_union_merges_rows_cols_and_counts() {
+        let mut a = DirtySet::new(4);
+        a.mark(0, 1);
+        let mut b = DirtySet::new(4);
+        b.mark(2, 1);
+        b.mark(2, 3);
+        a.union(&b);
+        assert_eq!(a.updated, 3);
+        assert_eq!(a.rows().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(a.cols().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3)]);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //! 4. fold delays into the matrix (Alg. 1) and reformulate (Alg. 2);
 //! 5. re-solve the LP; repeat until register usage stabilizes.
 
-use crate::delay::DelayMatrix;
+use crate::delay::{DelayMatrix, DirtySet};
 use crate::metrics;
 use crate::schedule::Schedule;
-use crate::scheduler::{schedule_with_matrix, ScheduleError};
+use crate::scheduler::{
+    schedule_with_matrix, IncrementalScheduler, ScheduleError, ScheduleOptions,
+};
 use crate::subgraph::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
 use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 use isdc_ir::Graph;
@@ -50,6 +52,13 @@ pub struct IsdcConfig {
     /// and saved after it, so delay data survives across runs and sweeps.
     /// Ignored unless [`IsdcConfig::cache`] is set.
     pub cache_file: Option<PathBuf>,
+    /// Solve each iteration's LP incrementally ([`IncrementalScheduler`]):
+    /// the difference system persists across iterations, only dirty timing
+    /// pairs are re-emitted, and the min-cost-flow re-solve is warm-started
+    /// from the previous optimum (sound because Alg. 1 only ever relaxes
+    /// bounds). Schedules are bit-identical either way; this knob only
+    /// trades solver time, so it defaults to on.
+    pub incremental: bool,
 }
 
 impl IsdcConfig {
@@ -66,6 +75,7 @@ impl IsdcConfig {
             convergence_patience: 2,
             cache: false,
             cache_file: None,
+            incremental: true,
         }
     }
 
@@ -110,6 +120,14 @@ pub struct IterationRecord {
     /// Oracle-cache misses recorded during this iteration (0 with caching
     /// off).
     pub cache_misses: u64,
+    /// Wall-clock time spent building/updating and solving this iteration's
+    /// LP (a subset of [`IterationRecord::elapsed`]). The cold-vs-warm gap
+    /// here is what [`IsdcConfig::incremental`] buys.
+    pub solver_time: Duration,
+    /// Whether this iteration's LP re-solve was warm-started (always false
+    /// with [`IsdcConfig::incremental`] off, for the initial schedule, and
+    /// after any cold fallback).
+    pub solver_warm: bool,
     /// Wall-clock time spent in this iteration.
     pub elapsed: Duration,
 }
@@ -250,15 +268,35 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
     let mut stats_before = stats_now();
     let mut delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
     let naive = delays.clone();
-    let mut schedule = schedule_with_matrix(graph, &delays, config.clock_period_ps)?;
+    let options = ScheduleOptions { clock_period_ps: config.clock_period_ps, max_stages: None };
+    // The persistent engine (incremental mode) and the dirty-entry carry
+    // between reformulation passes (a pass's backward-sweep writes are only
+    // consumed by the *next* pass's forward sweep). The engine's one-time LP
+    // build counts toward iteration 0's solver_time, mirroring the build
+    // inside schedule_with_matrix on the cold path.
+    let solve_start = Instant::now();
+    let mut engine = if config.incremental {
+        Some(IncrementalScheduler::new(graph, &delays, &options)?)
+    } else {
+        None
+    };
+    let mut carry = DirtySet::new(graph.len());
+    let mut schedule = match engine.as_mut() {
+        Some(engine) => engine.reschedule(graph, &delays, &DirtySet::new(graph.len()))?,
+        None => schedule_with_matrix(graph, &delays, config.clock_period_ps)?,
+    };
     let mut history = vec![snapshot(
         graph,
         &schedule,
         &delays,
         &naive,
         oracle,
-        0,
-        0,
+        SolveInfo {
+            iteration: 0,
+            subgraphs_evaluated: 0,
+            solver_time: solve_start.elapsed(),
+            solver_warm: false,
+        },
         &mut stats_before,
         &stats_now,
         start.elapsed(),
@@ -274,15 +312,30 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
         let node_sets: Vec<Vec<isdc_ir::NodeId>> =
             subgraphs.iter().map(|s| s.nodes.clone()).collect();
         let reports = evaluate_parallel(oracle, graph, &node_sets, config.threads);
+        let mut dirty = DirtySet::new(graph.len());
         for (sub, report) in subgraphs.iter().zip(&reports) {
-            delays.apply_subgraph_feedback_per_output(
+            dirty.union(&delays.apply_subgraph_feedback_per_output(
                 &sub.nodes,
                 &report.output_arrivals,
                 report.delay_ps,
-            );
+            ));
         }
-        let _ = delays.reformulate(graph);
-        let next = schedule_with_matrix(graph, &delays, config.clock_period_ps)?;
+        let solve_start = Instant::now();
+        let (next, solver_warm) = match engine.as_mut() {
+            Some(engine) => {
+                dirty.union(&carry);
+                let swept = delays.reformulate_incremental(graph, &dirty);
+                dirty.union(&swept);
+                carry = swept;
+                let next = engine.reschedule(graph, &delays, &dirty)?;
+                (next, engine.last_solve_was_warm())
+            }
+            None => {
+                let _ = delays.reformulate(graph);
+                (schedule_with_matrix(graph, &delays, config.clock_period_ps)?, false)
+            }
+        };
+        let solver_time = solve_start.elapsed();
 
         let prev_bits = schedule.register_bits(graph);
         let next_bits = next.register_bits(graph);
@@ -293,8 +346,7 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
             &delays,
             &naive,
             oracle,
-            iteration,
-            subgraphs.len(),
+            SolveInfo { iteration, subgraphs_evaluated: subgraphs.len(), solver_time, solver_warm },
             &mut stats_before,
             &stats_now,
             iter_start.elapsed(),
@@ -318,6 +370,14 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
     })
 }
 
+/// Per-iteration solver facts threaded into [`snapshot`].
+struct SolveInfo {
+    iteration: usize,
+    subgraphs_evaluated: usize,
+    solver_time: Duration,
+    solver_warm: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn snapshot<O: DelayOracle + ?Sized>(
     graph: &Graph,
@@ -325,8 +385,7 @@ fn snapshot<O: DelayOracle + ?Sized>(
     delays: &DelayMatrix,
     naive: &DelayMatrix,
     oracle: &O,
-    iteration: usize,
-    subgraphs_evaluated: usize,
+    solve: SolveInfo,
     stats_before: &mut CacheStats,
     stats_now: &dyn Fn() -> CacheStats,
     elapsed: Duration,
@@ -336,14 +395,16 @@ fn snapshot<O: DelayOracle + ?Sized>(
     let naive_est = metrics::estimated_stage_delays(graph, schedule, naive);
     let stats_after = stats_now();
     let record = IterationRecord {
-        iteration,
+        iteration: solve.iteration,
         register_bits: schedule.register_bits(graph),
         num_stages: schedule.num_stages(),
         estimation_error_pct: metrics::estimation_error_pct(&est, &sta),
         naive_estimation_error_pct: metrics::estimation_error_pct(&naive_est, &sta),
-        subgraphs_evaluated,
+        subgraphs_evaluated: solve.subgraphs_evaluated,
         cache_hits: stats_after.hits - stats_before.hits,
         cache_misses: stats_after.misses - stats_before.misses,
+        solver_time: solve.solver_time,
+        solver_warm: solve.solver_warm,
         elapsed,
     };
     *stats_before = stats_after;
@@ -480,6 +541,34 @@ mod tests {
         assert_eq!(total_hits, stats.hits, "per-iteration hits must sum to the total");
         assert_eq!(total_misses, stats.misses);
         assert!(cached.history.last().unwrap().cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn incremental_run_is_bit_identical_to_from_scratch() {
+        let lib = TechLibrary::sky130();
+        let model = OpDelayModel::new(lib.clone());
+        let oracle = SynthesisOracle::new(lib);
+        let g = datapath();
+        let incremental = run_isdc(&g, &model, &oracle, &quick_config(2500.0)).unwrap();
+        let cold_config = IsdcConfig { incremental: false, ..quick_config(2500.0) };
+        let from_scratch = run_isdc(&g, &model, &oracle, &cold_config).unwrap();
+        assert_eq!(
+            incremental.schedule, from_scratch.schedule,
+            "incremental solving must not change results"
+        );
+        assert_eq!(incremental.history.len(), from_scratch.history.len());
+        for (a, b) in incremental.history.iter().zip(&from_scratch.history) {
+            assert_eq!(a.register_bits, b.register_bits, "iteration {}", a.iteration);
+            assert_eq!(a.num_stages, b.num_stages, "iteration {}", a.iteration);
+        }
+        // The whole point: feedback iterations re-solve warm.
+        assert!(!incremental.history[0].solver_warm, "initial solve is cold");
+        assert!(
+            incremental.history[1..].iter().all(|r| r.solver_warm),
+            "feedback iterations must warm-start: {:?}",
+            incremental.history.iter().map(|r| r.solver_warm).collect::<Vec<_>>()
+        );
+        assert!(from_scratch.history.iter().all(|r| !r.solver_warm));
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! | §III-A overall flow (Fig. 2) | [`run_isdc`], [`IsdcConfig`] |
 //! | Table I metrics | [`Schedule::register_bits`], [`metrics`] |
 //!
+//! On top of the paper, the crate exploits Alg. 1's monotonicity for speed:
+//! feedback and reformulation report their writes as a [`DirtySet`], Alg. 2
+//! runs as a worklist sweep over just the dirty region
+//! ([`DelayMatrix::reformulate_incremental`]), and the SDC LP persists
+//! across iterations in an [`IncrementalScheduler`] that re-emits only
+//! changed timing bounds and re-solves warm
+//! ([`isdc_sdc::IncrementalSolver`]). Results are bit-identical to the
+//! from-scratch pipeline; only solver time changes
+//! ([`IsdcConfig::incremental`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -55,11 +65,14 @@ mod schedule;
 mod scheduler;
 mod subgraph;
 
-pub use delay::DelayMatrix;
+pub use delay::{DelayMatrix, DirtySet};
 pub use driver::{run_isdc, run_sdc, IsdcConfig, IsdcResult, IterationRecord};
 pub use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 pub use schedule::Schedule;
-pub use scheduler::{schedule_with_matrix, schedule_with_options, ScheduleError, ScheduleOptions};
+pub use scheduler::{
+    schedule_with_matrix, schedule_with_options, IncrementalScheduler, ScheduleError,
+    ScheduleOptions,
+};
 pub use subgraph::{
     cone_of, extract_subgraphs, window_of, ExtractionConfig, ScoringStrategy, ShapeStrategy,
     Subgraph,

@@ -12,10 +12,10 @@
 //!   s_v)`, the metric Table I reports, linearized with one auxiliary
 //!   last-use variable per value and a sink variable for graph outputs.
 
-use crate::delay::DelayMatrix;
+use crate::delay::{DelayMatrix, DirtySet};
 use crate::schedule::Schedule;
 use isdc_ir::{Graph, NodeId};
-use isdc_sdc::{minimize, DifferenceSystem, SolveError, VarId};
+use isdc_sdc::{DifferenceSystem, IncrementalSolver, SolveError, VarId};
 use isdc_techlib::Picos;
 use std::fmt;
 
@@ -128,6 +128,45 @@ pub fn schedule_with_options(
     delays: &DelayMatrix,
     options: &ScheduleOptions,
 ) -> Result<Schedule, ScheduleError> {
+    let built = build_lp(graph, delays, options)?;
+    // Move the system into the solver instead of going through `minimize`,
+    // which would clone the O(n^2)-constraint system it is handed by ref.
+    let solution = IncrementalSolver::new(built.sys, built.weights)
+        .and_then(|mut solver| solver.solve())
+        .map_err(|e| map_solve_error(e, options.max_stages))?;
+    Ok(solution_to_schedule(graph, &solution.assignment))
+}
+
+/// Sentinel in the timing-pair index: no constraint emitted for this pair.
+const NO_CONSTRAINT: usize = usize::MAX;
+
+/// The SDC LP plus the bookkeeping the incremental engine needs: which
+/// constraint (if any) encodes the timing bound of each node pair.
+struct BuiltLp {
+    sys: DifferenceSystem,
+    weights: Vec<i64>,
+    /// `u * n + v` -> timing constraint index, [`NO_CONSTRAINT`] if absent.
+    timing_ids: Vec<usize>,
+}
+
+/// Eq. 2's bound for a pair with critical-path delay `d`: split across
+/// `ceil(d / Tclk)` stages. Nonpositive whenever `d > Tclk`; pairs at or
+/// under the clock need no constraint (encoded as bound 0, which dependency
+/// transitivity already implies for connected pairs).
+fn timing_bound(d: Picos, clock_period_ps: Picos) -> i64 {
+    if d <= clock_period_ps {
+        return 0;
+    }
+    let stages_needed = (d / clock_period_ps - 1e-9).ceil() as i64;
+    (-(stages_needed - 1)).min(0)
+}
+
+/// Builds the full SDC LP of paper §II for the given delay matrix.
+fn build_lp(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    options: &ScheduleOptions,
+) -> Result<BuiltLp, ScheduleError> {
     let clock_period_ps = options.clock_period_ps;
     let n = graph.len();
     if n == 0 {
@@ -150,6 +189,7 @@ pub fn schedule_with_options(
     let sink = VarId(2 * n as u32);
     let mut sys = DifferenceSystem::new(2 * n + 1);
     let mut weights = vec![0i64; 2 * n + 1];
+    let mut timing_ids = vec![NO_CONSTRAINT; n * n];
 
     // Dependencies: x_p <= x_v.
     for (v, node) in graph.iter() {
@@ -162,13 +202,9 @@ pub fn schedule_with_options(
     for u in graph.node_ids() {
         for v in graph.node_ids() {
             let Some(d) = delays.get(u, v) else { continue };
-            if d <= clock_period_ps {
-                continue;
-            }
-            let stages_needed = (d / clock_period_ps - 1e-9).ceil() as i64;
-            let bound = -(stages_needed - 1);
+            let bound = timing_bound(d, clock_period_ps);
             if bound < 0 {
-                sys.add_constraint(x(u), x(v), bound);
+                timing_ids[u.index() * n + v.index()] = sys.add_constraint(x(u), x(v), bound);
             }
         }
     }
@@ -223,26 +259,147 @@ pub fn schedule_with_options(
         weights[x(v).index()] -= w;
     }
 
-    let solution = minimize(&sys, &weights).map_err(|e| match (&e, options.max_stages) {
+    Ok(BuiltLp { sys, weights, timing_ids })
+}
+
+fn map_solve_error(e: SolveError, max_stages: Option<u32>) -> ScheduleError {
+    match (&e, max_stages) {
         (SolveError::Infeasible { .. }, Some(max_stages)) => {
             ScheduleError::LatencyUnachievable { max_stages }
         }
         _ => ScheduleError::Solver(e),
-    })?;
-    // Normalize: params (or the global minimum) define stage 0.
+    }
+}
+
+/// Normalizes an LP assignment into a schedule: params (or the global
+/// minimum) define stage 0.
+fn solution_to_schedule(graph: &Graph, assignment: &[i64]) -> Schedule {
+    let n = graph.len();
     let base = graph
         .params()
         .first()
-        .map(|&p| solution.assignment[p.index()])
-        .unwrap_or_else(|| (0..n).map(|i| solution.assignment[i]).min().unwrap_or(0));
+        .map(|&p| assignment[p.index()])
+        .unwrap_or_else(|| (0..n).map(|i| assignment[i]).min().unwrap_or(0));
     let cycles: Vec<u32> = (0..n)
         .map(|i| {
-            let c = solution.assignment[i] - base;
+            let c = assignment[i] - base;
             debug_assert!(c >= 0, "node scheduled before the first stage");
             c as u32
         })
         .collect();
-    Ok(Schedule::new(cycles))
+    Schedule::new(cycles)
+}
+
+/// A scheduler that persists the SDC LP across ISDC iterations.
+///
+/// [`schedule_with_options`] rebuilds the difference system — all `O(n^2)`
+/// timing pairs included — and cold-solves it on every call. This engine
+/// builds the system once, then per iteration re-emits only the timing
+/// bounds of pairs in the delay matrix's [`DirtySet`] and re-solves through
+/// a warm-started [`IncrementalSolver`].
+///
+/// Because Alg. 1 keeps delay updates monotonically non-increasing, those
+/// re-emitted bounds are relaxations, so the warm path applies; any
+/// non-monotone input (a pair that suddenly *needs* a constraint it never
+/// had, or a tightened bound) falls back to a from-scratch rebuild or cold
+/// solve. Either way the result is bit-identical to
+/// [`schedule_with_options`] on the same matrix.
+#[derive(Clone, Debug)]
+pub struct IncrementalScheduler {
+    options: ScheduleOptions,
+    n: usize,
+    solver: IncrementalSolver,
+    timing_ids: Vec<usize>,
+    rebuilt: bool,
+}
+
+impl IncrementalScheduler {
+    /// Builds the LP for `graph` against `delays` and primes the solver.
+    ///
+    /// # Errors
+    ///
+    /// See [`schedule_with_options`].
+    pub fn new(
+        graph: &Graph,
+        delays: &DelayMatrix,
+        options: &ScheduleOptions,
+    ) -> Result<Self, ScheduleError> {
+        let built = build_lp(graph, delays, options)?;
+        let solver = IncrementalSolver::new(built.sys, built.weights)
+            .map_err(|e| map_solve_error(e, options.max_stages))?;
+        Ok(Self {
+            options: *options,
+            n: graph.len(),
+            solver,
+            timing_ids: built.timing_ids,
+            rebuilt: false,
+        })
+    }
+
+    /// Re-solves after delay-matrix changes covered by `dirty`, reusing the
+    /// persistent system and solver state. `delays` must be the same matrix
+    /// the engine was built against, mutated only through entries recorded
+    /// in `dirty` since the previous call.
+    ///
+    /// # Errors
+    ///
+    /// See [`schedule_with_options`]. Monotone (relaxing-only) updates can
+    /// never make the system infeasible.
+    pub fn reschedule(
+        &mut self,
+        graph: &Graph,
+        delays: &DelayMatrix,
+        dirty: &DirtySet,
+    ) -> Result<Schedule, ScheduleError> {
+        self.rebuilt = false;
+        for v in graph.node_ids() {
+            let d = delays.node_delay(v);
+            if d > self.options.clock_period_ps {
+                return Err(ScheduleError::OperationExceedsClock {
+                    node: v,
+                    delay_ps: d,
+                    clock_period_ps: self.options.clock_period_ps,
+                });
+            }
+        }
+        // Every changed entry (u, v) has u in dirty.rows and v in
+        // dirty.cols, so scanning the product covers all changed pairs.
+        'scan: for u in dirty.rows() {
+            for v in dirty.cols() {
+                let Some(d) = delays.get(u, v) else { continue };
+                let bound = timing_bound(d, self.options.clock_period_ps);
+                let id = self.timing_ids[u.index() * self.n + v.index()];
+                if id != NO_CONSTRAINT {
+                    if bound != self.solver.bound(id) {
+                        // Relaxations stay warm; a tightened bound makes the
+                        // solver fall back to its cold path on its own.
+                        self.solver.update_bound(id, bound);
+                    }
+                } else if bound < 0 {
+                    // The pair never needed a timing constraint and now
+                    // does: a delay estimate *grew*, outside the monotone
+                    // contract. Rebuild the whole system from the matrix.
+                    self.rebuilt = true;
+                    break 'scan;
+                }
+            }
+        }
+        if self.rebuilt {
+            let rebuilt = Self::new(graph, delays, &self.options)?;
+            self.solver = rebuilt.solver;
+            self.timing_ids = rebuilt.timing_ids;
+        }
+        let solution =
+            self.solver.solve().map_err(|e| map_solve_error(e, self.options.max_stages))?;
+        Ok(solution_to_schedule(graph, &solution.assignment))
+    }
+
+    /// Whether the most recent [`IncrementalScheduler::reschedule`] re-used
+    /// warm solver state end to end (false after any cold fallback or full
+    /// rebuild).
+    pub fn last_solve_was_warm(&self) -> bool {
+        !self.rebuilt && self.solver.last_solve_was_warm()
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +570,67 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ScheduleError::LatencyUnachievable { max_stages: 0 });
+    }
+
+    #[test]
+    fn incremental_scheduler_matches_from_scratch_across_relaxations() {
+        // Chain of four 400ps ops at 1000ps, relaxed step by step; the
+        // persistent engine must match a fresh solve bit-for-bit each time.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut nodes = vec![a];
+        let mut prev = a;
+        for _ in 0..4 {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+            nodes.push(prev);
+        }
+        g.set_output(prev);
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0]);
+        let options = ScheduleOptions { clock_period_ps: 1000.0, max_stages: None };
+        let mut engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
+        let first = engine.reschedule(&g, &d, &crate::delay::DirtySet::new(g.len())).unwrap();
+        assert!(!engine.last_solve_was_warm(), "first solve is cold");
+        assert_eq!(first, schedule_with_matrix(&g, &d, 1000.0).unwrap());
+        let mut carry = crate::delay::DirtySet::new(g.len());
+        for feedback in [900.0, 700.0, 500.0] {
+            let mut from_scratch = d.clone();
+            let mut dirty = d.apply_subgraph_feedback(&nodes[1..4], feedback);
+            from_scratch.apply_subgraph_feedback(&nodes[1..4], feedback);
+            from_scratch.reformulate(&g);
+            dirty.union(&carry);
+            carry = d.reformulate_incremental(&g, &dirty);
+            dirty.union(&carry);
+            assert_eq!(d, from_scratch, "matrix maintenance diverged at {feedback}");
+            let warm = engine.reschedule(&g, &d, &dirty).unwrap();
+            assert!(engine.last_solve_was_warm(), "relaxation at {feedback} must stay warm");
+            let cold = schedule_with_matrix(&g, &d, 1000.0).unwrap();
+            assert_eq!(warm, cold, "schedules diverged at feedback {feedback}");
+        }
+    }
+
+    #[test]
+    fn incremental_scheduler_rebuilds_on_non_monotone_delays() {
+        // Build the engine against a fast matrix, then hand it a *slower*
+        // one: a pair that never had a timing constraint now needs one, so
+        // the engine must rebuild cold — and still match from-scratch.
+        let (g, _) = mac_graph();
+        let fast = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 300.0]);
+        let slow = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 700.0]);
+        let options = ScheduleOptions { clock_period_ps: 1000.0, max_stages: None };
+        let mut engine = IncrementalScheduler::new(&g, &fast, &options).unwrap();
+        let empty = crate::delay::DirtySet::new(g.len());
+        engine.reschedule(&g, &fast, &empty).unwrap();
+        // Mark everything dirty and swap in the slower matrix.
+        let mut all = crate::delay::DirtySet::new(g.len());
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                all.mark(u, v);
+            }
+        }
+        let rebuilt = engine.reschedule(&g, &slow, &all).unwrap();
+        assert!(!engine.last_solve_was_warm(), "non-monotone delta must fall back cold");
+        assert_eq!(rebuilt, schedule_with_matrix(&g, &slow, 1000.0).unwrap());
+        assert_eq!(rebuilt.num_stages(), 2);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Warm-started incremental re-solving of the SDC LP.
+//!
+//! The ISDC loop re-solves the same LP every iteration with only a handful
+//! of timing bounds changed — and, by the paper's Alg. 1 invariant, changed
+//! *monotonically*: delay estimates only ever decrease, so timing
+//! constraints only ever relax (`x_u - x_v <= b` with a larger `b`).
+//!
+//! **Warm-start invariant.** Relaxing a bound preserves dual feasibility of
+//! the previous optimum's potentials: every residual arc's reduced cost
+//! `b + pi_u - pi_v` only grows when `b` grows. The only invariant that can
+//! break is complementary slackness — a relaxed constraint that carried flow
+//! is no longer tight, so its reverse residual arc would go negative. The
+//! fix is local: cancel the flow on exactly the relaxed arcs, which
+//! re-exposes that supply as node excess, then re-drain with successive
+//! shortest paths *from the old potentials*. The number of Dijkstra rounds
+//! is bounded by the number of flow-carrying relaxed arcs instead of the
+//! total supply, which is what makes per-iteration re-solves cheap.
+//!
+//! Non-relaxing deltas (a bound that tightens) would break dual feasibility
+//! itself, so [`IncrementalSolver::update_bound`] drops the warm state and
+//! the next [`IncrementalSolver::solve`] falls back to the cold solve —
+//! correctness never depends on the monotonicity holding.
+//!
+//! Both paths finish with the same canonicalization as [`crate::minimize`],
+//! so warm and cold solves of equivalent systems return bit-identical
+//! assignments (see `mcf::canonical_assignment`).
+
+use crate::mcf::{canonical_assignment, dot, ssp_drain, FlowNetwork, LpSolution};
+use crate::system::{DifferenceSystem, SolveError};
+
+/// Persistent warm-solve state: the flow network, its potentials, and any
+/// excess re-exposed by canceled flow on relaxed arcs.
+#[derive(Clone, Debug)]
+struct WarmState {
+    net: FlowNetwork,
+    pi: Vec<i64>,
+    excess: Vec<i64>,
+}
+
+/// A reusable SDC LP solver that persists the min-cost-flow state across
+/// solves and re-solves bound relaxations incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use isdc_sdc::{minimize, DifferenceSystem, IncrementalSolver, VarId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sys = DifferenceSystem::new(3);
+/// sys.add_constraint(VarId(0), VarId(1), -2);
+/// let timing = sys.add_constraint(VarId(0), VarId(2), -3);
+/// sys.add_constraint(VarId(1), VarId(2), -1);
+/// let weights = vec![-1, 0, 1];
+///
+/// let mut solver = IncrementalSolver::new(sys.clone(), weights.clone())?;
+/// let cold = solver.solve()?; // first solve is always cold
+/// assert!(!solver.last_solve_was_warm());
+///
+/// // A downstream tool reports the 0->2 path faster than estimated: the
+/// // bound relaxes, and the re-solve is warm-started.
+/// solver.update_bound(timing, -1);
+/// let warm = solver.solve()?;
+/// assert!(solver.last_solve_was_warm());
+/// assert!(warm.objective <= cold.objective);
+///
+/// // Bit-identical to solving the relaxed system from scratch.
+/// sys.set_bound(timing, -1);
+/// assert_eq!(warm, minimize(&sys, &weights)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalSolver {
+    system: DifferenceSystem,
+    weights: Vec<i64>,
+    zero_objective: bool,
+    /// `None` means the next solve must be cold (never solved, or a
+    /// non-relaxing delta invalidated the dual state).
+    state: Option<WarmState>,
+    last_was_warm: bool,
+}
+
+impl IncrementalSolver {
+    /// Wraps a system and objective for repeated solving. The objective is
+    /// fixed for the solver's lifetime; only constraint bounds may change.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnbalancedObjective`] if weights do not sum to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != system.num_vars()`.
+    pub fn new(system: DifferenceSystem, weights: Vec<i64>) -> Result<Self, SolveError> {
+        assert_eq!(weights.len(), system.num_vars(), "one weight per variable required");
+        let weight_sum: i64 = weights.iter().sum();
+        if weight_sum != 0 {
+            return Err(SolveError::UnbalancedObjective { weight_sum });
+        }
+        let zero_objective = weights.iter().all(|&w| w == 0);
+        Ok(Self { system, weights, zero_objective, state: None, last_was_warm: false })
+    }
+
+    /// The wrapped system (bounds reflect all updates applied so far).
+    pub fn system(&self) -> &DifferenceSystem {
+        &self.system
+    }
+
+    /// The current bound of a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint_id` is out of range.
+    pub fn bound(&self, constraint_id: usize) -> i64 {
+        self.system.constraints()[constraint_id].bound
+    }
+
+    /// Whether the most recent [`IncrementalSolver::solve`] reused warm
+    /// state (false for the first solve and after any cold fallback).
+    pub fn last_solve_was_warm(&self) -> bool {
+        self.last_was_warm
+    }
+
+    /// Forces the next solve to run cold, discarding warm state.
+    pub fn invalidate(&mut self) {
+        self.state = None;
+    }
+
+    /// Changes a constraint's bound. A relaxation (`new_bound` larger) is
+    /// folded into the warm state: the arc's cost is rewritten and any flow
+    /// it carried is canceled back into node excess, to be re-routed by the
+    /// next solve. A tightening invalidates the warm state (the old
+    /// potentials may no longer be dual-feasible), so the next solve falls
+    /// back to the cold path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint_id` is out of range.
+    pub fn update_bound(&mut self, constraint_id: usize, new_bound: i64) {
+        let old = self.system.constraints()[constraint_id].bound;
+        if new_bound == old {
+            return;
+        }
+        if new_bound < old {
+            // Tightening: not covered by the warm-start invariant.
+            self.state = None;
+        } else if let Some(state) = &mut self.state {
+            let arc = 2 * constraint_id;
+            state.net.set_cost(arc, new_bound);
+            let flow = state.net.flow(arc);
+            if flow > 0 {
+                // The relaxed constraint was tight and carried flow; with
+                // the larger bound it is no longer tight, so the flow must
+                // be re-routed. Cancel it: the tail gets its supply back,
+                // the head owes it again.
+                state.net.push(arc, -flow);
+                let c = self.system.constraints()[constraint_id];
+                state.excess[c.u.index()] += flow;
+                state.excess[c.v.index()] -= flow;
+            }
+        }
+        self.system.set_bound(constraint_id, new_bound);
+    }
+
+    /// Solves the LP — warm when valid state is available, cold otherwise.
+    /// Returns the same canonical optimum as [`crate::minimize`] on the
+    /// current system.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::minimize`].
+    pub fn solve(&mut self) -> Result<LpSolution, SolveError> {
+        let n = self.system.num_vars();
+        if self.zero_objective {
+            // Pure feasibility query: any satisfying point is optimal.
+            let assignment = self.system.solve_feasible()?;
+            let objective = dot(&self.weights, &assignment);
+            self.last_was_warm = false;
+            return Ok(LpSolution { assignment, objective });
+        }
+        let warm = self.state.is_some();
+        if self.state.is_none() {
+            // Cold start: feasibility first — it also seeds the potentials
+            // (pi_u = -x_u makes every reduced cost b - x_u + x_v >= 0).
+            let feasible = self.system.solve_feasible()?;
+            let mut net = FlowNetwork::new(n);
+            for c in self.system.constraints() {
+                net.add_arc(c.u.index(), c.v.index(), c.bound);
+            }
+            // Node v needs net inflow w_v; excess = -w (positive = source).
+            let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
+            let pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
+            self.state = Some(WarmState { net, pi, excess });
+        }
+        let state = self.state.as_mut().expect("state just ensured");
+        if let Err(e) = ssp_drain(&mut state.net, &mut state.excess, &mut state.pi) {
+            // A failed drain leaves partial flow behind; poison the state.
+            self.state = None;
+            self.last_was_warm = false;
+            return Err(e);
+        }
+        self.last_was_warm = warm;
+        let state = self.state.as_ref().expect("state retained on success");
+        let x_star: Vec<i64> = state.pi.iter().map(|&p| -p).collect();
+        let assignment = canonical_assignment(&self.system, &state.net, &x_star);
+        debug_assert!(self.system.first_violation(&assignment).is_none());
+        let objective = dot(&self.weights, &assignment);
+        debug_assert_eq!(
+            objective,
+            dot(&self.weights, &x_star),
+            "canonicalization must stay on the optimal face"
+        );
+        Ok(LpSolution { assignment, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcf::minimize;
+    use crate::system::VarId;
+
+    /// Chain + timing system mimicking the scheduler's shape.
+    fn chain_system() -> (DifferenceSystem, Vec<i64>, Vec<usize>) {
+        let mut sys = DifferenceSystem::new(5);
+        for i in 0..4u32 {
+            sys.add_constraint(VarId(i), VarId(i + 1), 0); // dependencies
+        }
+        let timing = vec![
+            sys.add_constraint(VarId(0), VarId(2), -2),
+            sys.add_constraint(VarId(1), VarId(3), -2),
+            sys.add_constraint(VarId(0), VarId(4), -3),
+        ];
+        (sys, vec![-2, 1, 0, -1, 2], timing)
+    }
+
+    #[test]
+    fn warm_relaxation_matches_cold_solve() {
+        let (sys, weights, timing) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm());
+
+        // Relax timing bounds step by step; each warm solve must equal a
+        // from-scratch minimize of the equivalently-relaxed system.
+        let mut reference = sys;
+        for (step, &ci) in timing.iter().enumerate() {
+            let new_bound = reference.constraints()[ci].bound + 1;
+            solver.update_bound(ci, new_bound);
+            reference.set_bound(ci, new_bound);
+            let warm = solver.solve().unwrap();
+            assert!(solver.last_solve_was_warm(), "step {step} should stay warm");
+            let cold = minimize(&reference, &weights).unwrap();
+            assert_eq!(warm, cold, "step {step}: warm and cold must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn tightening_falls_back_to_cold() {
+        let (sys, weights, timing) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+        // Tighten: the monotone invariant is violated, warm state must drop.
+        solver.update_bound(timing[0], -3);
+        let sol = solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm(), "tightening must force a cold solve");
+        let mut reference = sys;
+        reference.set_bound(timing[0], -3);
+        assert_eq!(sol, minimize(&reference, &weights).unwrap());
+        // And the solver recovers: a subsequent relaxation is warm again.
+        solver.update_bound(timing[0], -2);
+        reference.set_bound(timing[0], -2);
+        let again = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(again, minimize(&reference, &weights).unwrap());
+    }
+
+    #[test]
+    fn no_op_update_keeps_warm_state() {
+        let (sys, weights, timing) = chain_system();
+        let mut solver = IncrementalSolver::new(sys, weights).unwrap();
+        let first = solver.solve().unwrap();
+        solver.update_bound(timing[0], solver.bound(timing[0]));
+        let second = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn invalidate_forces_cold() {
+        let (sys, weights, _) = chain_system();
+        let mut solver = IncrementalSolver::new(sys, weights).unwrap();
+        solver.solve().unwrap();
+        solver.invalidate();
+        solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm());
+    }
+
+    #[test]
+    fn unbalanced_weights_rejected_at_construction() {
+        let sys = DifferenceSystem::new(2);
+        assert!(matches!(
+            IncrementalSolver::new(sys, vec![1, 2]).unwrap_err(),
+            SolveError::UnbalancedObjective { weight_sum: 3 }
+        ));
+    }
+
+    #[test]
+    fn zero_objective_is_a_feasibility_query() {
+        let mut sys = DifferenceSystem::new(2);
+        sys.add_constraint(VarId(0), VarId(1), -1);
+        let mut solver = IncrementalSolver::new(sys.clone(), vec![0, 0]).unwrap();
+        let sol = solver.solve().unwrap();
+        assert_eq!(sol.objective, 0);
+        assert_eq!(sol.assignment, sys.solve_feasible().unwrap());
+    }
+
+    #[test]
+    fn relaxing_many_bounds_at_once_stays_warm_and_exact() {
+        // Wider randomized soak: a dense feasible system relaxed in batches.
+        let mut state = 0xfeed_f00du64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        for trial in 0..20 {
+            let n = 4 + (trial % 4) as usize;
+            let hidden: Vec<i64> = (0..n).map(|_| rng() % 8).collect();
+            let mut sys = DifferenceSystem::new(n);
+            for _ in 0..3 * n {
+                let u = rng().unsigned_abs() as usize % n;
+                let v = rng().unsigned_abs() as usize % n;
+                if u == v {
+                    continue;
+                }
+                // Feasible by construction relative to the hidden point.
+                sys.add_constraint(
+                    VarId(u as u32),
+                    VarId(v as u32),
+                    hidden[u] - hidden[v] + (rng() % 3).abs(),
+                );
+            }
+            let mut weights: Vec<i64> = (0..n).map(|_| rng() % 3).collect();
+            let s: i64 = weights.iter().sum();
+            weights[0] -= s;
+            let Ok(mut solver) = IncrementalSolver::new(sys.clone(), weights.clone()) else {
+                continue;
+            };
+            let Ok(_) = solver.solve() else { continue };
+            let mut reference = sys;
+            for _round in 0..4 {
+                for ci in 0..reference.constraints().len() {
+                    if rng() % 3 == 0 {
+                        let b = reference.constraints()[ci].bound + 1 + (rng() % 2).abs();
+                        solver.update_bound(ci, b);
+                        reference.set_bound(ci, b);
+                    }
+                }
+                let warm = solver.solve().unwrap();
+                assert!(solver.last_solve_was_warm(), "trial {trial}");
+                let cold = minimize(&reference, &weights).unwrap();
+                assert_eq!(warm, cold, "trial {trial}: warm diverged from cold");
+            }
+        }
+    }
+}

@@ -8,7 +8,12 @@
 //!   system via the min-cost-flow dual (successive shortest paths with
 //!   potentials). Solutions are provably optimal and integral, matching the
 //!   total-unimodularity guarantee that SDC scheduling relies on (Cong &
-//!   Zhang, DAC'06; paper §II).
+//!   Zhang, DAC'06; paper §II). Returned optima are *canonical* — repeated
+//!   solves of equivalent systems are bit-identical;
+//! - [`IncrementalSolver`] — the same LP solved repeatedly with persisted
+//!   min-cost-flow state: bound relaxations (the only deltas the ISDC loop
+//!   produces, by Alg. 1's monotonicity) re-solve via warm-started
+//!   successive shortest paths, anything else falls back to the cold path.
 //!
 //! This crate is deliberately independent of the IR: it can schedule
 //! anything expressible as difference constraints.
@@ -31,8 +36,10 @@
 
 #![warn(missing_docs)]
 
+mod incremental;
 mod mcf;
 mod system;
 
+pub use incremental::IncrementalSolver;
 pub use mcf::{minimize, LpSolution};
 pub use system::{Constraint, DifferenceSystem, SolveError, VarId};

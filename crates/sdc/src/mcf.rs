@@ -16,6 +16,15 @@
 //! nonnegative. At termination the potentials *are* an optimal primal
 //! solution — integral, because all bounds are integers (total
 //! unimodularity, the property the paper's §II leans on).
+//!
+//! Because the LP can have many optimal vertices, the raw SSP potentials
+//! depend on pivot order. To make every solve path (cold, and the
+//! warm-started [`crate::IncrementalSolver`]) return the *same* optimum, the
+//! solution is canonicalized: the final flow's support fixes the optimal
+//! face (complementary slackness: every optimal assignment is tight on every
+//! flow-carrying constraint), and within that face we return the canonical
+//! shortest-path point — the componentwise-maximal optimum at or below zero.
+//! That point is a property of the LP alone, not of the solve path.
 
 #[cfg(test)]
 use crate::system::VarId;
@@ -37,6 +46,11 @@ pub struct LpSolution {
 /// Weights must sum to zero; objectives over *differences* of variables
 /// (register lifetimes, latency spans, ...) always satisfy this, and it is
 /// what makes the LP bounded under translation of all variables.
+///
+/// The returned assignment is canonical: among all optimal assignments at or
+/// below zero, the componentwise-maximal one. Repeated solves of equivalent
+/// systems (even with redundant constraints added or removed) return
+/// bit-identical assignments.
 ///
 /// # Errors
 ///
@@ -61,84 +75,16 @@ pub struct LpSolution {
 /// # }
 /// ```
 pub fn minimize(system: &DifferenceSystem, weights: &[i64]) -> Result<LpSolution, SolveError> {
-    let n = system.num_vars();
-    assert_eq!(weights.len(), n, "one weight per variable required");
-    let weight_sum: i64 = weights.iter().sum();
-    if weight_sum != 0 {
-        return Err(SolveError::UnbalancedObjective { weight_sum });
-    }
-
-    // Feasibility first — also seeds the potentials.
-    let feasible = system.solve_feasible()?;
-    if weights.iter().all(|&w| w == 0) {
-        // Pure feasibility query: any satisfying point is optimal.
-        let objective = dot(weights, &feasible);
-        return Ok(LpSolution { assignment: feasible, objective });
-    }
-
-    // Build the flow network. Arc for constraint (u, v, b): u -> v, cost b,
-    // infinite capacity; plus the paired residual arc v -> u, cost -b, cap 0.
-    let mut net = FlowNetwork::new(n);
-    for c in system.constraints() {
-        net.add_arc(c.u.index(), c.v.index(), c.bound);
-    }
-
-    // Node v needs net inflow w_v; excess = -w (positive excess = source).
-    let mut excess: Vec<i64> = weights.iter().map(|&w| -w).collect();
-
-    // Potentials from the feasible point: pi_u = -x_u makes every reduced
-    // cost b + pi_u - pi_v = b - x_u + x_v >= 0.
-    let mut pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
-
-    // Repeat until all supply is delivered.
-    while let Some(source) = excess.iter().position(|&e| e > 0) {
-        // Dijkstra on reduced costs from `source`.
-        let (dist, parent_arc) = net.dijkstra(source, &pi);
-        // Nearest node with deficit among reached nodes.
-        let target =
-            (0..n).filter(|&v| excess[v] < 0 && dist[v] != i64::MAX).min_by_key(|&v| dist[v]);
-        let Some(target) = target else {
-            // Supply cannot reach any deficit: the dual is infeasible, so
-            // the primal objective is unbounded below.
-            return Err(SolveError::Unbounded);
-        };
-        // Update potentials (capped at dist[target], the standard SSP rule).
-        let dt = dist[target];
-        for v in 0..n {
-            pi[v] += dist[v].min(dt);
-        }
-        // Amount limited by endpoint excesses and residual capacities.
-        let mut amount = excess[source].min(-excess[target]);
-        let mut v = target;
-        while v != source {
-            let arc = parent_arc[v].expect("path to source");
-            amount = amount.min(net.residual_cap(arc));
-            v = net.arc_from(arc);
-        }
-        debug_assert!(amount > 0);
-        let mut v = target;
-        while v != source {
-            let arc = parent_arc[v].expect("path to source");
-            net.push(arc, amount);
-            v = net.arc_from(arc);
-        }
-        excess[source] -= amount;
-        excess[target] += amount;
-    }
-
-    // Optimal primal assignment from final potentials.
-    let assignment: Vec<i64> = pi.iter().map(|&p| -p).collect();
-    debug_assert!(system.first_violation(&assignment).is_none());
-    let objective = dot(weights, &assignment);
-    Ok(LpSolution { assignment, objective })
+    crate::incremental::IncrementalSolver::new(system.clone(), weights.to_vec())?.solve()
 }
 
-fn dot(weights: &[i64], x: &[i64]) -> i64 {
+pub(crate) fn dot(weights: &[i64], x: &[i64]) -> i64 {
     weights.iter().zip(x).map(|(&w, &v)| w * v).sum()
 }
 
 /// Arc-paired residual network.
-struct FlowNetwork {
+#[derive(Clone, Debug)]
+pub(crate) struct FlowNetwork {
     /// (to, cost, remaining_cap); arcs stored in pairs, arc^1 is the reverse.
     arcs: Vec<(usize, i64, i64)>,
     from: Vec<usize>,
@@ -146,14 +92,14 @@ struct FlowNetwork {
     adj: Vec<Vec<usize>>,
 }
 
-const INF_CAP: i64 = i64::MAX / 4;
+pub(crate) const INF_CAP: i64 = i64::MAX / 4;
 
 impl FlowNetwork {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self { arcs: Vec::new(), from: Vec::new(), adj: vec![Vec::new(); n] }
     }
 
-    fn add_arc(&mut self, u: usize, v: usize, cost: i64) {
+    pub(crate) fn add_arc(&mut self, u: usize, v: usize, cost: i64) {
         let fwd = self.arcs.len();
         self.arcs.push((v, cost, INF_CAP));
         self.from.push(u);
@@ -164,17 +110,28 @@ impl FlowNetwork {
         self.adj[v].push(rev);
     }
 
-    fn residual_cap(&self, arc: usize) -> i64 {
+    pub(crate) fn residual_cap(&self, arc: usize) -> i64 {
         self.arcs[arc].2
     }
 
-    fn arc_from(&self, arc: usize) -> usize {
+    /// Flow currently carried by a *forward* constraint arc.
+    pub(crate) fn flow(&self, fwd_arc: usize) -> i64 {
+        INF_CAP - self.arcs[fwd_arc].2
+    }
+
+    pub(crate) fn arc_from(&self, arc: usize) -> usize {
         self.from[arc]
     }
 
-    fn push(&mut self, arc: usize, amount: i64) {
+    pub(crate) fn push(&mut self, arc: usize, amount: i64) {
         self.arcs[arc].2 -= amount;
         self.arcs[arc ^ 1].2 += amount;
+    }
+
+    /// Rewrites the cost of a forward arc (and its paired reverse arc).
+    pub(crate) fn set_cost(&mut self, fwd_arc: usize, cost: i64) {
+        self.arcs[fwd_arc].1 = cost;
+        self.arcs[fwd_arc ^ 1].1 = -cost;
     }
 
     /// Dijkstra over reduced costs `cost + pi[u] - pi[v]`; returns distances
@@ -207,6 +164,114 @@ impl FlowNetwork {
         }
         (dist, parent)
     }
+}
+
+/// Successive-shortest-paths drain: delivers all positive excess to deficits,
+/// maintaining the potential invariant (all residual arcs keep nonnegative
+/// reduced cost). Sources are tracked in a worklist rather than rescanned
+/// (`excess.iter().position(..)`) every round — pushes never create *new*
+/// positive excess (a target's excess only rises toward zero), so the initial
+/// worklist is complete.
+pub(crate) fn ssp_drain(
+    net: &mut FlowNetwork,
+    excess: &mut [i64],
+    pi: &mut [i64],
+) -> Result<(), SolveError> {
+    let n = excess.len();
+    let mut sources: Vec<usize> = (0..n).filter(|&v| excess[v] > 0).collect();
+    while let Some(source) = sources.pop() {
+        while excess[source] > 0 {
+            // Dijkstra on reduced costs from `source`.
+            let (dist, parent_arc) = net.dijkstra(source, pi);
+            // Nearest node with deficit among reached nodes.
+            let target =
+                (0..n).filter(|&v| excess[v] < 0 && dist[v] != i64::MAX).min_by_key(|&v| dist[v]);
+            let Some(target) = target else {
+                // Supply cannot reach any deficit: the dual is infeasible, so
+                // the primal objective is unbounded below.
+                return Err(SolveError::Unbounded);
+            };
+            // Update potentials (capped at dist[target], the standard SSP rule).
+            let dt = dist[target];
+            for v in 0..n {
+                pi[v] += dist[v].min(dt);
+            }
+            // Amount limited by endpoint excesses and residual capacities.
+            let mut amount = excess[source].min(-excess[target]);
+            let mut v = target;
+            while v != source {
+                let arc = parent_arc[v].expect("path to source");
+                amount = amount.min(net.residual_cap(arc));
+                v = net.arc_from(arc);
+            }
+            debug_assert!(amount > 0);
+            let mut v = target;
+            while v != source {
+                let arc = parent_arc[v].expect("path to source");
+                net.push(arc, amount);
+                v = net.arc_from(arc);
+            }
+            excess[source] -= amount;
+            excess[target] += amount;
+        }
+    }
+    Ok(())
+}
+
+/// Canonicalizes an optimal solution: restricts to the optimal face (the
+/// original constraints plus tightness on every flow-carrying constraint,
+/// which by complementary slackness every optimum satisfies) and returns the
+/// canonical virtual-source shortest-path point of that face — the
+/// componentwise-maximal optimum at or below zero.
+///
+/// `x_star` (an optimal assignment, e.g. `-pi` after SSP) doubles as the
+/// Dijkstra potential: it is feasible, and tight on the equality edges, so
+/// all reduced edge weights are nonnegative and no Bellman-Ford is needed.
+pub(crate) fn canonical_assignment(
+    system: &DifferenceSystem,
+    net: &FlowNetwork,
+    x_star: &[i64],
+) -> Vec<i64> {
+    let n = system.num_vars();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Face edges with reduced weights under potential h = x_star. Constraint
+    // (u, v, b) contributes edge v -> u of weight b (dist_u <= dist_v + b);
+    // if its dual arc carries flow, also the tight reverse u -> v of weight
+    // -b (making the constraint an equality on the face).
+    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+    for (ci, c) in system.constraints().iter().enumerate() {
+        let (u, v, b) = (c.u.index(), c.v.index(), c.bound);
+        let w_vu = b + x_star[v] - x_star[u];
+        debug_assert!(w_vu >= 0, "x_star must be feasible");
+        adj[v].push((u, w_vu));
+        if net.flow(2 * ci) > 0 {
+            let w_uv = -b + x_star[u] - x_star[v];
+            debug_assert!(w_uv == 0, "flow-carrying constraints must be tight at x_star");
+            adj[u].push((v, w_uv));
+        }
+    }
+    // Virtual source: an edge of weight 0 to every node. With source
+    // potential h_s = max(h), all its reduced weights h_s - h_u are >= 0.
+    let h_s = x_star.iter().copied().max().expect("n > 0");
+    let mut dist: Vec<i64> = x_star.iter().map(|&x| h_s - x).collect();
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> =
+        dist.iter().enumerate().map(|(v, &d)| Reverse((d, v))).collect();
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    // Back out original-weight distances: dist_orig = dist_reduced + h_u - h_s.
+    (0..n).map(|u| dist[u] + x_star[u] - h_s).collect()
 }
 
 #[cfg(test)]
@@ -377,5 +442,23 @@ mod tests {
         let weights = [-1, 0, 1]; // minimize x2 - x0
         let sol = minimize(&sys, &weights).unwrap();
         assert_eq!(sol.objective, 5); // through the chain: 2 + 3
+    }
+
+    #[test]
+    fn canonical_solution_ignores_redundant_constraints() {
+        // A redundant (implied) constraint must not change the canonical
+        // assignment — the warm solver keeps relaxed-to-zero timing pairs
+        // around, the cold path drops them, and both must agree bit-for-bit.
+        let mut sys = DifferenceSystem::new(4);
+        sys.add_constraint(VarId(0), VarId(1), -1);
+        sys.add_constraint(VarId(1), VarId(2), -2);
+        sys.add_constraint(VarId(2), VarId(3), 0);
+        let weights = [-1, 1, -1, 1];
+        let base = minimize(&sys, &weights).unwrap();
+        // x0 - x2 <= -3 is implied by the chain; x0 - x3 <= 0 likewise.
+        sys.add_constraint(VarId(0), VarId(2), -3);
+        sys.add_constraint(VarId(0), VarId(3), 0);
+        let redundant = minimize(&sys, &weights).unwrap();
+        assert_eq!(base, redundant);
     }
 }

@@ -124,6 +124,19 @@ impl DifferenceSystem {
         self.constraints.len() - 1
     }
 
+    /// Replaces the bound of constraint `index`, returning the previous
+    /// bound. The constraint's variable pair is immutable — incremental
+    /// solvers rely on the arc topology staying fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_bound(&mut self, index: usize, bound: i64) -> i64 {
+        let old = self.constraints[index].bound;
+        self.constraints[index].bound = bound;
+        old
+    }
+
     /// Checks a candidate assignment against every constraint, returning the
     /// index of the first violated constraint, if any.
     pub fn first_violation(&self, assignment: &[i64]) -> Option<usize> {

@@ -15,6 +15,8 @@
 //!   --shape path|cone|window   expansion strategy (default window)
 //!   --cache               memoize downstream evaluations by structural fingerprint
 //!   --cache-file <file>   persist the cache snapshot across runs (implies --cache)
+//!   --cold-solver         rebuild and cold-solve the LP every iteration
+//!                         (default: incremental warm-started re-solves)
 //!   --dot <file>          write the staged pipeline as Graphviz DOT
 //! ```
 
@@ -120,6 +122,7 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     if cache && !feedback {
         eprintln!("note: --cache/--cache-file only apply with --feedback; ignoring");
     }
+    let incremental = !args.iter().any(|a| a == "--cold-solver");
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
@@ -135,14 +138,20 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             convergence_patience: 2,
             cache,
             cache_file,
+            incremental,
         };
         let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
         println!("iterations: {}", result.iterations());
         for rec in &result.history {
+            let solver = format!(
+                "{:?} ({})",
+                rec.solver_time,
+                if rec.solver_warm { "warm" } else { "cold" }
+            );
             if cache {
                 println!(
                     "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%, \
-                     cache {:3}/{:3} hits ({:4.0}%)",
+                     solve {solver}, cache {:3}/{:3} hits ({:4.0}%)",
                     rec.iteration,
                     rec.register_bits,
                     rec.num_stages,
@@ -153,7 +162,8 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
                 );
             } else {
                 println!(
-                    "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%",
+                    "  iter {:2}: {:6} register bits, {:3} stages, est.err {:5.1}%, \
+                     solve {solver}",
                     rec.iteration, rec.register_bits, rec.num_stages, rec.estimation_error_pct
                 );
             }

@@ -1,0 +1,119 @@
+//! The incremental scheduling engine's one non-negotiable property: it is a
+//! pure performance optimization. For any graph and any monotone feedback
+//! sequence, the warm-started incremental path must produce **bit-identical
+//! schedules** to rebuilding and cold-solving from scratch — across random
+//! DAGs (proptest), the full Table I benchsuite, and the fallback paths.
+
+use isdc::benchsuite::{random_dag, RandomDagConfig};
+use isdc::core::{
+    run_isdc, schedule_with_matrix, DelayMatrix, DirtySet, IncrementalScheduler, IsdcConfig,
+    ScheduleOptions,
+};
+use isdc::ir::NodeId;
+use isdc::synth::{OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+use proptest::prelude::*;
+
+const CLOCK: f64 = 2500.0;
+
+/// A monotone feedback step: a window of nodes and the fraction of the
+/// window's current worst pair delay to report back.
+type FeedbackStep = (usize, usize, f64);
+
+fn feedback_strategy() -> impl Strategy<Value = (RandomDagConfig, u64, Vec<FeedbackStep>)> {
+    let step = (0usize..64, 2usize..8, 0.3f64..1.1);
+    (8usize..40, 2usize..5, any::<u64>(), prop::collection::vec(step, 1..10)).prop_map(
+        |(num_ops, num_params, seed, steps)| {
+            (
+                RandomDagConfig { num_ops, num_params, widths: vec![4, 8], with_muls: false },
+                seed,
+                steps,
+            )
+        },
+    )
+}
+
+/// Resolves a feedback step against the graph: a contiguous node-id window
+/// and a delay derived from the *current* matrix (scaled worst member pair),
+/// which keeps the sequence monotone whenever the scale is below 1 and
+/// exercises no-op feedback when it is not.
+fn resolve_step(m: &DelayMatrix, n: usize, step: &FeedbackStep) -> (Vec<NodeId>, f64) {
+    let (start, len, scale) = *step;
+    let start = start % n;
+    let members: Vec<NodeId> = (start..(start + len).min(n)).map(|i| NodeId(i as u32)).collect();
+    let worst = members
+        .iter()
+        .flat_map(|&u| members.iter().map(move |&v| (u, v)))
+        .filter_map(|(u, v)| m.get(u, v))
+        .fold(0.0f64, f64::max);
+    (members, worst * scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Randomized monotone relaxation sequences: after every step, both the
+    /// incrementally-maintained delay matrix and the warm-solved schedule
+    /// must be bit-identical to the from-scratch pipeline.
+    #[test]
+    fn incremental_pipeline_is_bit_identical((config, seed, steps) in feedback_strategy()) {
+        let g = random_dag(&config, seed);
+        let model = OpDelayModel::new(TechLibrary::sky130());
+        let mut inc = DelayMatrix::initialize(&g, &model.all_node_delays(&g));
+        let mut full = inc.clone();
+        let options = ScheduleOptions { clock_period_ps: CLOCK, max_stages: None };
+        let mut engine = IncrementalScheduler::new(&g, &inc, &options).expect("schedulable");
+        let initial = engine.reschedule(&g, &inc, &DirtySet::new(g.len())).unwrap();
+        prop_assert_eq!(&initial, &schedule_with_matrix(&g, &full, CLOCK).unwrap());
+        let mut carry = DirtySet::new(g.len());
+        for (i, step) in steps.iter().enumerate() {
+            let (members, delay_ps) = resolve_step(&inc, g.len(), step);
+            // From-scratch path: full Alg. 2 pass + fresh LP build + cold solve.
+            full.apply_subgraph_feedback(&members, delay_ps);
+            full.reformulate(&g);
+            let cold = schedule_with_matrix(&g, &full, CLOCK).unwrap();
+            // Incremental path: dirty-tracked feedback, worklist sweep
+            // (carrying the previous pass's escaped writes), warm re-solve.
+            let mut dirty = inc.apply_subgraph_feedback(&members, delay_ps);
+            dirty.union(&carry);
+            carry = inc.reformulate_incremental(&g, &dirty);
+            dirty.union(&carry);
+            prop_assert_eq!(&inc, &full, "matrix diverged at step {}", i);
+            let warm = engine.reschedule(&g, &inc, &dirty).unwrap();
+            prop_assert_eq!(&warm, &cold, "schedule diverged at step {}", i);
+        }
+    }
+}
+
+/// The acceptance bar: on every Table I design, a full ISDC run with the
+/// incremental engine matches the from-scratch run bit for bit — final
+/// schedule and the entire per-iteration quality trajectory.
+#[test]
+fn benchsuite_runs_are_bit_identical() {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    for b in isdc::benchsuite::suite() {
+        let config = IsdcConfig {
+            subgraphs_per_iteration: 8,
+            max_iterations: 3,
+            threads: 2,
+            ..IsdcConfig::paper_defaults(b.clock_period_ps)
+        };
+        let warm = run_isdc(&b.graph, &model, &oracle, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let cold_config = IsdcConfig { incremental: false, ..config };
+        let cold = run_isdc(&b.graph, &model, &oracle, &cold_config).unwrap();
+        assert_eq!(warm.schedule, cold.schedule, "{}: schedules diverged", b.name);
+        assert_eq!(warm.history.len(), cold.history.len(), "{}: iteration counts", b.name);
+        for (w, c) in warm.history.iter().zip(&cold.history) {
+            assert_eq!(w.register_bits, c.register_bits, "{} iter {}", b.name, w.iteration);
+            assert_eq!(w.num_stages, c.num_stages, "{} iter {}", b.name, w.iteration);
+        }
+        assert!(
+            warm.history[1..].iter().all(|r| r.solver_warm),
+            "{}: monotone feedback must keep every re-solve warm",
+            b.name
+        );
+    }
+}
