@@ -19,7 +19,12 @@
 //!   replaying cached per-output arrivals onto the caller's node ids via the
 //!   canonical order;
 //! - [`DelayCache::save`] / [`DelayCache::load`] persist a cache **snapshot
-//!   as JSON**, so delay data survives across CLI runs and sweeps.
+//!   as JSON**, so delay data survives across CLI runs and sweeps;
+//! - the cache also carries the **LP potentials** a scheduling session
+//!   exports per (design fingerprint, clock period)
+//!   ([`DelayCache::store_potentials`] / [`DelayCache::nearest_potentials`])
+//!   — persisted in snapshot format version 2 alongside the delay entries,
+//!   under the same oracle identity tag.
 //!
 //! The per-op [`OpDelayModel`](isdc_synth::OpDelayModel) cache plays the
 //! same trick at single-op granularity; this crate generalizes it to whole
@@ -69,5 +74,5 @@ mod store;
 
 pub use fingerprint::{canonicalize, CanonicalSubgraph, Fingerprint};
 pub use oracle::CachingOracle;
-pub use persist::SNAPSHOT_VERSION;
-pub use store::{CacheStats, CachedDelay, DelayCache};
+pub use persist::{OLDEST_SUPPORTED_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
+pub use store::{CacheStats, CachedDelay, DelayCache, StoredPotentials};

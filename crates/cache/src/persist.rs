@@ -4,11 +4,14 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "oracle": "synthesis",
 //!   "entries": [
 //!     {"key": "<32 hex digits>", "delay_ps": 812.5, "aig_depth": 14,
 //!      "and_count": 220, "arrivals": [[0, 812.5], [2, 640.0]]}
+//!   ],
+//!   "potentials": [
+//!     {"key": "<32 hex digits>", "clock_ps": 2500, "pi": [0, -1, -2]}
 //!   ]
 //! }
 //! ```
@@ -19,18 +22,31 @@
 //! against another. Oracles that time differently (custom script, different
 //! library) must therefore report distinct names.
 //!
+//! **Versioning.** Version 2 added the `potentials` section — LP solver
+//! potentials per (design fingerprint, clock period), the cross-run
+//! warm-start currency of [`IsdcSession`](../isdc_core). The compatibility
+//! rule: a loader accepts its own version and every earlier one (version-1
+//! snapshots simply carry no potentials), and always writes the current
+//! version. Potentials are doubly safeguarded: by the oracle tag here, and
+//! by the importer, which validates a vector against its own LP before
+//! using it — so even a mis-tagged vector can only cost a cold start, never
+//! a wrong schedule.
+//!
 //! Floats are written in Rust's shortest-roundtrip form, so a
 //! save/load cycle reproduces bit-identical `f64`s. The codec is hand-rolled
 //! because the build environment cannot fetch `serde_json`; it accepts any
 //! whitespace and ignores unknown object keys, so the format can grow.
 
 use crate::fingerprint::Fingerprint;
-use crate::store::{CachedDelay, DelayCache};
+use crate::store::{CachedDelay, DelayCache, StoredPotentials};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Oldest snapshot version [`DelayCache::merge_json`] still accepts.
+pub const OLDEST_SUPPORTED_SNAPSHOT_VERSION: u64 = 1;
 
 impl DelayCache {
     /// Serializes every entry to the snapshot JSON format, stamped with the
@@ -58,6 +74,20 @@ impl DelayCache {
             }
             out.push_str("]}");
         }
+        out.push_str("],\"potentials\":[");
+        for (i, (fp, stored)) in self.potential_entries().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"key\":\"{fp}\",\"clock_ps\":{:?},\"pi\":[", stored.clock_ps);
+            for (j, p) in stored.pi.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{p}");
+            }
+            out.push_str("]}");
+        }
         out.push_str("]}");
         out
     }
@@ -77,6 +107,7 @@ impl DelayCache {
         // Parse fully before touching the cache, so a rejected snapshot
         // (bad tag, malformed tail) merges nothing.
         let mut parsed: Vec<(Fingerprint, CachedDelay)> = Vec::new();
+        let mut potentials: Vec<(Fingerprint, StoredPotentials)> = Vec::new();
         let mut tagged: Option<String> = None;
         p.expect(b'{')?;
         loop {
@@ -85,7 +116,7 @@ impl DelayCache {
             match key.as_str() {
                 "version" => {
                     let v = p.number()? as u64;
-                    if v != SNAPSHOT_VERSION {
+                    if !(OLDEST_SUPPORTED_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&v) {
                         return Err(format!("unsupported snapshot version {v}"));
                     }
                 }
@@ -109,6 +140,17 @@ impl DelayCache {
                         }
                     }
                 }
+                "potentials" => {
+                    p.expect(b'[')?;
+                    if !p.peek_close(b']') {
+                        loop {
+                            potentials.push(parse_potentials(&mut p)?);
+                            if !p.comma_or_close(b']')? {
+                                break;
+                            }
+                        }
+                    }
+                }
                 _ => p.skip_value()?,
             }
             if !p.comma_or_close(b'}')? {
@@ -121,6 +163,9 @@ impl DelayCache {
         let merged = parsed.len();
         for (fp, entry) in parsed {
             self.insert_silent(fp, entry);
+        }
+        for (fp, stored) in potentials {
+            self.store_potentials(fp, stored.clock_ps, stored.pi);
         }
         Ok(merged)
     }
@@ -197,6 +242,40 @@ fn parse_entry(p: &mut Parser<'_>) -> Result<(Fingerprint, CachedDelay), String>
     }
     let fp = fp.ok_or("entry without key")?;
     Ok((fp, entry))
+}
+
+fn parse_potentials(p: &mut Parser<'_>) -> Result<(Fingerprint, StoredPotentials), String> {
+    let mut fp: Option<Fingerprint> = None;
+    let mut stored = StoredPotentials { clock_ps: 0.0, pi: Vec::new() };
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "key" => {
+                let s = p.string()?;
+                fp = Some(Fingerprint::parse(&s).ok_or_else(|| format!("bad fingerprint `{s}`"))?);
+            }
+            "clock_ps" => stored.clock_ps = p.number()?,
+            "pi" => {
+                p.expect(b'[')?;
+                if !p.peek_close(b']') {
+                    loop {
+                        stored.pi.push(p.number()? as i64);
+                        if !p.comma_or_close(b']')? {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        if !p.comma_or_close(b'}')? {
+            break;
+        }
+    }
+    let fp = fp.ok_or("potentials without key")?;
+    Ok((fp, stored))
 }
 
 /// A minimal JSON reader for the snapshot subset (objects, arrays, strings
@@ -389,6 +468,33 @@ mod tests {
         let got = cache.get(Fingerprint(0xff)).unwrap();
         assert_eq!(got.delay_ps, 10.5);
         assert_eq!(got.arrivals, vec![(1, 10.5)]);
+    }
+
+    #[test]
+    fn potentials_roundtrip_with_entries() {
+        let cache = sample();
+        cache.store_potentials(Fingerprint(0xabc), 2500.0, vec![0, -1, -2, 7]);
+        cache.store_potentials(Fingerprint(0xabc), 3000.0, vec![0, 0, -1, 5]);
+        let restored = DelayCache::new();
+        restored.merge_json(&cache.to_json("synthesis"), "synthesis").unwrap();
+        assert_eq!(restored.entries(), cache.entries());
+        assert_eq!(restored.potential_entries(), cache.potential_entries());
+        assert_eq!(
+            restored.nearest_potentials(Fingerprint(0xabc), 2600.0),
+            Some((2500.0, vec![0, -1, -2, 7])),
+        );
+    }
+
+    #[test]
+    fn version_1_snapshot_still_loads_without_potentials() {
+        // The compatibility rule: all versions back to 1 are accepted; a
+        // v1 snapshot just carries no potentials section.
+        let json = r#"{"version":1,"oracle":"synthesis","entries":[
+            {"key":"0000000000000000000000000000000a","delay_ps":3.5,
+             "aig_depth":1,"and_count":2,"arrivals":[[0,3.5]]}]}"#;
+        let cache = DelayCache::new();
+        assert_eq!(cache.merge_json(json, "synthesis").unwrap(), 1);
+        assert!(cache.potential_entries().is_empty());
     }
 
     #[test]

@@ -43,6 +43,20 @@ impl CacheStats {
     }
 }
 
+/// LP solver potentials learned for one (design, clock period) pair —
+/// exported by a scheduling run's initial solve and imported (after
+/// validation) to warm-start a later run of the same design. Stored and
+/// persisted alongside the delay entries because they share the same
+/// staleness domain: the oracle/model identity the snapshot is tagged with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredPotentials {
+    /// The clock period the potentials were solved at, in picoseconds.
+    pub clock_ps: f64,
+    /// The solver's node potentials (`-potentials` is the optimal LP
+    /// assignment of the run's initial solve).
+    pub pi: Vec<i64>,
+}
+
 /// A sharded, thread-safe map from structural fingerprints to delay reports.
 ///
 /// Shard count is fixed at construction; a fingerprint's shard is chosen
@@ -50,10 +64,16 @@ impl CacheStats {
 /// [`evaluate_parallel`](isdc_synth::evaluate_parallel) workers rarely
 /// contend on the same lock, and the read-mostly warm path takes only read
 /// locks.
+///
+/// Next to the sharded delay map the cache keeps a small side store of
+/// [`StoredPotentials`] per design fingerprint (one entry per clock period,
+/// sorted ascending). It is deliberately unsharded: sweeps write one vector
+/// per *run*, not per evaluation.
 #[derive(Debug)]
 pub struct DelayCache {
     shards: Box<[RwLock<HashMap<u128, CachedDelay>>]>,
     mask: usize,
+    potentials: RwLock<HashMap<u128, Vec<StoredPotentials>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -82,6 +102,7 @@ impl DelayCache {
         Self {
             shards: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
             mask: count - 1,
+            potentials: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -142,6 +163,51 @@ impl DelayCache {
         for s in self.shards.iter() {
             s.write().expect("shard lock poisoned").clear();
         }
+    }
+
+    /// Stores (or replaces) the potentials learned for `design` at
+    /// `clock_ps`, keeping the per-design list sorted by period.
+    pub fn store_potentials(&self, design: Fingerprint, clock_ps: f64, pi: Vec<i64>) {
+        let mut map = self.potentials.write().expect("potential lock poisoned");
+        let list = map.entry(design.0).or_default();
+        match list.binary_search_by(|p| p.clock_ps.total_cmp(&clock_ps)) {
+            Ok(i) => list[i].pi = pi,
+            Err(i) => list.insert(i, StoredPotentials { clock_ps, pi }),
+        }
+    }
+
+    /// The potentials best suited to warm-start a run of `design` at
+    /// `clock_ps`: an exact period match first; otherwise the closest
+    /// *shorter* period (whose optimum satisfies the relaxed bounds of the
+    /// longer one — timing constraints are monotone in the period);
+    /// otherwise the closest longer period, which the importer's validation
+    /// may still accept. Returns the stored period alongside the vector.
+    pub fn nearest_potentials(
+        &self,
+        design: Fingerprint,
+        clock_ps: f64,
+    ) -> Option<(f64, Vec<i64>)> {
+        let map = self.potentials.read().expect("potential lock poisoned");
+        let list = map.get(&design.0)?;
+        let pick = match list.binary_search_by(|p| p.clock_ps.total_cmp(&clock_ps)) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let entry = list.get(pick)?;
+        Some((entry.clock_ps, entry.pi.clone()))
+    }
+
+    /// All stored potentials, ascending by design fingerprint then period
+    /// (a stable order for snapshots and tests).
+    pub fn potential_entries(&self) -> Vec<(Fingerprint, StoredPotentials)> {
+        let map = self.potentials.read().expect("potential lock poisoned");
+        let mut out: Vec<(Fingerprint, StoredPotentials)> = map
+            .iter()
+            .flat_map(|(&k, list)| list.iter().map(move |p| (Fingerprint(k), p.clone())))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.clock_ps.total_cmp(&b.1.clock_ps)));
+        out
     }
 
     /// All entries, ascending by fingerprint (a stable order for snapshots
@@ -227,6 +293,23 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn potentials_nearest_prefers_exact_then_below_then_above() {
+        let cache = DelayCache::new();
+        let d = fp(42);
+        cache.store_potentials(d, 2000.0, vec![1, 2]);
+        cache.store_potentials(d, 3000.0, vec![3, 4]);
+        assert_eq!(cache.nearest_potentials(d, 3000.0), Some((3000.0, vec![3, 4])));
+        assert_eq!(cache.nearest_potentials(d, 2500.0), Some((2000.0, vec![1, 2])));
+        assert_eq!(cache.nearest_potentials(d, 9000.0), Some((3000.0, vec![3, 4])));
+        assert_eq!(cache.nearest_potentials(d, 1000.0), Some((2000.0, vec![1, 2])));
+        assert_eq!(cache.nearest_potentials(fp(7), 2000.0), None, "unknown design");
+        // Replacement at an existing period.
+        cache.store_potentials(d, 2000.0, vec![9]);
+        assert_eq!(cache.nearest_potentials(d, 2000.0), Some((2000.0, vec![9])));
+        assert_eq!(cache.potential_entries().len(), 2);
     }
 
     #[test]

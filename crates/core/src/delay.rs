@@ -24,20 +24,27 @@ use std::collections::HashMap;
 /// Sentinel for "not connected".
 const NOT_CONNECTED: f64 = -1.0;
 
-/// The rows and columns of a [`DelayMatrix`] whose entries changed.
+/// The entries of a [`DelayMatrix`] that changed, tracked both as exact
+/// `(row, col)` pairs and as dirty-row/dirty-column index sets.
 ///
 /// Feedback application and reformulation report their writes here; the
-/// incremental scheduling engine consumes the set twice — to drive the
-/// worklist of [`DelayMatrix::reformulate_incremental`], and to re-emit only
-/// the timing constraints that can have changed (every changed entry
-/// `(u, v)` satisfies `u ∈ rows ∧ v ∈ cols`, so `rows × cols` is a sound
-/// over-approximation of the changed pairs).
+/// incremental scheduling engine consumes the set twice — the rows/columns
+/// drive the worklist of [`DelayMatrix::reformulate_incremental`], and the
+/// exact pairs tell the scheduler precisely which timing bounds to re-emit
+/// ([`DirtySet::pairs`]; the `rows × cols` product is a sound
+/// over-approximation, but on window-shaped feedback it is quadratically
+/// larger than the true write set).
+///
+/// Pairs may repeat when the same entry is written more than once (merged
+/// sets, forward + backward sweep); consumers must be idempotent per pair,
+/// which bound re-emission is.
 #[derive(Clone, Debug)]
 pub struct DirtySet {
     rows: Vec<bool>,
     cols: Vec<bool>,
     row_list: Vec<u32>,
     col_list: Vec<u32>,
+    pair_list: Vec<(u32, u32)>,
     /// Number of matrix entries written (counting duplicates across merged
     /// sets) — the old `apply_subgraph_feedback` return value.
     pub updated: usize,
@@ -51,6 +58,7 @@ impl DirtySet {
             cols: vec![false; n],
             row_list: Vec::new(),
             col_list: Vec::new(),
+            pair_list: Vec::new(),
             updated: 0,
         }
     }
@@ -58,6 +66,7 @@ impl DirtySet {
     /// Records a write to entry `(u, v)`.
     pub fn mark(&mut self, u: usize, v: usize) {
         self.updated += 1;
+        self.pair_list.push((u as u32, v as u32));
         if !self.rows[u] {
             self.rows[u] = true;
             self.row_list.push(u as u32);
@@ -93,6 +102,12 @@ impl DirtySet {
         self.col_list.iter().map(|&v| NodeId(v))
     }
 
+    /// Every written entry as an exact `(row, col)` pair, in write order,
+    /// possibly with repeats (see the type docs).
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pair_list.iter().map(|&(u, v)| (NodeId(u), NodeId(v)))
+    }
+
     /// Folds another set into this one.
     pub fn union(&mut self, other: &DirtySet) {
         assert_eq!(self.rows.len(), other.rows.len(), "dirty sets cover different matrices");
@@ -108,6 +123,7 @@ impl DirtySet {
                 self.col_list.push(c.0);
             }
         }
+        self.pair_list.extend_from_slice(&other.pair_list);
         self.updated += other.updated;
     }
 }
@@ -242,20 +258,27 @@ impl DelayMatrix {
     /// missing connectivity from the sweeps' perspective). Returns true if
     /// any entry changed.
     pub fn reformulate(&mut self, graph: &Graph) -> bool {
+        !self.reformulate_tracked(graph).is_empty()
+    }
+
+    /// [`DelayMatrix::reformulate`], reporting every written entry — the
+    /// seed for worklist-driven follow-up rounds
+    /// ([`DelayMatrix::reformulate_exact`]).
+    fn reformulate_tracked(&mut self, graph: &Graph) -> DirtySet {
         let n = self.n;
-        let mut changed = false;
+        let mut dirty = DirtySet::new(n);
         // Forward sweep (paper lines 2-12).
         let mut dv = vec![NOT_CONNECTED; n];
         for v in topo_order(graph) {
-            changed |= self.forward_node(graph, v, &mut dv, |_, _| {});
+            self.forward_node(graph, v, &mut dv, |u, vi| dirty.mark(u, vi));
         }
         // Backward sweep (paper lines 13-16): delays from u forward through
         // its users.
         let mut du = vec![NOT_CONNECTED; n];
         for u in reverse_topo_order(graph) {
-            changed |= self.backward_node(graph, u, &mut du, |_, _| {});
+            self.backward_node(graph, u, &mut du, |ui, w| dirty.mark(ui, w));
         }
-        changed
+        dirty
     }
 
     /// One forward-sweep step: recomputes column `v` from its operands'
@@ -432,17 +455,36 @@ impl DelayMatrix {
     /// collapses estimates toward zero. The fixpoint of the paper's own
     /// recurrence is the meaningful exact target.
     ///
-    /// Returns the number of rounds executed.
+    /// Round 1 is a full pass; every later round reuses the worklist sweep
+    /// ([`DelayMatrix::reformulate_incremental`]) seeded with the previous
+    /// round's writes, which is bit-identical to another full pass but only
+    /// touches nodes downstream of actual changes — late rounds converge on
+    /// small dirty regions, so they get cheap instead of staying `O(n^2)`.
+    ///
+    /// Returns the number of rounds that changed at least one entry (at
+    /// least 1, matching the historical count of full passes).
     pub fn reformulate_exact(&mut self, graph: &Graph) -> usize {
-        let mut rounds = 0;
-        while self.reformulate(graph) {
+        let mut dirty = self.reformulate_tracked(graph);
+        if dirty.is_empty() {
+            return 1;
+        }
+        let mut rounds = 1;
+        loop {
+            // The previous round's write set covers everything a full pass
+            // could see changed, including its own backward-sweep escapes —
+            // exactly the worklist sweep's carry contract.
+            let next = self.reformulate_incremental(graph, &dirty);
+            if next.is_empty() {
+                break;
+            }
             rounds += 1;
             if rounds > self.n {
                 debug_assert!(false, "reformulation failed to converge");
                 break;
             }
+            dirty = next;
         }
-        rounds.max(1)
+        rounds
     }
 
     /// Largest relative difference `|a - b| / max(a, b)` against another
@@ -723,7 +765,64 @@ mod tests {
         assert_eq!(a.updated, 3);
         assert_eq!(a.rows().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
         assert_eq!(a.cols().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(
+            a.pairs().collect::<Vec<_>>(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(1)), (NodeId(2), NodeId(3))],
+        );
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn dirty_pairs_are_exactly_the_written_entries() {
+        // Window feedback touches a handful of entries; the exact pair list
+        // must name them all, and stay far below the rows x cols product.
+        let (g, [_, x, y, _]) = chain();
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 10.0, 20.0, 0.0]);
+        let dirty = d.apply_subgraph_feedback(&[x, y], 12.0);
+        let pairs: Vec<_> = dirty.pairs().collect();
+        assert_eq!(pairs, vec![(x, y), (y, y)]);
+        assert_eq!(pairs.len(), dirty.updated);
+        let product = dirty.rows().count() * dirty.cols().count();
+        assert!(pairs.len() <= product, "pairs must refine the product");
+    }
+
+    #[test]
+    fn worklist_exact_matches_full_pass_fixpoint() {
+        // Reference: iterate *full* reformulate passes to the fixpoint;
+        // reformulate_exact (full round 1 + worklist rounds) must land on a
+        // bit-identical matrix with the same round count. The wide diamond
+        // makes one sweep insufficient, so the worklist rounds really run.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut layer = vec![a];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for &n in &layer {
+                next.push(g.unary(OpKind::Not, n).unwrap());
+                next.push(g.unary(OpKind::Neg, n).unwrap());
+            }
+            layer = next;
+        }
+        let out =
+            layer.iter().skip(1).fold(layer[0], |acc, &n| g.binary(OpKind::Xor, acc, n).unwrap());
+        g.set_output(out);
+        let delays: Vec<f64> = (0..g.len()).map(|i| (i % 5) as f64 * 7.0 + 3.0).collect();
+        let base = DelayMatrix::initialize(&g, &delays);
+        for (lo, hi, fb) in [(0usize, 6usize, 11.0), (4, 12, 6.0), (2, 9, 4.0)] {
+            let members: Vec<NodeId> = (lo..hi.min(g.len())).map(|i| NodeId(i as u32)).collect();
+            let mut reference = base.clone();
+            reference.apply_subgraph_feedback(&members, fb);
+            let mut ref_rounds = 0usize;
+            while reference.reformulate(&g) {
+                ref_rounds += 1;
+            }
+            let ref_rounds = ref_rounds.max(1);
+            let mut exact = base.clone();
+            exact.apply_subgraph_feedback(&members, fb);
+            let rounds = exact.reformulate_exact(&g);
+            assert_eq!(exact, reference, "fixpoint diverged for feedback {fb}");
+            assert_eq!(rounds, ref_rounds, "round count diverged for feedback {fb}");
+        }
     }
 
     #[test]

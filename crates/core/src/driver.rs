@@ -1,24 +1,26 @@
 //! The ISDC iteration driver (paper Fig. 2 and §III-A).
 //!
-//! Ties everything together:
-//!
-//! 1. schedule with the original SDC formulation (naive delay matrix);
-//! 2. extract subgraphs from the schedule (§III-B);
-//! 3. evaluate them downstream, in parallel (§III-A), optionally memoized
-//!    through the structural-fingerprint cache (`isdc-cache`);
-//! 4. fold delays into the matrix (Alg. 1) and reformulate (Alg. 2);
-//! 5. re-solve the LP; repeat until register usage stabilizes.
+//! Ties everything together by composing the staged pipeline
+//! ([`crate::pipeline`]): the initial SDC solve, then `Extract -> Dedupe ->
+//! Evaluate -> Feedback -> Reformulate -> Solve` per iteration until
+//! register usage stabilizes. [`run_isdc`] is the one-shot entry point; the
+//! cross-run entry point is [`IsdcSession`](crate::IsdcSession), which
+//! drives the same pipeline but keeps the delay cache and LP potentials
+//! alive between runs.
 
-use crate::delay::{DelayMatrix, DirtySet};
+use crate::delay::DelayMatrix;
 use crate::metrics;
-use crate::schedule::Schedule;
-use crate::scheduler::{
-    schedule_with_matrix, IncrementalScheduler, ScheduleError, ScheduleOptions,
+use crate::pipeline::{
+    run_stage, Dedupe, Evaluate, Extract, Feedback, PipelineState, Reformulate, RunSeed, Solve,
+    StageKind, StageProfile,
 };
-use crate::subgraph::{extract_subgraphs, ExtractionConfig, ScoringStrategy, ShapeStrategy};
+use crate::schedule::Schedule;
+use crate::scheduler::IncrementalScheduler;
+use crate::scheduler::{schedule_with_matrix, ScheduleError};
+use crate::subgraph::{ExtractionConfig, ScoringStrategy, ShapeStrategy};
 use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 use isdc_ir::Graph;
-use isdc_synth::{evaluate_parallel, DelayOracle, OpDelayModel};
+use isdc_synth::{DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -86,7 +88,7 @@ impl IsdcConfig {
         self
     }
 
-    fn extraction(&self) -> ExtractionConfig {
+    pub(crate) fn extraction(&self) -> ExtractionConfig {
         ExtractionConfig {
             scoring: self.scoring,
             shape: self.shape,
@@ -155,6 +157,9 @@ pub struct IsdcResult {
     pub history: Vec<IterationRecord>,
     /// Final oracle-cache counters, when caching was enabled.
     pub cache_stats: Option<CacheStats>,
+    /// Accumulated wall-clock cost of each pipeline stage across the run,
+    /// in [`StageKind::ALL`] order.
+    pub stage_profile: Vec<(StageKind, StageProfile)>,
     /// Total wall-clock scheduling time.
     pub total_time: Duration,
 }
@@ -237,7 +242,8 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
     config: &IsdcConfig,
 ) -> Result<IsdcResult, ScheduleError> {
     if !config.cache {
-        return run_isdc_inner(graph, model, oracle, config, None);
+        return run_pipeline(graph, model, oracle, config, None, RunSeed::default())
+            .map(|o| o.result);
     }
     let cache = Arc::new(DelayCache::new());
     if let Some(path) = &config.cache_file {
@@ -247,7 +253,8 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
         let _ = cache.load(path, oracle.name());
     }
     let caching = CachingOracle::with_cache(oracle, Arc::clone(&cache));
-    let result = run_isdc_inner(graph, model, &caching, config, Some(&cache));
+    let result = run_pipeline(graph, model, &caching, config, Some(&cache), RunSeed::default())
+        .map(|o| o.result);
     if result.is_ok() {
         if let Some(path) = &config.cache_file {
             let _ = cache.save(path, oracle.name());
@@ -256,46 +263,51 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
     result
 }
 
-fn run_isdc_inner<O: DelayOracle + ?Sized>(
+/// A completed run plus the cross-run assets [`crate::IsdcSession`] keeps.
+pub(crate) struct PipelineOutcome {
+    pub(crate) result: IsdcResult,
+    /// LP potentials exported after the initial (naive-matrix) solve; a
+    /// later run of the same design imports them to skip its cold start.
+    pub(crate) initial_potentials: Option<Vec<i64>>,
+    /// The engine cloned after the initial solve, when the seed asked for
+    /// it — next run's retarget material.
+    pub(crate) initial_engine: Option<IncrementalScheduler>,
+    /// Whether the initial solve itself was warm-started (only possible
+    /// with a seeded engine or imported potentials).
+    pub(crate) initial_warm: bool,
+}
+
+/// The full ISDC loop over the staged pipeline. `cache` (when present) is
+/// only read for per-iteration hit/miss accounting — lookups themselves go
+/// through `oracle`, which the caller has already wrapped if it wants
+/// memoization. `seed` warm-starts the initial LP solve.
+pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     graph: &Graph,
     model: &OpDelayModel,
     oracle: &O,
     config: &IsdcConfig,
     cache: Option<&DelayCache>,
-) -> Result<IsdcResult, ScheduleError> {
+    seed: RunSeed<'_>,
+) -> Result<PipelineOutcome, ScheduleError> {
     let start = Instant::now();
     let stats_now = || cache.map(|c| c.stats()).unwrap_or_default();
     let mut stats_before = stats_now();
-    let mut delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
-    let naive = delays.clone();
-    let options = ScheduleOptions { clock_period_ps: config.clock_period_ps, max_stages: None };
-    // The persistent engine (incremental mode) and the dirty-entry carry
-    // between reformulation passes (a pass's backward-sweep writes are only
-    // consumed by the *next* pass's forward sweep). The engine's one-time LP
-    // build counts toward iteration 0's solver_time, mirroring the build
-    // inside schedule_with_matrix on the cold path.
-    let solve_start = Instant::now();
-    let mut engine = if config.incremental {
-        Some(IncrementalScheduler::new(graph, &delays, &options)?)
-    } else {
-        None
-    };
-    let mut carry = DirtySet::new(graph.len());
-    let mut schedule = match engine.as_mut() {
-        Some(engine) => engine.reschedule(graph, &delays, &DirtySet::new(graph.len()))?,
-        None => schedule_with_matrix(graph, &delays, config.clock_period_ps)?,
-    };
+    let mut state = PipelineState::new(graph, model, oracle, config, seed)?;
+    let naive = state.delays().clone();
+    let initial_potentials = state.initial_potentials().map(<[i64]>::to_vec);
+    let initial_engine = state.take_initial_engine();
+    let initial_warm = state.solver_warm();
     let mut history = vec![snapshot(
         graph,
-        &schedule,
-        &delays,
+        state.schedule(),
+        state.delays(),
         &naive,
         oracle,
         SolveInfo {
             iteration: 0,
             subgraphs_evaluated: 0,
-            solver_time: solve_start.elapsed(),
-            solver_warm: false,
+            solver_time: state.initial_solve_time(),
+            solver_warm: initial_warm,
         },
         &mut stats_before,
         &stats_now,
@@ -303,50 +315,35 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
     )];
 
     let mut stable_for = 0usize;
+    let mut prev_bits = state.schedule().register_bits(graph);
     for iteration in 1..=config.max_iterations {
         let iter_start = Instant::now();
-        let subgraphs = extract_subgraphs(graph, &schedule, &delays, &config.extraction());
+        let (subgraphs, _) = run_stage(&mut Extract, &mut state, ())?;
         if subgraphs.is_empty() {
             break; // nothing left to refine (e.g. single-stage pipeline)
         }
-        let node_sets: Vec<Vec<isdc_ir::NodeId>> =
-            subgraphs.iter().map(|s| s.nodes.clone()).collect();
-        let reports = evaluate_parallel(oracle, graph, &node_sets, config.threads);
-        let mut dirty = DirtySet::new(graph.len());
-        for (sub, report) in subgraphs.iter().zip(&reports) {
-            dirty.union(&delays.apply_subgraph_feedback_per_output(
-                &sub.nodes,
-                &report.output_arrivals,
-                report.delay_ps,
-            ));
-        }
-        let solve_start = Instant::now();
-        let (next, solver_warm) = match engine.as_mut() {
-            Some(engine) => {
-                dirty.union(&carry);
-                let swept = delays.reformulate_incremental(graph, &dirty);
-                dirty.union(&swept);
-                carry = swept;
-                let next = engine.reschedule(graph, &delays, &dirty)?;
-                (next, engine.last_solve_was_warm())
-            }
-            None => {
-                let _ = delays.reformulate(graph);
-                (schedule_with_matrix(graph, &delays, config.clock_period_ps)?, false)
-            }
-        };
-        let solver_time = solve_start.elapsed();
+        let (subgraphs, _) = run_stage(&mut Dedupe, &mut state, subgraphs)?;
+        let (evaluated, _) = run_stage(&mut Evaluate, &mut state, subgraphs)?;
+        let subgraphs_evaluated = evaluated.0.len();
+        let (dirty, _) = run_stage(&mut Feedback, &mut state, evaluated)?;
+        let (dirty, reformulate_time) = run_stage(&mut Reformulate, &mut state, dirty)?;
+        let (solver_warm, solve_time) = run_stage(&mut Solve, &mut state, dirty)?;
 
-        let prev_bits = schedule.register_bits(graph);
-        let next_bits = next.register_bits(graph);
-        schedule = next;
+        let next_bits = state.schedule().register_bits(graph);
         history.push(snapshot(
             graph,
-            &schedule,
-            &delays,
+            state.schedule(),
+            state.delays(),
             &naive,
             oracle,
-            SolveInfo { iteration, subgraphs_evaluated: subgraphs.len(), solver_time, solver_warm },
+            SolveInfo {
+                iteration,
+                subgraphs_evaluated,
+                // Matrix maintenance + LP re-solve, mirroring what the
+                // pre-pipeline driver timed under this name.
+                solver_time: reformulate_time + solve_time,
+                solver_warm,
+            },
             &mut stats_before,
             &stats_now,
             iter_start.elapsed(),
@@ -359,14 +356,22 @@ fn run_isdc_inner<O: DelayOracle + ?Sized>(
         } else {
             stable_for = 0;
         }
+        prev_bits = next_bits;
     }
 
-    Ok(IsdcResult {
-        schedule,
-        delays,
-        history,
-        cache_stats: cache.map(|c| c.stats()),
-        total_time: start.elapsed(),
+    let stage_profile = state.profile();
+    Ok(PipelineOutcome {
+        result: IsdcResult {
+            schedule: state.schedule().clone(),
+            delays: state.delays().clone(),
+            history,
+            cache_stats: cache.map(|c| c.stats()),
+            stage_profile,
+            total_time: start.elapsed(),
+        },
+        initial_potentials,
+        initial_engine,
+        initial_warm,
     })
 }
 

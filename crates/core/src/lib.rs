@@ -16,14 +16,21 @@
 //! | Table I metrics | [`Schedule::register_bits`], [`metrics`] |
 //!
 //! On top of the paper, the crate exploits Alg. 1's monotonicity for speed:
-//! feedback and reformulation report their writes as a [`DirtySet`], Alg. 2
-//! runs as a worklist sweep over just the dirty region
+//! feedback and reformulation report their writes as a [`DirtySet`] (exact
+//! pairs), Alg. 2 runs as a worklist sweep over just the dirty region
 //! ([`DelayMatrix::reformulate_incremental`]), and the SDC LP persists
 //! across iterations in an [`IncrementalScheduler`] that re-emits only
 //! changed timing bounds and re-solves warm
 //! ([`isdc_sdc::IncrementalSolver`]). Results are bit-identical to the
 //! from-scratch pipeline; only solver time changes
 //! ([`IsdcConfig::incremental`]).
+//!
+//! The loop itself is a staged pipeline ([`pipeline`]: `Extract -> Dedupe
+//! -> Evaluate -> Feedback -> Reformulate -> Solve`), and both persistent
+//! assets cross *run* boundaries through [`IsdcSession`]: re-runs and
+//! clock-period sweeps ([`sweep_clock_period`], [`min_feasible_period`])
+//! reuse learned delays and LP state while staying bit-identical to
+//! independent cold runs.
 //!
 //! # Examples
 //!
@@ -61,19 +68,28 @@
 mod delay;
 mod driver;
 pub mod metrics;
+pub mod pipeline;
 mod schedule;
 mod scheduler;
+mod session;
 mod subgraph;
+mod sweep;
 
 pub use delay::{DelayMatrix, DirtySet};
 pub use driver::{run_isdc, run_sdc, IsdcConfig, IsdcResult, IterationRecord};
 pub use isdc_cache::{CacheStats, CachingOracle, DelayCache};
+pub use pipeline::{PipelineState, RunSeed, Stage, StageKind, StageProfile};
 pub use schedule::Schedule;
 pub use scheduler::{
     schedule_with_matrix, schedule_with_options, IncrementalScheduler, ScheduleError,
     ScheduleOptions,
 };
+pub use session::{IsdcSession, SessionRun};
 pub use subgraph::{
     cone_of, extract_subgraphs, window_of, ExtractionConfig, ScoringStrategy, ShapeStrategy,
     Subgraph,
+};
+pub use sweep::{
+    linear_grid, min_feasible_period, render_sweep_json, sweep_clock_period,
+    sweep_clock_period_cold, sweep_clock_period_independent, MinPeriodSearch, SweepPoint,
 };

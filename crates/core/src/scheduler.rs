@@ -140,6 +140,19 @@ pub fn schedule_with_options(
 /// Sentinel in the timing-pair index: no constraint emitted for this pair.
 const NO_CONSTRAINT: usize = usize::MAX;
 
+/// Sentinel in the per-pair bound cache for bounds outside `i8` range (the
+/// cache then always falls through to the slow path for that pair).
+const BOUND_UNCACHED: i8 = i8::MIN;
+
+/// Compresses a timing bound into the pair cache's `i8` domain.
+fn cache_bound(bound: i64) -> i8 {
+    if bound > i64::from(i8::MIN) {
+        bound as i8
+    } else {
+        BOUND_UNCACHED
+    }
+}
+
 /// The SDC LP plus the bookkeeping the incremental engine needs: which
 /// constraint (if any) encodes the timing bound of each node pair.
 struct BuiltLp {
@@ -147,6 +160,13 @@ struct BuiltLp {
     weights: Vec<i64>,
     /// `u * n + v` -> timing constraint index, [`NO_CONSTRAINT`] if absent.
     timing_ids: Vec<usize>,
+    /// `u * n + v` -> the currently-emitted bound (0 for pairs without a
+    /// constraint), compressed to `i8`. Dirty-pair and retarget scans
+    /// compare against this before touching the solver: the common case —
+    /// a delay dropped without leaving its `ceil(d/Tclk)` bucket — then
+    /// costs one byte-compare instead of two random lookups into
+    /// constraint storage.
+    bounds: Vec<i8>,
 }
 
 /// Eq. 2's bound for a pair with critical-path delay `d`: split across
@@ -190,6 +210,7 @@ fn build_lp(
     let mut sys = DifferenceSystem::new(2 * n + 1);
     let mut weights = vec![0i64; 2 * n + 1];
     let mut timing_ids = vec![NO_CONSTRAINT; n * n];
+    let mut bounds = vec![0i8; n * n];
 
     // Dependencies: x_p <= x_v.
     for (v, node) in graph.iter() {
@@ -205,6 +226,7 @@ fn build_lp(
             let bound = timing_bound(d, clock_period_ps);
             if bound < 0 {
                 timing_ids[u.index() * n + v.index()] = sys.add_constraint(x(u), x(v), bound);
+                bounds[u.index() * n + v.index()] = cache_bound(bound);
             }
         }
     }
@@ -259,7 +281,7 @@ fn build_lp(
         weights[x(v).index()] -= w;
     }
 
-    Ok(BuiltLp { sys, weights, timing_ids })
+    Ok(BuiltLp { sys, weights, timing_ids, bounds })
 }
 
 fn map_solve_error(e: SolveError, max_stages: Option<u32>) -> ScheduleError {
@@ -310,7 +332,14 @@ pub struct IncrementalScheduler {
     n: usize,
     solver: IncrementalSolver,
     timing_ids: Vec<usize>,
+    /// Currently-emitted bound per pair, `i8`-compressed (see
+    /// [`BuiltLp::bounds`]); the scans' fast reject.
+    bound_cache: Vec<i8>,
     rebuilt: bool,
+    /// Set by [`IncrementalScheduler::retarget`] when the new period needs
+    /// timing constraints the system never emitted; the next
+    /// [`IncrementalScheduler::reschedule`] rebuilds before solving.
+    stale: bool,
 }
 
 impl IncrementalScheduler {
@@ -332,7 +361,9 @@ impl IncrementalScheduler {
             n: graph.len(),
             solver,
             timing_ids: built.timing_ids,
+            bound_cache: built.bounds,
             rebuilt: false,
+            stale: false,
         })
     }
 
@@ -362,32 +393,48 @@ impl IncrementalScheduler {
                 });
             }
         }
-        // Every changed entry (u, v) has u in dirty.rows and v in
-        // dirty.cols, so scanning the product covers all changed pairs.
-        'scan: for u in dirty.rows() {
-            for v in dirty.cols() {
+        if self.stale {
+            // A retarget demanded constraints the system never emitted:
+            // rebuild below instead of patching bounds pair by pair.
+            self.rebuilt = true;
+        } else {
+            // The dirty set records every written entry as an exact pair,
+            // so only true writes are revisited (repeats are no-ops: the
+            // second visit sees the already-updated bound). The historical
+            // alternative — scanning the rows x cols product — re-derived
+            // bounds for quadratically many untouched pairs on
+            // window-shaped feedback.
+            for (u, v) in dirty.pairs() {
                 let Some(d) = delays.get(u, v) else { continue };
                 let bound = timing_bound(d, self.options.clock_period_ps);
-                let id = self.timing_ids[u.index() * self.n + v.index()];
+                let at = u.index() * self.n + v.index();
+                let compressed = cache_bound(bound);
+                if compressed != BOUND_UNCACHED && compressed == self.bound_cache[at] {
+                    continue; // same ceil bucket as already emitted
+                }
+                let id = self.timing_ids[at];
                 if id != NO_CONSTRAINT {
                     if bound != self.solver.bound(id) {
-                        // Relaxations stay warm; a tightened bound makes the
-                        // solver fall back to its cold path on its own.
+                        // Relaxations stay warm; a tightened bound makes
+                        // the solver fall back to its cold path on its own.
                         self.solver.update_bound(id, bound);
                     }
+                    self.bound_cache[at] = compressed;
                 } else if bound < 0 {
                     // The pair never needed a timing constraint and now
                     // does: a delay estimate *grew*, outside the monotone
                     // contract. Rebuild the whole system from the matrix.
                     self.rebuilt = true;
-                    break 'scan;
+                    break;
                 }
             }
         }
         if self.rebuilt {
-            let rebuilt = Self::new(graph, delays, &self.options)?;
-            self.solver = rebuilt.solver;
-            self.timing_ids = rebuilt.timing_ids;
+            // One full rebuild covers both triggers (also clearing `stale`
+            // via the fresh engine); re-flag the cold signal `Self::new`
+            // resets.
+            *self = Self::new(graph, delays, &self.options)?;
+            self.rebuilt = true;
         }
         let solution =
             self.solver.solve().map_err(|e| map_solve_error(e, self.options.max_stages))?;
@@ -399,6 +446,65 @@ impl IncrementalScheduler {
     /// rebuild).
     pub fn last_solve_was_warm(&self) -> bool {
         !self.rebuilt && self.solver.last_solve_was_warm()
+    }
+
+    /// Exports the solver's node potentials after a solve — the cross-run
+    /// warm-start currency: `-potentials` is the optimal LP assignment, and
+    /// [`IncrementalScheduler::warm_from_potentials`] on a *fresh* engine
+    /// (same design, this or a neighbouring clock period) re-seeds from it.
+    pub fn potentials(&self) -> Option<Vec<i64>> {
+        self.solver.potentials()
+    }
+
+    /// Re-targets the engine to a new clock period by re-emitting every
+    /// timing bound of `delays` (Eq. 2) at `clock_period_ps` — the
+    /// strongest cross-run reuse an [`IsdcSession`](crate::IsdcSession)
+    /// sweep has: the whole difference system, flow and potentials survive
+    /// the period change.
+    ///
+    /// `delays` must be the matrix the engine's bounds currently encode
+    /// (for a session, the naive matrix its initial solve ran against).
+    /// Eq. 2's bound is monotone in the period, so moving to a *longer*
+    /// period relaxes every bound and the next solve stays warm; a shorter
+    /// period tightens bounds (the next solve falls back cold) and may
+    /// demand constraints that were never emitted, which marks the engine
+    /// stale — the next [`IncrementalScheduler::reschedule`] rebuilds it
+    /// from scratch (after its usual feasibility check, so an infeasible
+    /// period surfaces as the ordinary error without consuming the
+    /// engine). Either way the subsequent schedule is bit-identical to a
+    /// fresh engine's.
+    pub fn retarget(&mut self, graph: &Graph, delays: &DelayMatrix, clock_period_ps: Picos) {
+        self.options.clock_period_ps = clock_period_ps;
+        'scan: for u in graph.node_ids() {
+            for v in graph.node_ids() {
+                let Some(d) = delays.get(u, v) else { continue };
+                let bound = timing_bound(d, clock_period_ps);
+                let at = u.index() * self.n + v.index();
+                let compressed = cache_bound(bound);
+                if compressed != BOUND_UNCACHED && compressed == self.bound_cache[at] {
+                    continue; // the new period lands in the same ceil bucket
+                }
+                let id = self.timing_ids[at];
+                if id != NO_CONSTRAINT {
+                    if bound != self.solver.bound(id) {
+                        self.solver.update_bound(id, bound);
+                    }
+                    self.bound_cache[at] = compressed;
+                } else if bound < 0 {
+                    self.stale = true;
+                    break 'scan;
+                }
+            }
+        }
+    }
+
+    /// Seeds the engine's first solve from previously-exported potentials
+    /// (see [`isdc_sdc::IncrementalSolver::warm_from_potentials`]). Returns
+    /// false and changes nothing when the import does not validate against
+    /// the current LP — schedules are bit-identical either way, so callers
+    /// treat this as a pure speed hint.
+    pub fn warm_from_potentials(&mut self, pi: &[i64]) -> bool {
+        self.solver.warm_from_potentials(pi)
     }
 }
 
@@ -631,6 +737,76 @@ mod tests {
         assert!(!engine.last_solve_was_warm(), "non-monotone delta must fall back cold");
         assert_eq!(rebuilt, schedule_with_matrix(&g, &slow, 1000.0).unwrap());
         assert_eq!(rebuilt.num_stages(), 2);
+    }
+
+    #[test]
+    fn potentials_warm_start_a_fresh_engine_at_a_looser_clock() {
+        // Cross-run reuse: solve a chain at a tight clock, export the
+        // potentials, seed a fresh engine at a looser clock (every timing
+        // bound relaxes, so the old optimum stays feasible). The seeded
+        // initial solve must be warm and bit-identical to a cold solve.
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut prev = a;
+        for _ in 0..4 {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+        }
+        g.set_output(prev);
+        let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0]);
+        let tight = ScheduleOptions { clock_period_ps: 1000.0, max_stages: None };
+        let mut first = IncrementalScheduler::new(&g, &d, &tight).unwrap();
+        first.reschedule(&g, &d, &crate::delay::DirtySet::new(g.len())).unwrap();
+        let pi = first.potentials().expect("potentials available after a solve");
+
+        let loose = ScheduleOptions { clock_period_ps: 1700.0, max_stages: None };
+        let mut second = IncrementalScheduler::new(&g, &d, &loose).unwrap();
+        assert!(second.warm_from_potentials(&pi), "tight optimum must validate when relaxed");
+        let warm = second.reschedule(&g, &d, &crate::delay::DirtySet::new(g.len())).unwrap();
+        assert!(second.last_solve_was_warm(), "imported potentials must warm the first solve");
+        assert_eq!(warm, schedule_with_matrix(&g, &d, 1700.0).unwrap());
+    }
+
+    #[test]
+    fn retargeting_periods_matches_fresh_engines_both_directions() {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut prev = a;
+        for _ in 0..5 {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+        }
+        g.set_output(prev);
+        let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0, 400.0]);
+        let options = ScheduleOptions { clock_period_ps: 900.0, max_stages: None };
+        let mut engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
+        let empty = crate::delay::DirtySet::new(g.len());
+        engine.reschedule(&g, &d, &empty).unwrap();
+        // Ascending: every bound relaxes, the re-solve stays warm.
+        for clock in [1000.0, 1300.0, 2100.0] {
+            engine.retarget(&g, &d, clock);
+            let got = engine.reschedule(&g, &d, &empty).unwrap();
+            assert!(engine.last_solve_was_warm(), "ascending retarget to {clock} must be warm");
+            assert_eq!(got, schedule_with_matrix(&g, &d, clock).unwrap(), "at {clock}");
+        }
+        // Same period again: a zero-delta re-solve, still warm, identical.
+        engine.retarget(&g, &d, 2100.0);
+        let again = engine.reschedule(&g, &d, &empty).unwrap();
+        assert!(engine.last_solve_was_warm());
+        assert_eq!(again, schedule_with_matrix(&g, &d, 2100.0).unwrap());
+        // Descending below the build period: adjacent pairs (800ps) now
+        // need constraints that were never emitted at 900ps, so the engine
+        // goes stale and rebuilds — and still matches from-scratch.
+        engine.retarget(&g, &d, 700.0);
+        let tight = engine.reschedule(&g, &d, &empty).unwrap();
+        assert!(!engine.last_solve_was_warm(), "a stale rebuild cannot count as warm");
+        assert_eq!(tight, schedule_with_matrix(&g, &d, 700.0).unwrap());
+        assert_eq!(tight.num_stages(), 5, "one op per stage at 700ps");
+        // Below the feasibility floor the retargeted engine reports the
+        // same error a fresh schedule would.
+        engine.retarget(&g, &d, 300.0);
+        assert!(matches!(
+            engine.reschedule(&g, &d, &empty).unwrap_err(),
+            ScheduleError::OperationExceedsClock { .. }
+        ));
     }
 
     #[test]

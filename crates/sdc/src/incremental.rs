@@ -25,20 +25,32 @@
 //! so warm and cold solves of equivalent systems return bit-identical
 //! assignments (see `mcf::canonical_assignment`).
 
-use crate::mcf::{canonical_assignment, dot, ssp_drain, FlowNetwork, LpSolution};
+use crate::mcf::{canonical_assignment, dot, ssp_drain, CanonGraph, FlowNetwork, LpSolution};
 use crate::system::{DifferenceSystem, SolveError};
 
-/// Persistent warm-solve state: the flow network, its potentials, and any
-/// excess re-exposed by canceled flow on relaxed arcs.
+/// Persistent warm-solve state: the flow network, its potentials, any
+/// excess re-exposed by canceled flow on relaxed arcs, and the
+/// canonicalization graph's fixed adjacency.
 #[derive(Clone, Debug)]
 struct WarmState {
     net: FlowNetwork,
     pi: Vec<i64>,
     excess: Vec<i64>,
+    canon: CanonGraph,
 }
 
 /// A reusable SDC LP solver that persists the min-cost-flow state across
 /// solves and re-solves bound relaxations incrementally.
+///
+/// Beyond in-process warm re-solves, the solver's dual state can cross
+/// solver (and process) boundaries: [`IncrementalSolver::potentials`]
+/// exports the final node potentials, and
+/// [`IncrementalSolver::warm_from_potentials`] seeds a *fresh* solver with
+/// potentials learned elsewhere — from a previous run of the same design,
+/// or a neighbouring clock period in a sweep. Imports are validated
+/// (`-pi` must satisfy every current constraint) before any state is
+/// installed, so a stale or foreign vector can never corrupt a solve; it
+/// just falls back to the cold path.
 ///
 /// # Examples
 ///
@@ -77,6 +89,20 @@ pub struct IncrementalSolver {
     /// `None` means the next solve must be cold (never solved, or a
     /// non-relaxing delta invalidated the dual state).
     state: Option<WarmState>,
+    /// The previous solve's solution, returned verbatim when nothing changed
+    /// since. Only valid while `pending` is false.
+    cached: Option<LpSolution>,
+    /// Whether any bound changed (or warm state was imported) since the last
+    /// successful solve. While false, `cached` is exact — in particular the
+    /// solution-canonicalization Dijkstra can be skipped entirely.
+    ///
+    /// This is deliberately narrower than "the flow support is unchanged":
+    /// a relaxed bound whose arc carries *no* flow moves no excess, but it
+    /// can still move the canonical point (the canonicalization graph
+    /// weights every constraint, tight or slack — see
+    /// `canonical_point_tracks_slack_constraints` below), so only a true
+    /// zero-delta solve may reuse the cached assignment.
+    pending: bool,
     last_was_warm: bool,
 }
 
@@ -98,7 +124,15 @@ impl IncrementalSolver {
             return Err(SolveError::UnbalancedObjective { weight_sum });
         }
         let zero_objective = weights.iter().all(|&w| w == 0);
-        Ok(Self { system, weights, zero_objective, state: None, last_was_warm: false })
+        Ok(Self {
+            system,
+            weights,
+            zero_objective,
+            state: None,
+            cached: None,
+            pending: true,
+            last_was_warm: false,
+        })
     }
 
     /// The wrapped system (bounds reflect all updates applied so far).
@@ -124,6 +158,50 @@ impl IncrementalSolver {
     /// Forces the next solve to run cold, discarding warm state.
     pub fn invalidate(&mut self) {
         self.state = None;
+        self.cached = None;
+        self.pending = true;
+    }
+
+    /// The current node potentials, when warm state exists (i.e. after a
+    /// successful non-trivial solve). `-potentials` is an optimal primal
+    /// assignment of the most recent solve, suitable for re-seeding another
+    /// solver over the same variables via
+    /// [`IncrementalSolver::warm_from_potentials`].
+    pub fn potentials(&self) -> Option<Vec<i64>> {
+        self.state.as_ref().map(|s| s.pi.clone())
+    }
+
+    /// Seeds warm state from externally-learned potentials (a previous run
+    /// of the same design, a neighbouring sweep point, or a persisted
+    /// snapshot), so the next [`IncrementalSolver::solve`] skips the
+    /// Bellman-Ford feasibility pass and drains the objective's supply
+    /// directly from `pi`.
+    ///
+    /// Returns false — leaving the solver untouched, cold path intact —
+    /// unless the import is provably safe: `pi` must cover every variable
+    /// and `-pi` must satisfy every current constraint (that is exactly dual
+    /// feasibility of the zero flow under `pi`, the invariant successive
+    /// shortest paths needs). The subsequent solve is bit-identical to a
+    /// cold solve either way; only the route to the optimum changes.
+    pub fn warm_from_potentials(&mut self, pi: &[i64]) -> bool {
+        let n = self.system.num_vars();
+        if pi.len() != n || self.zero_objective {
+            return false;
+        }
+        let x: Vec<i64> = pi.iter().map(|&p| -p).collect();
+        if self.system.first_violation(&x).is_some() {
+            return false;
+        }
+        let mut net = FlowNetwork::new(n);
+        for c in self.system.constraints() {
+            net.add_arc(c.u.index(), c.v.index(), c.bound);
+        }
+        let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
+        let canon = CanonGraph::new(&self.system);
+        self.state = Some(WarmState { net, pi: pi.to_vec(), excess, canon });
+        self.cached = None;
+        self.pending = true;
+        true
     }
 
     /// Changes a constraint's bound. A relaxation (`new_bound` larger) is
@@ -141,6 +219,8 @@ impl IncrementalSolver {
         if new_bound == old {
             return;
         }
+        self.cached = None;
+        self.pending = true;
         if new_bound < old {
             // Tightening: not covered by the warm-start invariant.
             self.state = None;
@@ -178,6 +258,15 @@ impl IncrementalSolver {
             self.last_was_warm = false;
             return Ok(LpSolution { assignment, objective });
         }
+        if !self.pending {
+            if let Some(cached) = &self.cached {
+                // Zero deltas since the last solve: the flow, its support,
+                // *and* every bound are unchanged, so the canonical optimum
+                // is too — skip the drain and the canonicalization Dijkstra.
+                self.last_was_warm = true;
+                return Ok(cached.clone());
+            }
+        }
         let warm = self.state.is_some();
         if self.state.is_none() {
             // Cold start: feasibility first — it also seeds the potentials
@@ -190,19 +279,21 @@ impl IncrementalSolver {
             // Node v needs net inflow w_v; excess = -w (positive = source).
             let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
             let pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
-            self.state = Some(WarmState { net, pi, excess });
+            let canon = CanonGraph::new(&self.system);
+            self.state = Some(WarmState { net, pi, excess, canon });
         }
         let state = self.state.as_mut().expect("state just ensured");
         if let Err(e) = ssp_drain(&mut state.net, &mut state.excess, &mut state.pi) {
             // A failed drain leaves partial flow behind; poison the state.
             self.state = None;
+            self.cached = None;
             self.last_was_warm = false;
             return Err(e);
         }
         self.last_was_warm = warm;
         let state = self.state.as_ref().expect("state retained on success");
         let x_star: Vec<i64> = state.pi.iter().map(|&p| -p).collect();
-        let assignment = canonical_assignment(&self.system, &state.net, &x_star);
+        let assignment = canonical_assignment(&self.system, &state.net, &x_star, &state.canon);
         debug_assert!(self.system.first_violation(&assignment).is_none());
         let objective = dot(&self.weights, &assignment);
         debug_assert_eq!(
@@ -210,7 +301,10 @@ impl IncrementalSolver {
             dot(&self.weights, &x_star),
             "canonicalization must stay on the optimal face"
         );
-        Ok(LpSolution { assignment, objective })
+        let solution = LpSolution { assignment, objective };
+        self.cached = Some(solution.clone());
+        self.pending = false;
+        Ok(solution)
     }
 }
 
@@ -313,6 +407,90 @@ mod tests {
         let sol = solver.solve().unwrap();
         assert_eq!(sol.objective, 0);
         assert_eq!(sol.assignment, sys.solve_feasible().unwrap());
+    }
+
+    #[test]
+    fn exported_potentials_warm_start_a_fresh_solver() {
+        let (sys, weights, _) = chain_system();
+        let mut first = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        let reference = first.solve().unwrap();
+        let pi = first.potentials().expect("warm state after a solve");
+
+        let mut second = IncrementalSolver::new(sys, weights).unwrap();
+        assert!(second.warm_from_potentials(&pi), "optimal potentials must validate");
+        let warm = second.solve().unwrap();
+        assert!(second.last_solve_was_warm(), "imported potentials must count as warm");
+        assert_eq!(warm, reference, "the solve path must not change the canonical optimum");
+    }
+
+    #[test]
+    fn potentials_from_a_tighter_system_warm_start_a_looser_one() {
+        // The sweep scenario: the optimum at a short clock period satisfies
+        // the relaxed bounds of a longer one, so its potentials import.
+        let (mut sys, weights, timing) = chain_system();
+        let mut tight = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        tight.solve().unwrap();
+        let pi = tight.potentials().unwrap();
+        for &ci in &timing {
+            let b = sys.constraints()[ci].bound;
+            sys.set_bound(ci, b + 1);
+        }
+        let mut loose = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        assert!(loose.warm_from_potentials(&pi));
+        let warm = loose.solve().unwrap();
+        assert!(loose.last_solve_was_warm());
+        assert_eq!(warm, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn infeasible_potential_import_is_rejected_and_harmless() {
+        let (sys, weights, _) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        // All-zero potentials put every variable at 0, violating the -2
+        // timing bounds; and a wrong-length vector must never install.
+        assert!(!solver.warm_from_potentials(&vec![0; sys.num_vars()]));
+        assert!(!solver.warm_from_potentials(&[1, 2]));
+        let sol = solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm(), "rejected import must leave the cold path");
+        assert_eq!(sol, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn zero_delta_resolve_returns_cached_solution_without_rework() {
+        let (sys, weights, timing) = chain_system();
+        let mut solver = IncrementalSolver::new(sys, weights).unwrap();
+        let first = solver.solve().unwrap();
+        // No updates at all, and an update that does not change the bound:
+        // both must serve the cached canonical solution, warm.
+        let second = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(first, second);
+        solver.update_bound(timing[0], solver.bound(timing[0]));
+        let third = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn canonical_point_tracks_slack_constraints() {
+        // Why the cached-solution skip requires *zero* deltas rather than
+        // just an unchanged flow support: relax a bound whose arc carries no
+        // flow. No excess is created, the drain is a no-op, the optimal
+        // objective is unchanged — yet the canonical (componentwise-maximal)
+        // optimum moves, because slack constraints still fence it in.
+        let mut sys = DifferenceSystem::new(3);
+        sys.add_constraint(VarId(0), VarId(1), -1); // x0 <= x1 - 1
+        let slack = sys.add_constraint(VarId(2), VarId(1), -2); // x2 <= x1 - 2
+        let weights = vec![-1, 1, 0]; // minimize x1 - x0: x2 is unweighted
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        let before = solver.solve().unwrap();
+        solver.update_bound(slack, -1);
+        sys.set_bound(slack, -1);
+        let after = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm(), "a no-flow relaxation stays warm");
+        assert_eq!(after, minimize(&sys, &weights).unwrap(), "must match a cold re-solve");
+        assert_eq!(before.objective, after.objective, "the optimum itself is unchanged");
+        assert_ne!(before.assignment, after.assignment, "but the canonical point moved");
     }
 
     #[test]

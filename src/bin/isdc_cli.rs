@@ -3,6 +3,7 @@
 //! ```text
 //! isdc-cli show      <design.ir>                    graph statistics
 //! isdc-cli schedule  <design.ir> [options]          schedule (baseline or ISDC)
+//! isdc-cli sweep     <design.ir> [options]          clock-period sweep via IsdcSession
 //! isdc-cli aiger     <design.ir> [-o out.aag]       lower to gates, export AIGER
 //! isdc-cli bench     [--emit <name> [-o out.ir]]    list / export bundled benchmarks
 //!
@@ -18,10 +19,27 @@
 //!   --cold-solver         rebuild and cold-solve the LP every iteration
 //!                         (default: incremental warm-started re-solves)
 //!   --dot <file>          write the staged pipeline as Graphviz DOT
+//!
+//! sweep options (in addition to --iterations/--subgraphs/--scoring/--shape):
+//!   --bench <name>        sweep a bundled benchmark instead of a .ir file
+//!   --from <ps>           lowest clock period (default: the design clock)
+//!   --to <ps>             highest clock period (default: 2x --from)
+//!   --points <n>          grid points, ascending (default 10)
+//!   --min-period          also binary-search the minimum feasible period
+//!   --tol <ps>            search resolution for --min-period (default 10)
+//!   --cache-file <file>   load/save the session snapshot (delays + potentials)
+//!   --out <file>          write the sweep records as BENCH_sweep-style JSON
 //! ```
+//!
+//! Sweeps run every period through one persistent `IsdcSession`, so later
+//! points reuse the earlier points' oracle evaluations and LP state.
+//! Schedules are bit-identical to independent runs; only the time changes.
 
 use isdc::core::metrics::post_synthesis_slack;
-use isdc::core::{run_isdc, run_sdc, IsdcConfig, ScoringStrategy, ShapeStrategy};
+use isdc::core::{
+    linear_grid, min_feasible_period, render_sweep_json, run_isdc, run_sdc, sweep_clock_period,
+    IsdcConfig, IsdcSession, ScoringStrategy, ShapeStrategy,
+};
 use isdc::ir::{dot, text, transform, Graph};
 use isdc::netlist::{aiger, lower_graph};
 use isdc::synth::{OpDelayModel, SynthesisOracle};
@@ -33,6 +51,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("show") => cmd_show(&args[1..]),
         Some("schedule") => cmd_schedule(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("aiger") => cmd_aiger(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -51,7 +70,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: isdc-cli <show|schedule|aiger|bench> [args]  (see --help in source header)";
+    "usage: isdc-cli <show|schedule|sweep|aiger|bench> [args]  (see --help in source header)";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -89,14 +108,10 @@ fn cmd_show(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_schedule(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("schedule requires a .ir file")?;
-    let g = load_graph(path)?;
-    let clock: f64 = flag_value(args, "--clock")
-        .map(|v| v.parse().map_err(|_| format!("bad --clock `{v}`")))
-        .transpose()?
-        .unwrap_or(2500.0);
-    let feedback = args.iter().any(|a| a == "--feedback");
+/// The extraction/iteration knobs shared by `schedule` and `sweep`.
+fn parse_loop_opts(
+    args: &[String],
+) -> Result<(usize, usize, ScoringStrategy, ShapeStrategy), String> {
     let iterations: usize = flag_value(args, "--iterations")
         .map(|v| v.parse().map_err(|_| format!("bad --iterations `{v}`")))
         .transpose()?
@@ -116,6 +131,18 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         "window" => ShapeStrategy::Window,
         other => return Err(format!("bad --shape `{other}` (path|cone|window)")),
     };
+    Ok((iterations, subgraphs, scoring, shape))
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("schedule requires a .ir file")?;
+    let g = load_graph(path)?;
+    let clock: f64 = flag_value(args, "--clock")
+        .map(|v| v.parse().map_err(|_| format!("bad --clock `{v}`")))
+        .transpose()?
+        .unwrap_or(2500.0);
+    let feedback = args.iter().any(|a| a == "--feedback");
+    let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
 
     let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     let cache = args.iter().any(|a| a == "--cache") || cache_file.is_some();
@@ -192,6 +219,110 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         let rendered = dot::to_dot_with_stages(&g, schedule.cycles());
         std::fs::write(dot_path, rendered).map_err(|e| format!("writing {dot_path}: {e}"))?;
         println!("dot:           {dot_path}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    // Design: a .ir file, or a bundled benchmark via --bench.
+    let (g, default_clock, name) = match flag_value(args, "--bench") {
+        Some(bench_name) => {
+            let suite = isdc::benchsuite::suite();
+            let b = suite
+                .into_iter()
+                .find(|b| b.name == bench_name)
+                .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
+            (b.graph, b.clock_period_ps, b.name.to_string())
+        }
+        None => {
+            let path = args
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("sweep requires a .ir file or --bench <name>")?;
+            let g = load_graph(path)?;
+            (g, 2500.0, path.clone())
+        }
+    };
+    let from: f64 = flag_value(args, "--from")
+        .map(|v| v.parse().map_err(|_| format!("bad --from `{v}`")))
+        .transpose()?
+        .unwrap_or(default_clock);
+    let to: f64 = flag_value(args, "--to")
+        .map(|v| v.parse().map_err(|_| format!("bad --to `{v}`")))
+        .transpose()?
+        .unwrap_or(from * 2.0);
+    let points: usize = flag_value(args, "--points")
+        .map(|v| v.parse().map_err(|_| format!("bad --points `{v}`")))
+        .transpose()?
+        .unwrap_or(10);
+    if points == 0 || to < from {
+        return Err("sweep needs --points >= 1 and --to >= --from".to_string());
+    }
+    let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
+    let tol: f64 = flag_value(args, "--tol")
+        .map(|v| v.parse().map_err(|_| format!("bad --tol `{v}`")))
+        .transpose()?
+        .unwrap_or(10.0);
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let base = IsdcConfig {
+        subgraphs_per_iteration: subgraphs,
+        max_iterations: iterations,
+        scoring,
+        shape,
+        ..IsdcConfig::paper_defaults(from)
+    };
+    let mut session = IsdcSession::new(&g, &model, &oracle);
+    let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
+    if let Some(path) = &snapshot {
+        if path.exists() {
+            match session.load_snapshot(path) {
+                Ok(n) => println!("loaded {n} cached delays from {}", path.display()),
+                Err(e) => eprintln!("note: ignoring snapshot: {e}"),
+            }
+        }
+    }
+
+    let periods = linear_grid(from, to, points);
+    let sweep = sweep_clock_period(&mut session, &base, &periods).map_err(|e| e.to_string())?;
+    println!("{name}: {} nodes, {} points, {from}ps..{to}ps", g.len(), points);
+    println!("clock_ps | feasible | reg bits | stages | iters | warm | hit rate | elapsed");
+    for p in &sweep {
+        println!(
+            "{:>8.0} | {:>8} | {:>8} | {:>6} | {:>5} | {:>4} | {:>7.1}% | {:.1?}",
+            p.clock_period_ps,
+            if p.feasible { "yes" } else { "no" },
+            p.register_bits,
+            p.num_stages,
+            p.iterations,
+            if p.warm_start { "yes" } else { "no" },
+            p.cache_hit_rate() * 100.0,
+            p.elapsed,
+        );
+    }
+
+    if args.iter().any(|a| a == "--min-period") {
+        let search =
+            min_feasible_period(&mut session, &base, 1.0, to, tol).map_err(|e| e.to_string())?;
+        match search.min_period_ps {
+            Some(p) => println!(
+                "minimum feasible period: {p:.0}ps (+-{tol}ps, {} probes)",
+                search.probes.len()
+            ),
+            None => println!("no feasible period at or below {to}ps"),
+        }
+    }
+
+    if let Some(path) = &snapshot {
+        session.save_snapshot(path).map_err(|e| e.to_string())?;
+        println!("saved session snapshot (delays + potentials) to {}", path.display());
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        let json = render_sweep_json(&name, g.len(), "cli", &sweep, &[]);
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
     }
     Ok(())
 }
