@@ -1,0 +1,485 @@
+//! The worker pool: shard planning, the shared-index queue, execution and
+//! deterministic aggregation.
+//!
+//! # Execution model
+//!
+//! [`run_batch`] plans a shard list ([`plan_shards`]), spawns
+//! `min(threads, shards)` scoped worker threads, and lets them
+//! **self-schedule**: a single shared atomic index hands out shards in plan
+//! order, so a worker that drew a cheap shard immediately pulls the next
+//! one while a worker chewing on a big design keeps chewing (the classic
+//! chunked self-scheduling queue — contention is one `fetch_add` per shard,
+//! which at scheduling granularity is noise). Every worker session shares
+//! one [`DelayCache`], so a subgraph evaluated by any worker is a hit for
+//! the whole fleet, and the LP potentials each run publishes (keyed by
+//! design fingerprint and clock) warm-start whichever worker next touches
+//! that design — including a sharded sibling of the same sweep.
+//!
+//! # Determinism
+//!
+//! Schedules are **bit-identical to the serial session sweep** for every
+//! job, regardless of thread count, shard boundaries, or execution
+//! interleaving: both shared assets are pure accelerators (cached delay
+//! reports replay bit-identically; imported potentials and retargeted
+//! engines are validated and canonicalized, so the LP optimum never depends
+//! on the solve path). Results are slotted by shard index and stitched back
+//! in plan order, so the aggregate is deterministic too — only the timing
+//! and cache-counter fields vary run to run. [`serial_reference`] runs the
+//! exact single-threaded baseline the guarantee is stated against;
+//! `tests/batch.rs` enforces it across randomized job mixes.
+//!
+//! A failing shard (a real solver error, not mere infeasibility — see
+//! [`isdc_core::sweep_clock_period`]) stops the queue: running shards
+//! finish, queued ones are abandoned, and the first failure in plan order
+//! is reported.
+
+use crate::spec::{Job, JobKind};
+use isdc_cache::{CacheStats, DelayCache};
+use isdc_core::{
+    min_feasible_period, sweep_clock_period, IsdcConfig, IsdcSession, ScheduleError, SweepPoint,
+};
+use isdc_ir::Graph;
+use isdc_synth::{DelayOracle, OpDelayModel};
+use isdc_techlib::Picos;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One schedulable design in the engine's table: jobs name it, workers
+/// build sessions over it.
+#[derive(Clone, Debug)]
+pub struct BatchDesign {
+    /// The name jobs refer to.
+    pub name: String,
+    /// The dataflow graph.
+    pub graph: Graph,
+    /// The run configuration (its `clock_period_ps` is overridden per
+    /// point; its `cache`/`cache_file` are ignored — sessions always
+    /// memoize through the batch cache).
+    pub base: IsdcConfig,
+}
+
+/// Batch execution knobs. The all-zero default resolves both fields
+/// automatically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads (each owns one [`IsdcSession`] at a time). 0 means
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Maximum sweep points per shard; 0 picks automatically — no
+    /// splitting at 1 thread, otherwise `ceil(total / (2 * threads))`, so
+    /// a batch with fewer jobs than threads still fills the pool while a
+    /// wide batch keeps whole sweeps (and their in-shard ascending warm
+    /// starts) together.
+    pub shard_points: usize,
+}
+
+impl BatchOptions {
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// Batch-level failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchError {
+    /// A job named a design absent from the design table.
+    UnknownDesign {
+        /// Index of the offending job.
+        job: usize,
+        /// The unresolved name.
+        design: String,
+    },
+    /// A shard failed with a real solver error (infeasible periods are
+    /// recorded as infeasible points, not errors).
+    Schedule {
+        /// Index of the owning job.
+        job: usize,
+        /// The design being scheduled.
+        design: String,
+        /// The underlying failure.
+        error: ScheduleError,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::UnknownDesign { job, design } => {
+                write!(f, "job {job}: unknown design `{design}`")
+            }
+            BatchError::Schedule { job, design, error } => {
+                write!(f, "job {job} ({design}): {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One planned unit of worker work: a contiguous slice of a job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardJob {
+    /// Index of the owning job in the submitted job list.
+    pub job: usize,
+    /// Index into the design table.
+    pub design: usize,
+    /// Position among the job's shards (stitch-back order).
+    pub shard: usize,
+    /// The shard's work — for sweeps, a contiguous subsequence of the
+    /// job's periods (in the job's order, so ascending jobs stay ascending
+    /// inside every shard).
+    pub kind: JobKind,
+}
+
+/// Expands jobs into the shard list the worker pool consumes.
+///
+/// Sweeps split into contiguous period chunks of at most `shard_points`
+/// (see [`BatchOptions::shard_points`] for the automatic size); searches
+/// are inherently sequential and stay whole. Chunking never reorders
+/// periods, so a shard of an ascending sweep still warm-starts each point
+/// from its tighter neighbour.
+///
+/// # Errors
+///
+/// [`BatchError::UnknownDesign`] when a job names no design in `designs`.
+pub fn plan_shards(
+    designs: &[BatchDesign],
+    jobs: &[Job],
+    options: &BatchOptions,
+) -> Result<Vec<ShardJob>, BatchError> {
+    let threads = options.resolved_threads();
+    let shard_points = if options.shard_points > 0 {
+        options.shard_points
+    } else if threads <= 1 {
+        usize::MAX
+    } else {
+        let total: usize = jobs.iter().map(Job::planned_points).sum();
+        total.div_ceil(2 * threads).max(1)
+    };
+    let mut shards = Vec::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        let design = designs
+            .iter()
+            .position(|d| d.name == job.design)
+            .ok_or_else(|| BatchError::UnknownDesign { job: ji, design: job.design.clone() })?;
+        match &job.kind {
+            JobKind::Sweep { periods } => {
+                for (si, chunk) in
+                    periods.chunks(shard_points.min(periods.len().max(1))).enumerate()
+                {
+                    shards.push(ShardJob {
+                        job: ji,
+                        design,
+                        shard: si,
+                        kind: JobKind::Sweep { periods: chunk.to_vec() },
+                    });
+                }
+            }
+            kind @ JobKind::MinPeriod { .. } => {
+                shards.push(ShardJob { job: ji, design, shard: 0, kind: kind.clone() });
+            }
+        }
+    }
+    Ok(shards)
+}
+
+/// One finished job, stitched back from its shards in plan order.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job as submitted.
+    pub job: Job,
+    /// Per-run records — sweep points in the job's period order, or a
+    /// search's probes in probe order. The same records
+    /// [`isdc_core::sweep_clock_period`] produces, schedule included.
+    pub points: Vec<SweepPoint>,
+    /// The found minimum period, for [`JobKind::MinPeriod`] jobs.
+    pub min_period_ps: Option<Picos>,
+    /// How many shards the job was split into.
+    pub shards: usize,
+    /// Summed worker wall-clock across the job's shards.
+    pub elapsed: Duration,
+}
+
+impl JobResult {
+    /// Cache hits over lookups across the job's runs, or 0.0 without
+    /// lookups (infeasible-only jobs must render as 0.0, not NaN).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.points.iter().map(|p| p.cache_hits).sum();
+        let misses: u64 = self.points.iter().map(|p| p.cache_misses).sum();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The aggregated outcome of one [`run_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One result per submitted job, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Worker threads actually spawned.
+    pub threads: usize,
+    /// Shards executed.
+    pub shards: usize,
+    /// Batch wall-clock time.
+    pub elapsed: Duration,
+    /// Shared-cache counter deltas over the batch (hits/misses/inserts by
+    /// this batch's workers only).
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Total per-run records across all jobs.
+    pub fn total_points(&self) -> usize {
+        self.jobs.iter().map(|j| j.points.len()).sum()
+    }
+
+    /// Fleet-wide cache hit rate during the batch, or 0.0 without lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// A shard's raw outcome before aggregation.
+struct ShardOutput {
+    points: Vec<SweepPoint>,
+    min_period_ps: Option<Picos>,
+    elapsed: Duration,
+}
+
+fn run_shard<O: DelayOracle + ?Sized>(
+    shard: &ShardJob,
+    design: &BatchDesign,
+    model: &OpDelayModel,
+    oracle: &O,
+    cache: Arc<DelayCache>,
+) -> Result<ShardOutput, ScheduleError> {
+    let start = Instant::now();
+    let mut session = IsdcSession::with_cache(&design.graph, model, oracle, cache);
+    match &shard.kind {
+        JobKind::Sweep { periods } => {
+            let points = sweep_clock_period(&mut session, &design.base, periods)?;
+            Ok(ShardOutput { points, min_period_ps: None, elapsed: start.elapsed() })
+        }
+        JobKind::MinPeriod { lo, hi, tol_ps } => {
+            let search = min_feasible_period(&mut session, &design.base, *lo, *hi, *tol_ps)?;
+            Ok(ShardOutput {
+                points: search.probes,
+                min_period_ps: search.min_period_ps,
+                elapsed: start.elapsed(),
+            })
+        }
+    }
+}
+
+/// Executes `jobs` over `designs` on a pool of worker threads sharing
+/// `cache`. See the [module docs](self) for the execution model and the
+/// determinism guarantee.
+///
+/// # Errors
+///
+/// [`BatchError::UnknownDesign`] from planning, or the first (in plan
+/// order) [`BatchError::Schedule`] any shard hit.
+pub fn run_batch<O: DelayOracle + ?Sized>(
+    designs: &[BatchDesign],
+    jobs: &[Job],
+    options: &BatchOptions,
+    model: &OpDelayModel,
+    oracle: &O,
+    cache: &Arc<DelayCache>,
+) -> Result<BatchReport, BatchError> {
+    let shards = plan_shards(designs, jobs, options)?;
+    let threads = options.resolved_threads().min(shards.len()).max(1);
+    let stats_before = cache.stats();
+    let start = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<ShardOutput, ScheduleError>>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let at = next.fetch_add(1, Ordering::Relaxed);
+                let Some(shard) = shards.get(at) else { break };
+                let outcome =
+                    run_shard(shard, &designs[shard.design], model, oracle, Arc::clone(cache));
+                if outcome.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *slots[at].lock().expect("slot lock poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    // Stitch shards back per job, in plan order; the first error (by plan
+    // order) wins. Abandoned shards only occur after an error.
+    let mut results: Vec<JobResult> = jobs
+        .iter()
+        .map(|job| JobResult {
+            job: job.clone(),
+            points: Vec::new(),
+            min_period_ps: None,
+            shards: 0,
+            elapsed: Duration::ZERO,
+        })
+        .collect();
+    for (shard, slot) in shards.iter().zip(slots) {
+        let outcome = slot.into_inner().expect("slot lock poisoned");
+        match outcome {
+            Some(Ok(out)) => {
+                let result = &mut results[shard.job];
+                result.points.extend(out.points);
+                result.min_period_ps = result.min_period_ps.or(out.min_period_ps);
+                result.shards += 1;
+                result.elapsed += out.elapsed;
+            }
+            Some(Err(error)) => {
+                return Err(BatchError::Schedule {
+                    job: shard.job,
+                    design: designs[shard.design].name.clone(),
+                    error,
+                });
+            }
+            None => {
+                debug_assert!(abort.load(Ordering::Relaxed), "only an abort abandons shards");
+            }
+        }
+    }
+    let stats_after = cache.stats();
+    let executed = results.iter().map(|r| r.shards).sum();
+    Ok(BatchReport {
+        jobs: results,
+        threads,
+        shards: executed,
+        elapsed: start.elapsed(),
+        cache: CacheStats {
+            hits: stats_after.hits - stats_before.hits,
+            misses: stats_after.misses - stats_before.misses,
+            inserts: stats_after.inserts - stats_before.inserts,
+        },
+    })
+}
+
+/// The single-threaded reference the batch's determinism guarantee is
+/// stated against: every job runs whole (no sharding) in its own fresh
+/// session over its own **private** cache — exactly the PR 3 workflow of
+/// calling [`isdc_core::sweep_clock_period`] per design. Used by the bench
+/// and the bit-identity tests.
+///
+/// # Errors
+///
+/// Same failures as [`run_batch`].
+pub fn serial_reference<O: DelayOracle + ?Sized>(
+    designs: &[BatchDesign],
+    jobs: &[Job],
+    model: &OpDelayModel,
+    oracle: &O,
+) -> Result<BatchReport, BatchError> {
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(jobs.len());
+    for (ji, job) in jobs.iter().enumerate() {
+        let design = designs
+            .iter()
+            .find(|d| d.name == job.design)
+            .ok_or_else(|| BatchError::UnknownDesign { job: ji, design: job.design.clone() })?;
+        let shard = ShardJob { job: ji, design: 0, shard: 0, kind: job.kind.clone() };
+        let cache = Arc::new(DelayCache::new());
+        let out = run_shard(&shard, design, model, oracle, cache).map_err(|error| {
+            BatchError::Schedule { job: ji, design: design.name.clone(), error }
+        })?;
+        results.push(JobResult {
+            job: job.clone(),
+            points: out.points,
+            min_period_ps: out.min_period_ps,
+            shards: 1,
+            elapsed: out.elapsed,
+        });
+    }
+    Ok(BatchReport {
+        jobs: results,
+        threads: 1,
+        shards: jobs.len(),
+        elapsed: start.elapsed(),
+        cache: CacheStats::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Job;
+
+    fn designs() -> Vec<BatchDesign> {
+        use isdc_ir::OpKind;
+        let mut g = Graph::new("tiny");
+        let a = g.param("a", 8);
+        let b = g.param("b", 8);
+        let x = g.binary(OpKind::Add, a, b).unwrap();
+        g.set_output(x);
+        vec![BatchDesign {
+            name: "tiny".into(),
+            graph: g,
+            base: IsdcConfig::paper_defaults(2500.0),
+        }]
+    }
+
+    #[test]
+    fn planning_chunks_sweeps_and_keeps_searches_whole() {
+        let designs = designs();
+        let jobs = vec![
+            Job::sweep("tiny", (0..10).map(|i| 2500.0 + i as f64 * 100.0).collect()),
+            Job::min_period("tiny", 1.0, 2500.0, 10.0),
+        ];
+        let options = BatchOptions { threads: 4, shard_points: 4 };
+        let shards = plan_shards(&designs, &jobs, &options).unwrap();
+        assert_eq!(shards.len(), 3 + 1, "10 points at <=4 each, plus one search shard");
+        let sizes: Vec<usize> = shards[..3]
+            .iter()
+            .map(|s| match &s.kind {
+                JobKind::Sweep { periods } => periods.len(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        // Contiguous, order-preserving chunks.
+        let JobKind::Sweep { periods } = &shards[1].kind else { unreachable!() };
+        assert_eq!(periods[0], 2900.0);
+        assert_eq!((shards[3].job, shards[3].shard), (1, 0));
+    }
+
+    #[test]
+    fn auto_sharding_fills_threads_but_never_splits_at_one() {
+        let designs = designs();
+        let jobs = vec![Job::sweep("tiny", vec![2500.0; 12])];
+        let one = BatchOptions { threads: 1, shard_points: 0 };
+        assert_eq!(plan_shards(&designs, &jobs, &one).unwrap().len(), 1);
+        let eight = BatchOptions { threads: 8, shard_points: 0 };
+        let shards = plan_shards(&designs, &jobs, &eight).unwrap();
+        assert!(shards.len() >= 8, "one job must still fill an 8-thread pool: {}", shards.len());
+    }
+
+    #[test]
+    fn unknown_design_is_reported_with_its_job() {
+        let err = plan_shards(
+            &designs(),
+            &[Job::sweep("tiny", vec![2500.0]), Job::sweep("nope", vec![2500.0])],
+            &BatchOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, BatchError::UnknownDesign { job: 1, design: "nope".into() });
+        assert!(err.to_string().contains("nope"));
+    }
+}

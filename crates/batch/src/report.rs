@@ -1,0 +1,208 @@
+//! `BENCH_batch.json` rendering: batch totals, per-thread-count scaling
+//! against the serial session sweep, and per-job records.
+
+use crate::engine::BatchReport;
+use crate::spec::JobKind;
+use isdc_cache::json::escape;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One measured thread count in the scaling table.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingRow {
+    /// Worker threads the batch ran with.
+    pub threads: usize,
+    /// Batch wall-clock at that thread count.
+    pub total: Duration,
+}
+
+/// Everything the `BENCH_batch.json` document reports.
+pub struct BatchBenchDoc<'a> {
+    /// `"full"` or `"quick"` (CI smoke).
+    pub mode: &'a str,
+    /// Designs in the batch's table.
+    pub designs: usize,
+    /// The canonical run whose per-job records are listed (by convention
+    /// the highest thread count measured).
+    pub report: &'a BatchReport,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// scaling numbers are meaningless without it.
+    pub hardware_threads: usize,
+    /// Wall-clock of the serial session sweep baseline
+    /// ([`crate::serial_reference`]), when measured — the bench always
+    /// measures it; a lone CLI batch run has nothing to compare against and
+    /// omits the speedup fields.
+    pub serial_total: Option<Duration>,
+    /// Optional wall-clock of the independent-cold-runs baseline (the
+    /// paper-reference semantics), for the long-lever speedup.
+    pub cold_total: Option<Duration>,
+    /// One row per measured thread count.
+    pub scaling: &'a [ScalingRow],
+    /// Whether every batch schedule was verified bit-identical to the
+    /// serial baseline before rendering.
+    pub bit_identical: bool,
+}
+
+fn speedup(baseline: Duration, total: Duration) -> f64 {
+    baseline.as_nanos() as f64 / (total.as_nanos().max(1)) as f64
+}
+
+/// Serializes the document. Rates are always finite (zero-lookup divisions
+/// render as 0.0), so the output is parseable JSON end to end.
+pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"batch\",\n");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", doc.mode);
+    let _ = writeln!(
+        out,
+        "  \"designs\": {}, \"jobs\": {}, \"shards\": {}, \"points\": {},",
+        doc.designs,
+        doc.report.jobs.len(),
+        doc.report.shards,
+        doc.report.total_points()
+    );
+    let _ = writeln!(out, "  \"hardware_threads\": {},", doc.hardware_threads);
+    let _ = writeln!(out, "  \"bit_identical\": {},", doc.bit_identical);
+    if let Some(serial) = doc.serial_total {
+        let _ = writeln!(out, "  \"serial_total_ns\": {},", serial.as_nanos());
+    }
+    if let Some(cold) = doc.cold_total {
+        let _ = writeln!(out, "  \"cold_total_ns\": {},", cold.as_nanos());
+    }
+    out.push_str("  \"scaling\": [\n");
+    for (i, row) in doc.scaling.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"threads\": {}, \"total_ns\": {}",
+            row.threads,
+            row.total.as_nanos()
+        );
+        if let Some(serial) = doc.serial_total {
+            let _ = write!(out, ", \"speedup_vs_serial\": {:.2}", speedup(serial, row.total));
+        }
+        if let Some(cold) = doc.cold_total {
+            let _ = write!(out, ", \"speedup_vs_cold\": {:.2}", speedup(cold, row.total));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ],\n");
+    if let (Some(serial), Some(best)) =
+        (doc.serial_total, doc.scaling.iter().max_by_key(|r| r.threads))
+    {
+        let _ = writeln!(
+            out,
+            "  \"max_threads_measured\": {}, \"speedup_at_max_threads\": {:.2},",
+            best.threads,
+            speedup(serial, best.total)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries_inserted\": {}}},",
+        doc.report.cache.hits,
+        doc.report.cache.misses,
+        doc.report.cache_hit_rate(),
+        doc.report.cache.inserts
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, job) in doc.report.jobs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let kind = match &job.job.kind {
+            JobKind::Sweep { .. } => "sweep",
+            JobKind::MinPeriod { .. } => "min_period",
+        };
+        let feasible = job.points.iter().filter(|p| p.feasible).count();
+        let _ = write!(
+            out,
+            "    {{\"design\": \"{}\", \"type\": \"{kind}\", \"shards\": {}, \
+             \"points\": {}, \"feasible\": {feasible}, \"cache_hit_rate\": {:.4}, \
+             \"elapsed_ns\": {}",
+            escape(&job.job.design),
+            job.shards,
+            job.points.len(),
+            job.cache_hit_rate(),
+            job.elapsed.as_nanos()
+        );
+        if let Some(min) = job.min_period_ps {
+            let _ = write!(out, ", \"min_period_ps\": {min:?}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::JobResult;
+    use crate::spec::Job;
+    use isdc_cache::CacheStats;
+
+    #[test]
+    fn json_shape_is_stable_and_nan_free() {
+        // A job whose only point is infeasible: zero lookups. The rate must
+        // render as 0.0000 — NaN would make the document unparseable.
+        let infeasible = isdc_core::SweepPoint {
+            clock_period_ps: 100.0,
+            feasible: false,
+            register_bits: 0,
+            num_stages: 0,
+            iterations: 0,
+            warm_start: false,
+            warm_solves: 0,
+            cold_solves: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed: Duration::ZERO,
+            schedule: None,
+        };
+        let report = BatchReport {
+            jobs: vec![JobResult {
+                job: Job::sweep("tiny", vec![100.0]),
+                points: vec![infeasible],
+                min_period_ps: None,
+                shards: 1,
+                elapsed: Duration::from_nanos(5),
+            }],
+            threads: 8,
+            shards: 1,
+            elapsed: Duration::from_nanos(500),
+            cache: CacheStats::default(),
+        };
+        let doc = BatchBenchDoc {
+            mode: "quick",
+            designs: 1,
+            report: &report,
+            hardware_threads: 4,
+            serial_total: Some(Duration::from_nanos(2000)),
+            cold_total: Some(Duration::from_nanos(8000)),
+            scaling: &[
+                ScalingRow { threads: 1, total: Duration::from_nanos(1900) },
+                ScalingRow { threads: 8, total: Duration::from_nanos(500) },
+            ],
+            bit_identical: true,
+        };
+        let json = render_batch_json(&doc);
+        for needle in [
+            "\"bench\": \"batch\"",
+            "\"hardware_threads\": 4",
+            "\"bit_identical\": true",
+            "\"serial_total_ns\": 2000",
+            "\"speedup_vs_serial\": 4.00",
+            "\"speedup_vs_cold\": 16.00",
+            "\"max_threads_measured\": 8, \"speedup_at_max_threads\": 4.00",
+            "\"cache_hit_rate\": 0.0000",
+            "\"hit_rate\": 0.0000",
+            "\"feasible\": 0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(!json.contains("NaN"), "rates must be guarded: {json}");
+    }
+}

@@ -1,0 +1,314 @@
+//! `bench_gate` — the benchmark regression gate.
+//!
+//! Reads the freshly emitted `BENCH_solver.json`, `BENCH_cache.json`,
+//! `BENCH_sweep.json` and `BENCH_batch.json` from the workspace root,
+//! compares their speedups against the checked-in floors
+//! (`crates/bench/floors.json`, keyed by the document's own `mode` field so
+//! CI's quick smokes and full release runs each gate against appropriate
+//! expectations), and exits nonzero on any regression. The batch document
+//! additionally must attest `bit_identical: true`, and its serial-speedup
+//! floor scales with the measuring machine's `hardware_threads` — flat
+//! wall-clock scaling on a 1-core container is physics, not a regression,
+//! while a multi-core runner is held to real scaling.
+//!
+//! ```text
+//! bench_gate [--dir <workspace root>] [--floors <floors.json>]
+//!            [--require solver,cache,sweep,batch]
+//! ```
+//!
+//! Without `--require`, every `BENCH_*.json` that exists is gated and
+//! missing ones are skipped with a note; `--require` turns absence into a
+//! failure (CI passes the artifacts it just generated).
+
+use isdc_cache::json::Parser;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A minimal JSON value tree for the gate's read-only inspection.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Number(f64),
+    Bool(bool),
+    Text(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser::new(text);
+        parse_value(&mut p)
+    }
+
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn number(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Value::Number(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn text(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Text(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn array(&self, key: &str) -> Option<&[Value]> {
+        match self.get(key) {
+            Some(Value::Array(items)) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_value(p: &mut Parser<'_>) -> Result<Value, String> {
+    match p.peek() {
+        Some(b'{') => {
+            p.expect(b'{')?;
+            let mut map = BTreeMap::new();
+            if !p.peek_close(b'}') {
+                loop {
+                    let key = p.string()?;
+                    p.expect(b':')?;
+                    map.insert(key, parse_value(p)?);
+                    if !p.comma_or_close(b'}')? {
+                        break;
+                    }
+                }
+            }
+            Ok(Value::Object(map))
+        }
+        Some(b'[') => {
+            p.expect(b'[')?;
+            let mut items = Vec::new();
+            if !p.peek_close(b']') {
+                loop {
+                    items.push(parse_value(p)?);
+                    if !p.comma_or_close(b']')? {
+                        break;
+                    }
+                }
+            }
+            Ok(Value::Array(items))
+        }
+        Some(b'"') => p.string().map(Value::Text),
+        Some(b't') | Some(b'f') => p.boolean().map(Value::Bool),
+        _ => p.number().map(Value::Number),
+    }
+}
+
+/// One floor violation (or pass) line.
+struct Check {
+    label: String,
+    floor: f64,
+    actual: f64,
+}
+
+impl Check {
+    fn ok(&self) -> bool {
+        self.actual >= self.floor
+    }
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Floors for one (bench, mode) pair, straight from floors.json.
+fn floors_for<'a>(floors: &'a Value, bench: &str, mode: &str) -> Result<&'a Value, String> {
+    floors
+        .get(bench)
+        .and_then(|b| b.get(mode))
+        .ok_or_else(|| format!("floors.json has no entry for bench `{bench}` mode `{mode}`"))
+}
+
+fn floor_number(entry: &Value, key: &str) -> Result<f64, String> {
+    entry.number(key).ok_or_else(|| format!("floors entry lacks `{key}`"))
+}
+
+fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(), String> {
+    let mode = doc.text("mode").unwrap_or("full");
+    let entry = floors_for(floors, "solver", mode)?;
+    let designs = doc.array("designs").ok_or("solver doc lacks `designs`")?;
+    let speedups: Vec<f64> = designs.iter().filter_map(|d| d.number("speedup")).collect();
+    if speedups.is_empty() {
+        return Err("solver doc has no per-design speedups".into());
+    }
+    checks.push(Check {
+        label: format!("solver[{mode}] min warm speedup"),
+        floor: floor_number(entry, "warm_speedup_min")?,
+        actual: speedups.iter().copied().fold(f64::INFINITY, f64::min),
+    });
+    checks.push(Check {
+        label: format!("solver[{mode}] geomean warm speedup"),
+        floor: floor_number(entry, "warm_speedup_geomean")?,
+        actual: geomean(&speedups),
+    });
+    Ok(())
+}
+
+fn gate_cache(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(), String> {
+    let mode = doc.text("mode").unwrap_or("full");
+    let entry = floors_for(floors, "cache", mode)?;
+    for key in ["warm_speedup_vs_uncached", "warm_speedup_vs_cold"] {
+        checks.push(Check {
+            label: format!("cache[{mode}] {key}"),
+            floor: floor_number(entry, key)?,
+            actual: doc.number(key).ok_or_else(|| format!("cache doc lacks `{key}`"))?,
+        });
+    }
+    Ok(())
+}
+
+fn gate_sweep(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(), String> {
+    let mode = doc.text("mode").unwrap_or("full");
+    let entry = floors_for(floors, "sweep", mode)?;
+    for key in ["speedup_vs_cold", "speedup_vs_independent"] {
+        checks.push(Check {
+            label: format!("sweep[{mode}] {key}"),
+            floor: floor_number(entry, key)?,
+            actual: doc.number(key).ok_or_else(|| format!("sweep doc lacks `{key}`"))?,
+        });
+    }
+    Ok(())
+}
+
+fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(), String> {
+    let mode = doc.text("mode").unwrap_or("full");
+    let entry = floors_for(floors, "batch", mode)?;
+    if doc.get("bit_identical") != Some(&Value::Bool(true)) {
+        return Err("batch doc does not attest bit_identical: true".into());
+    }
+    let hardware = doc.number("hardware_threads").unwrap_or(1.0);
+    let max_threads = doc.number("max_threads_measured").ok_or("batch doc lacks scaling")?;
+    let best = doc
+        .array("scaling")
+        .and_then(|rows| rows.iter().find(|r| r.number("threads") == Some(max_threads)).cloned())
+        .ok_or("batch doc lacks the max-threads scaling row")?;
+    checks.push(Check {
+        label: format!("batch[{mode}] speedup vs cold @ {max_threads} threads"),
+        floor: floor_number(entry, "vs_cold_at_max_threads")?,
+        actual: best.number("speedup_vs_cold").ok_or("batch scaling row lacks speedup_vs_cold")?,
+    });
+    // Wall-clock scaling against the serial session sweep is gated to what
+    // the measuring hardware can express: a 1-core container cannot scale,
+    // an 8-core runner must.
+    let expected_threads = hardware.min(max_threads);
+    let floor = floor_number(entry, "vs_serial_abs_floor")?
+        .max(floor_number(entry, "vs_serial_per_expected_thread")? * expected_threads);
+    checks.push(Check {
+        label: format!(
+            "batch[{mode}] speedup vs serial @ {max_threads} threads ({hardware} hw threads)"
+        ),
+        floor,
+        actual: doc
+            .number("speedup_at_max_threads")
+            .ok_or("batch doc lacks speedup_at_max_threads")?,
+    });
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Value::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = flag_value(&args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let floors_path = flag_value(&args, "--floors")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("floors.json"));
+    let required: Vec<&str> =
+        flag_value(&args, "--require").map(|v| v.split(',').collect()).unwrap_or_default();
+    const KNOWN: [&str; 4] = ["solver", "cache", "sweep", "batch"];
+    // A typo in --require must fail loudly, not silently un-require a bench.
+    for name in &required {
+        if !KNOWN.contains(name) {
+            eprintln!("bench_gate: unknown bench `{name}` in --require (known: {KNOWN:?})");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let floors = match load(&floors_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    type GateFn = fn(&Value, &Value, &mut Vec<Check>) -> Result<(), String>;
+    let benches: [(&str, GateFn); 4] = [
+        ("solver", gate_solver),
+        ("cache", gate_cache),
+        ("sweep", gate_sweep),
+        ("batch", gate_batch),
+    ];
+    let mut checks: Vec<Check> = Vec::new();
+    let mut failures = 0usize;
+    for (name, gate) in benches {
+        let path = dir.join(format!("BENCH_{name}.json"));
+        if !path.exists() {
+            if required.contains(&name) {
+                eprintln!("FAIL  {name}: required artifact {} is missing", path.display());
+                failures += 1;
+            } else {
+                println!("skip  {name}: no {} (not required)", path.display());
+            }
+            continue;
+        }
+        match load(&path) {
+            Ok(doc) if doc.text("mode") == Some("cli") => {
+                // A one-off `isdc-cli batch --out` measurement has no
+                // baselines and no bit-identity attestation; it is not a
+                // regression-gateable document.
+                println!("skip  {name}: {} is a cli measurement, not a bench", path.display());
+            }
+            Ok(doc) => {
+                if let Err(e) = gate(&doc, &floors, &mut checks) {
+                    eprintln!("FAIL  {name}: {e}");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL  {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    for check in &checks {
+        if check.ok() {
+            println!("pass  {} = {:.2} (floor {:.2})", check.label, check.actual, check.floor);
+        } else {
+            eprintln!("FAIL  {} = {:.2} below floor {:.2}", check.label, check.actual, check.floor);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all {} checks passed", checks.len());
+        ExitCode::SUCCESS
+    }
+}

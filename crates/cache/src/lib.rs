@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod fingerprint;
+pub mod json;
 mod oracle;
 mod persist;
 mod store;

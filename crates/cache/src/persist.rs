@@ -34,10 +34,12 @@
 //!
 //! Floats are written in Rust's shortest-roundtrip form, so a
 //! save/load cycle reproduces bit-identical `f64`s. The codec is hand-rolled
-//! because the build environment cannot fetch `serde_json`; it accepts any
-//! whitespace and ignores unknown object keys, so the format can grow.
+//! on [`crate::json`] because the build environment cannot fetch
+//! `serde_json`; it accepts any whitespace and ignores unknown object keys,
+//! so the format can grow.
 
 use crate::fingerprint::Fingerprint;
+use crate::json::{escape as escape_json, Parser};
 use crate::store::{CachedDelay, DelayCache, StoredPotentials};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -103,7 +105,7 @@ impl DelayCache {
     /// delays measured by one downstream flow must not be replayed against
     /// another.
     pub fn merge_json(&self, json: &str, oracle: &str) -> Result<usize, String> {
-        let mut p = Parser { bytes: json.as_bytes(), at: 0 };
+        let mut p = Parser::new(json);
         // Parse fully before touching the cache, so a rejected snapshot
         // (bad tag, malformed tail) merges nothing.
         let mut parsed: Vec<(Fingerprint, CachedDelay)> = Vec::new();
@@ -198,11 +200,6 @@ impl DelayCache {
     }
 }
 
-/// Escapes the two JSON-significant characters the codec's strings may carry.
-fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn parse_entry(p: &mut Parser<'_>) -> Result<(Fingerprint, CachedDelay), String> {
     let mut fp: Option<Fingerprint> = None;
     let mut entry = CachedDelay { delay_ps: 0.0, aig_depth: 0, and_count: 0, arrivals: Vec::new() };
@@ -276,133 +273,6 @@ fn parse_potentials(p: &mut Parser<'_>) -> Result<(Fingerprint, StoredPotentials
     }
     let fp = fp.ok_or("potentials without key")?;
     Ok((fp, stored))
-}
-
-/// A minimal JSON reader for the snapshot subset (objects, arrays, strings
-/// without escapes, finite numbers).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_whitespace()) {
-            self.at += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.at) == Some(&b) {
-            self.at += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.at))
-        }
-    }
-
-    /// True (and consumes) if the next non-space byte is `close`.
-    fn peek_close(&mut self, close: u8) -> bool {
-        self.skip_ws();
-        if self.bytes.get(self.at) == Some(&close) {
-            self.at += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// After a value: `,` continues (true), `close` ends (false).
-    fn comma_or_close(&mut self, close: u8) -> Result<bool, String> {
-        self.skip_ws();
-        match self.bytes.get(self.at) {
-            Some(b',') => {
-                self.at += 1;
-                Ok(true)
-            }
-            Some(&b) if b == close => {
-                self.at += 1;
-                Ok(false)
-            }
-            _ => Err(format!("expected `,` or `{}` at byte {}", close as char, self.at)),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out: Vec<u8> = Vec::new();
-        while let Some(&b) = self.bytes.get(self.at) {
-            self.at += 1;
-            match b {
-                b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.at).ok_or("unterminated escape sequence")?;
-                    self.at += 1;
-                    match esc {
-                        b'"' | b'\\' | b'/' => out.push(esc),
-                        other => {
-                            return Err(format!(
-                                "unsupported escape `\\{}` at byte {}",
-                                other as char, self.at
-                            ));
-                        }
-                    }
-                }
-                other => out.push(other),
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn number(&mut self) -> Result<f64, String> {
-        self.skip_ws();
-        let start = self.at;
-        while self
-            .bytes
-            .get(self.at)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.at += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.at])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    /// Skips any value (used for unknown keys).
-    fn skip_value(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.bytes.get(self.at) {
-            Some(b'"') => self.string().map(|_| ()),
-            Some(b'{') => self.skip_nested(b'{', b'}'),
-            Some(b'[') => self.skip_nested(b'[', b']'),
-            Some(_) => self.number().map(|_| ()),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn skip_nested(&mut self, open: u8, close: u8) -> Result<(), String> {
-        let mut depth = 0usize;
-        while let Some(&b) = self.bytes.get(self.at) {
-            if b == b'"' {
-                // Brackets inside string values must not affect nesting.
-                self.string()?;
-                continue;
-            }
-            self.at += 1;
-            if b == open {
-                depth += 1;
-            } else if b == close {
-                depth -= 1;
-                if depth == 0 {
-                    return Ok(());
-                }
-            }
-        }
-        Err("unterminated nesting".to_string())
-    }
 }
 
 #[cfg(test)]

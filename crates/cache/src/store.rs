@@ -57,6 +57,37 @@ pub struct StoredPotentials {
     pub pi: Vec<i64>,
 }
 
+/// A deterministic total order on delay entries, used only to resolve merge
+/// conflicts (two caches carrying *different* entries for the same
+/// fingerprint — impossible when both were filled by the same deterministic
+/// oracle, but [`DelayCache::merge`] must stay commutative even on
+/// adversarial input). Orders by delay, then depth, then count, then the
+/// arrival list lexicographically.
+fn entry_order(a: &CachedDelay, b: &CachedDelay) -> std::cmp::Ordering {
+    a.delay_ps
+        .total_cmp(&b.delay_ps)
+        .then(a.aig_depth.cmp(&b.aig_depth))
+        .then(a.and_count.cmp(&b.and_count))
+        .then_with(|| {
+            let by_arrival =
+                |x: &(u32, f64), y: &(u32, f64)| x.0.cmp(&y.0).then(x.1.total_cmp(&y.1));
+            a.arrivals.len().cmp(&b.arrivals.len()).then_with(|| {
+                a.arrivals
+                    .iter()
+                    .zip(&b.arrivals)
+                    .map(|(x, y)| by_arrival(x, y))
+                    .find(|o| o.is_ne())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        })
+}
+
+/// The same idea for potentials at one (design, clock) key: shorter vector
+/// first, then lexicographic.
+fn potentials_order(a: &[i64], b: &[i64]) -> std::cmp::Ordering {
+    a.len().cmp(&b.len()).then_with(|| a.cmp(b))
+}
+
 /// A sharded, thread-safe map from structural fingerprints to delay reports.
 ///
 /// Shard count is fixed at construction; a fingerprint's shard is chosen
@@ -210,6 +241,55 @@ impl DelayCache {
         out
     }
 
+    /// Merges every delay entry and potential vector of `other` into this
+    /// cache, returning the number of delay entries that changed `self`
+    /// (new fingerprints plus conflict-resolved replacements). Counters are
+    /// untouched, like a snapshot load.
+    ///
+    /// This is the fleet-wide publication primitive of the batch engine:
+    /// per-worker (or per-process) caches fold into a shared one, and a
+    /// shared cache folds snapshot files in through
+    /// [`DelayCache::load`]. The operation is **commutative and
+    /// idempotent**: both sides normally agree on every common fingerprint
+    /// (entries come from one deterministic oracle, and the oracle-tag check
+    /// on snapshots keeps foreign flows out), and in the pathological
+    /// disagreeing case a deterministic total order picks the same winner
+    /// regardless of merge direction — so merging A into B and B into A
+    /// leave both caches with identical contents, and re-merging is a no-op
+    /// (guarded by proptests).
+    pub fn merge(&self, other: &DelayCache) -> usize {
+        let mut changed = 0;
+        for (fp, theirs) in other.entries() {
+            let shard = self.shard(fp);
+            let mut map = shard.write().expect("shard lock poisoned");
+            match map.entry(fp.0) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(theirs);
+                    changed += 1;
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    if entry_order(&theirs, slot.get()).is_lt() {
+                        slot.insert(theirs);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        for (design, theirs) in other.potential_entries() {
+            let mut map = self.potentials.write().expect("potential lock poisoned");
+            let list = map.entry(design.0).or_default();
+            match list.binary_search_by(|p| p.clock_ps.total_cmp(&theirs.clock_ps)) {
+                Ok(i) => {
+                    if potentials_order(&theirs.pi, &list[i].pi).is_lt() {
+                        list[i].pi = theirs.pi;
+                    }
+                }
+                Err(i) => list.insert(i, theirs),
+            }
+        }
+        changed
+    }
+
     /// All entries, ascending by fingerprint (a stable order for snapshots
     /// and tests).
     pub fn entries(&self) -> Vec<(Fingerprint, CachedDelay)> {
@@ -310,6 +390,38 @@ mod tests {
         cache.store_potentials(d, 2000.0, vec![9]);
         assert_eq!(cache.nearest_potentials(d, 2000.0), Some((2000.0, vec![9])));
         assert_eq!(cache.potential_entries().len(), 2);
+    }
+
+    #[test]
+    fn merge_unions_and_resolves_conflicts_deterministically() {
+        let a = DelayCache::new();
+        let b = DelayCache::new();
+        a.insert(fp(1), entry(10.0));
+        a.insert(fp(2), entry(20.0));
+        b.insert(fp(2), entry(15.0)); // conflicting: smaller wins, both ways
+        b.insert(fp(3), entry(30.0));
+        a.store_potentials(fp(9), 2000.0, vec![1, 2]);
+        b.store_potentials(fp(9), 2000.0, vec![0, 3]);
+        b.store_potentials(fp(9), 3000.0, vec![7]);
+
+        let a2 = DelayCache::new();
+        a2.merge(&a); // deep copy via merge-into-empty
+        assert_eq!(a2.merge(&b), 2, "one new key, one conflict replacement");
+        let b2 = DelayCache::new();
+        b2.merge(&b);
+        b2.merge(&a);
+        assert_eq!(a2.entries(), b2.entries(), "merge must be commutative");
+        assert_eq!(a2.potential_entries(), b2.potential_entries());
+        assert_eq!(a2.get(fp(2)).unwrap().delay_ps, 15.0);
+        assert_eq!(a2.nearest_potentials(fp(9), 2000.0), Some((2000.0, vec![0, 3])));
+
+        // Idempotent: a re-merge changes nothing.
+        let before = a2.entries();
+        assert_eq!(a2.merge(&b), 0);
+        assert_eq!(a2.entries(), before);
+        // And merges never bump the insert counter (the `get` probes above
+        // legitimately counted hits).
+        assert_eq!(a2.stats().inserts, 0);
     }
 
     #[test]

@@ -404,6 +404,7 @@ impl IncrementalScheduler {
             // alternative — scanning the rows x cols product — re-derived
             // bounds for quadratically many untouched pairs on
             // window-shaped feedback.
+            let mut implied: Vec<usize> = Vec::new();
             for (u, v) in dirty.pairs() {
                 let Some(d) = delays.get(u, v) else { continue };
                 let bound = timing_bound(d, self.options.clock_period_ps);
@@ -420,6 +421,15 @@ impl IncrementalScheduler {
                         self.solver.update_bound(id, bound);
                     }
                     self.bound_cache[at] = compressed;
+                    if bound == 0 {
+                        // Relaxed all the way to "no split needed": the
+                        // constraint is now implied by dependency
+                        // transitivity (every timing pair is a connected
+                        // pair, and the operand-edge 0-bounds chain from u
+                        // to v), so its canonicalization edge can be
+                        // pruned.
+                        implied.push(id);
+                    }
                 } else if bound < 0 {
                     // The pair never needed a timing constraint and now
                     // does: a delay estimate *grew*, outside the monotone
@@ -427,6 +437,9 @@ impl IncrementalScheduler {
                     self.rebuilt = true;
                     break;
                 }
+            }
+            if !self.rebuilt {
+                self.solver.mark_implied(&implied);
             }
         }
         if self.rebuilt {
@@ -475,6 +488,7 @@ impl IncrementalScheduler {
     /// fresh engine's.
     pub fn retarget(&mut self, graph: &Graph, delays: &DelayMatrix, clock_period_ps: Picos) {
         self.options.clock_period_ps = clock_period_ps;
+        let mut implied: Vec<usize> = Vec::new();
         'scan: for u in graph.node_ids() {
             for v in graph.node_ids() {
                 let Some(d) = delays.get(u, v) else { continue };
@@ -490,11 +504,22 @@ impl IncrementalScheduler {
                         self.solver.update_bound(id, bound);
                     }
                     self.bound_cache[at] = compressed;
+                    if bound == 0 {
+                        // Bound relaxed away entirely: implied by the
+                        // dependency chain from u to v (timing pairs are
+                        // connected pairs), so the canonicalization stops
+                        // paying for the tighter period's constraint
+                        // superset at this looser period.
+                        implied.push(id);
+                    }
                 } else if bound < 0 {
                     self.stale = true;
                     break 'scan;
                 }
             }
+        }
+        if !self.stale {
+            self.solver.mark_implied(&implied);
         }
     }
 

@@ -104,6 +104,14 @@ pub struct IncrementalSolver {
     /// zero-delta solve may reuse the cached assignment.
     pending: bool,
     last_was_warm: bool,
+    /// Constraints the caller has proven implied by the rest of the system
+    /// ([`IncrementalSolver::mark_implied`]); their primal edges are pruned
+    /// from the canonicalization graph. A bound change clears the flag (the
+    /// caller's implication proof referred to the old bound).
+    implied: Vec<bool>,
+    /// The warm state's canonicalization graph no longer reflects
+    /// `implied`; rebuilt lazily at the next solve.
+    canon_stale: bool,
 }
 
 impl IncrementalSolver {
@@ -124,6 +132,7 @@ impl IncrementalSolver {
             return Err(SolveError::UnbalancedObjective { weight_sum });
         }
         let zero_objective = weights.iter().all(|&w| w == 0);
+        let implied = vec![false; system.constraints().len()];
         Ok(Self {
             system,
             weights,
@@ -132,6 +141,8 @@ impl IncrementalSolver {
             cached: None,
             pending: true,
             last_was_warm: false,
+            implied,
+            canon_stale: false,
         })
     }
 
@@ -197,11 +208,46 @@ impl IncrementalSolver {
             net.add_arc(c.u.index(), c.v.index(), c.bound);
         }
         let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
-        let canon = CanonGraph::new(&self.system);
+        let canon = CanonGraph::new_pruned(&self.system, &self.implied);
+        self.canon_stale = false;
         self.state = Some(WarmState { net, pi: pi.to_vec(), excess, canon });
         self.cached = None;
         self.pending = true;
         true
+    }
+
+    /// Declares constraints **implied** by the rest of the system: for each
+    /// id, some chain of *other* constraints already enforces a bound at
+    /// least as tight (e.g. a difference bound of 0 between two variables
+    /// connected by a path of 0-bound constraints — the scheduler's
+    /// relaxed-to-zero timing arcs, implied by dependency transitivity).
+    ///
+    /// The solver prunes the primal canonicalization edges of implied
+    /// constraints, so re-solves of a heavily-relaxed system stop paying
+    /// the canonicalization Dijkstra for constraints that no longer
+    /// constrain anything. Results are bit-identical: removing a primal
+    /// edge dominated by an equal-or-tighter path cannot move any
+    /// shortest-path distance, and the constraint's tight reverse edge (the
+    /// complementary-slackness fence, live only while its arc carries flow)
+    /// is kept. The flag is dropped automatically if the constraint's bound
+    /// changes later, since the implication was proven against the old
+    /// bound.
+    ///
+    /// **Contract:** the caller must only flag genuinely implied
+    /// constraints; the solver cannot verify the implication cheaply, and a
+    /// wrong flag can move the canonical optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn mark_implied(&mut self, ids: &[usize]) {
+        for &ci in ids {
+            assert!(ci < self.implied.len(), "constraint id {ci} out of range");
+            if !self.implied[ci] {
+                self.implied[ci] = true;
+                self.canon_stale = true;
+            }
+        }
     }
 
     /// Changes a constraint's bound. A relaxation (`new_bound` larger) is
@@ -221,6 +267,12 @@ impl IncrementalSolver {
         }
         self.cached = None;
         self.pending = true;
+        if self.implied[constraint_id] {
+            // The implication was proven against the old bound; restore the
+            // constraint's primal canonicalization edge.
+            self.implied[constraint_id] = false;
+            self.canon_stale = true;
+        }
         if new_bound < old {
             // Tightening: not covered by the warm-start invariant.
             self.state = None;
@@ -279,8 +331,17 @@ impl IncrementalSolver {
             // Node v needs net inflow w_v; excess = -w (positive = source).
             let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
             let pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
-            let canon = CanonGraph::new(&self.system);
+            let canon = CanonGraph::new_pruned(&self.system, &self.implied);
+            self.canon_stale = false;
             self.state = Some(WarmState { net, pi, excess, canon });
+        }
+        if self.canon_stale {
+            // Implication flags changed since the canonicalization graph was
+            // built; re-derive it (cheap counting sort) so the Dijkstra
+            // below skips every pruned primal edge.
+            let state = self.state.as_mut().expect("state just ensured");
+            state.canon = CanonGraph::new_pruned(&self.system, &self.implied);
+            self.canon_stale = false;
         }
         let state = self.state.as_mut().expect("state just ensured");
         if let Err(e) = ssp_drain(&mut state.net, &mut state.excess, &mut state.pi) {
@@ -491,6 +552,65 @@ mod tests {
         assert_eq!(after, minimize(&sys, &weights).unwrap(), "must match a cold re-solve");
         assert_eq!(before.objective, after.objective, "the optimum itself is unchanged");
         assert_ne!(before.assignment, after.assignment, "but the canonical point moved");
+    }
+
+    #[test]
+    fn implied_constraints_prune_without_moving_the_canonical_point() {
+        // Dependency chain 0 -> 1 -> 2 -> 3 (all 0-bounds) plus timing
+        // constraints that the chain implies once relaxed to 0. Pruning
+        // their primal canonicalization edges must leave every solve
+        // bit-identical to a from-scratch minimize.
+        let mut sys = DifferenceSystem::new(4);
+        for i in 0..3u32 {
+            sys.add_constraint(VarId(i), VarId(i + 1), 0);
+        }
+        let t02 = sys.add_constraint(VarId(0), VarId(2), -1);
+        let t13 = sys.add_constraint(VarId(1), VarId(3), -2);
+        let weights = vec![-2, 1, -1, 2];
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+
+        // Relax both timing bounds to 0: now implied by the chain.
+        for ci in [t02, t13] {
+            solver.update_bound(ci, 0);
+            sys.set_bound(ci, 0);
+        }
+        solver.mark_implied(&[t02, t13]);
+        let pruned = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(pruned, minimize(&sys, &weights).unwrap(), "pruning moved the optimum");
+
+        // Marking again is a no-op; re-solving returns the cached solution.
+        solver.mark_implied(&[t02, t13]);
+        assert_eq!(solver.solve().unwrap(), pruned);
+
+        // Tightening an implied constraint clears its flag and the cold
+        // rebuild restores its primal edge — still bit-identical.
+        solver.update_bound(t02, -2);
+        sys.set_bound(t02, -2);
+        let tightened = solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm(), "tightening forces the cold path");
+        assert_eq!(tightened, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn implied_pruning_keeps_flow_carrying_tight_edges() {
+        // A zero-bound constraint parallel to a zero-bound chain, with an
+        // objective that pushes flow somewhere: whichever arc the drain
+        // routes through, the pruned canonicalization must agree with a
+        // fresh solver (which routes identically) and with `minimize`.
+        let mut sys = DifferenceSystem::new(3);
+        sys.add_constraint(VarId(0), VarId(1), 0);
+        sys.add_constraint(VarId(1), VarId(2), 0);
+        let direct = sys.add_constraint(VarId(0), VarId(2), -1);
+        let weights = vec![-3, 1, 2];
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+        solver.update_bound(direct, 0);
+        sys.set_bound(direct, 0);
+        solver.mark_implied(&[direct]);
+        let got = solver.solve().unwrap();
+        assert_eq!(got, minimize(&sys, &weights).unwrap());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! isdc-cli show      <design.ir>                    graph statistics
 //! isdc-cli schedule  <design.ir> [options]          schedule (baseline or ISDC)
 //! isdc-cli sweep     <design.ir> [options]          clock-period sweep via IsdcSession
+//! isdc-cli batch     [options]                      parallel multi-design batch (isdc-batch)
 //! isdc-cli aiger     <design.ir> [-o out.aag]       lower to gates, export AIGER
 //! isdc-cli bench     [--emit <name> [-o out.ir]]    list / export bundled benchmarks
 //!
@@ -29,11 +30,23 @@
 //!   --tol <ps>            search resolution for --min-period (default 10)
 //!   --cache-file <file>   load/save the session snapshot (delays + potentials)
 //!   --out <file>          write the sweep records as BENCH_sweep-style JSON
+//!
+//! batch options (in addition to --iterations/--subgraphs/--scoring/--shape):
+//!   --jobs <spec.json>    job spec (see isdc-batch docs: sweep / min_period
+//!                         jobs over bundled benchmark names)
+//!   --all-designs         one ascending sweep job per bundled benchmark
+//!   --points <n>          grid points for --all-designs (default 10)
+//!   --threads <n>         worker threads (default: available parallelism)
+//!   --shard-points <n>    max sweep points per shard (default: auto)
+//!   --cache-file <file>   load/save the fleet-wide cache snapshot
+//!   --out <file>          write the batch report as BENCH_batch-style JSON
 //! ```
 //!
 //! Sweeps run every period through one persistent `IsdcSession`, so later
 //! points reuse the earlier points' oracle evaluations and LP state.
-//! Schedules are bit-identical to independent runs; only the time changes.
+//! Batches fan a job queue (design x period shard) out over a worker pool
+//! whose sessions share one delay cache. Schedules are bit-identical to
+//! independent runs in both cases; only the time changes.
 
 use isdc::core::metrics::post_synthesis_slack;
 use isdc::core::{
@@ -52,6 +65,7 @@ fn main() -> ExitCode {
         Some("show") => cmd_show(&args[1..]),
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("aiger") => cmd_aiger(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -70,7 +84,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: isdc-cli <show|schedule|sweep|aiger|bench> [args]  (see --help in source header)";
+    "usage: isdc-cli <show|schedule|sweep|batch|aiger|bench> [args]  (see --help in source header)";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -322,6 +336,139 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if let Some(out) = flag_value(args, "--out") {
         let json = render_sweep_json(&name, g.len(), "cli", &sweep, &[]);
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    use isdc::batch::{
+        parse_jobs, render_batch_json, run_batch, BatchBenchDoc, BatchDesign, BatchOptions, Job,
+        JobKind, ScalingRow,
+    };
+    use isdc::cache::DelayCache;
+    use std::sync::Arc;
+
+    let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
+    let suite = isdc::benchsuite::suite();
+    let designs: Vec<BatchDesign> = suite
+        .iter()
+        .map(|b| BatchDesign {
+            name: b.name.to_string(),
+            graph: b.graph.clone(),
+            base: IsdcConfig {
+                subgraphs_per_iteration: subgraphs,
+                max_iterations: iterations,
+                scoring,
+                shape,
+                threads: 1,
+                ..IsdcConfig::paper_defaults(b.clock_period_ps)
+            },
+        })
+        .collect();
+
+    let jobs: Vec<Job> = match flag_value(args, "--jobs") {
+        Some(path) => {
+            let spec = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_jobs(&spec)?
+        }
+        None if args.iter().any(|a| a == "--all-designs") => {
+            let points: usize = flag_value(args, "--points")
+                .map(|v| v.parse().map_err(|_| format!("bad --points `{v}`")))
+                .transpose()?
+                .unwrap_or(10);
+            if points == 0 {
+                return Err("batch needs --points >= 1".to_string());
+            }
+            suite
+                .iter()
+                .map(|b| {
+                    Job::sweep(
+                        b.name,
+                        linear_grid(b.clock_period_ps, b.clock_period_ps * 2.0, points),
+                    )
+                })
+                .collect()
+        }
+        None => return Err("batch requires --jobs <spec.json> or --all-designs".to_string()),
+    };
+    if jobs.is_empty() {
+        return Err("the job spec contains no jobs".to_string());
+    }
+
+    let threads: usize = flag_value(args, "--threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let shard_points: usize = flag_value(args, "--shard-points")
+        .map(|v| v.parse().map_err(|_| format!("bad --shard-points `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let cache = Arc::new(DelayCache::new());
+    let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
+    if let Some(path) = &snapshot {
+        if path.exists() {
+            use isdc::synth::DelayOracle as _;
+            match cache.load(path, oracle.name()) {
+                Ok(n) => println!("loaded {n} cached delays from {}", path.display()),
+                Err(e) => eprintln!("note: ignoring snapshot: {e}"),
+            }
+        }
+    }
+
+    let options = BatchOptions { threads, shard_points };
+    let report =
+        run_batch(&designs, &jobs, &options, &model, &oracle, &cache).map_err(|e| e.to_string())?;
+    println!(
+        "{} jobs over {} shards on {} threads in {:.2?} ({} runs, fleet hit rate {:.1}%)",
+        report.jobs.len(),
+        report.shards,
+        report.threads,
+        report.elapsed,
+        report.total_points(),
+        report.cache_hit_rate() * 100.0,
+    );
+    println!("design                       |     type | shards | points | hit rate | elapsed");
+    for job in &report.jobs {
+        let kind = match &job.job.kind {
+            JobKind::Sweep { .. } => "sweep",
+            JobKind::MinPeriod { .. } => "min_prd",
+        };
+        println!(
+            "{:<28} | {:>8} | {:>6} | {:>6} | {:>7.1}% | {:.1?}",
+            job.job.design,
+            kind,
+            job.shards,
+            job.points.len(),
+            job.cache_hit_rate() * 100.0,
+            job.elapsed,
+        );
+        if let Some(min) = job.min_period_ps {
+            println!("{:<28} |   -> minimum feasible period {min:.0}ps", "");
+        }
+    }
+
+    if let Some(path) = &snapshot {
+        use isdc::synth::DelayOracle as _;
+        cache.save(path, oracle.name()).map_err(|e| e.to_string())?;
+        println!("saved fleet cache snapshot to {}", path.display());
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        let doc = BatchBenchDoc {
+            mode: "cli",
+            designs: designs.len(),
+            report: &report,
+            hardware_threads: std::thread::available_parallelism().map_or(1, usize::from),
+            serial_total: None,
+            cold_total: None,
+            scaling: &[ScalingRow { threads: report.threads, total: report.elapsed }],
+            bit_identical: false,
+        };
+        std::fs::write(out, render_batch_json(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
     Ok(())

@@ -16,6 +16,8 @@
 //! - [`sdc`] — the difference-constraint LP solver;
 //! - [`cache`] — structural-fingerprint memoization of oracle evaluations;
 //! - [`core`] — ISDC itself (delay matrix, extraction, iteration driver);
+//! - [`batch`] — the parallel multi-session batch engine (shared cache,
+//!   period shards, worker pool);
 //! - [`benchsuite`] — the 17 evaluation benchmarks and sweep generators.
 //!
 //! # Examples
@@ -50,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub use isdc_batch as batch;
 pub use isdc_benchsuite as benchsuite;
 pub use isdc_cache as cache;
 pub use isdc_core as core;
