@@ -156,6 +156,27 @@ fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(
         floor: floor_number(entry, "warm_speedup_geomean")?,
         actual: geomean(&speedups),
     });
+    // The bulk-retarget drain rows: batched vs the retained serial
+    // reference, plus the structural attestation that batching batches
+    // (never more Dijkstra passes than augmenting paths).
+    let drain = doc.array("drain").ok_or("solver doc lacks `drain` (bulk-retarget rows)")?;
+    let drain_speedups: Vec<f64> = drain.iter().filter_map(|d| d.number("speedup")).collect();
+    if drain_speedups.is_empty() {
+        return Err("solver doc has no drain speedups".into());
+    }
+    checks.push(Check {
+        label: format!("solver[{mode}] min drain speedup (batched vs serial)"),
+        floor: floor_number(entry, "drain_speedup_min")?,
+        actual: drain_speedups.iter().copied().fold(f64::INFINITY, f64::min),
+    });
+    for row in drain {
+        let n = row.number("n").unwrap_or(0.0);
+        let dijkstras = row.number("dijkstras_batched").ok_or("drain row lacks dijkstras")?;
+        let paths = row.number("paths").ok_or("drain row lacks paths")?;
+        if dijkstras > paths {
+            return Err(format!("drain row n={n}: {dijkstras} Dijkstras exceed {paths} paths"));
+        }
+    }
     Ok(())
 }
 

@@ -20,6 +20,7 @@ use crate::scheduler::{schedule_with_matrix, ScheduleError};
 use crate::subgraph::{ExtractionConfig, ScoringStrategy, ShapeStrategy};
 use isdc_cache::{CacheStats, CachingOracle, DelayCache};
 use isdc_ir::Graph;
+use isdc_sdc::DrainStats;
 use isdc_synth::{DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
 use std::path::PathBuf;
@@ -61,6 +62,16 @@ pub struct IsdcConfig {
     /// bounds). Schedules are bit-identical either way; this knob only
     /// trades solver time, so it defaults to on.
     pub incremental: bool,
+    /// Compute the per-iteration oracle quality metrics
+    /// ([`IterationRecord::estimation_error_pct`] and its naive twin),
+    /// which time every pipeline stage through the downstream oracle after
+    /// each iteration. Defaults to on;
+    /// [`sweep_clock_period`](crate::sweep_clock_period) turns it off for
+    /// non-final sweep points,
+    /// where the records are never read — schedules, register bits and
+    /// convergence are unaffected either way (the metrics are purely
+    /// observational), only the error columns read 0.
+    pub iteration_metrics: bool,
 }
 
 impl IsdcConfig {
@@ -78,6 +89,7 @@ impl IsdcConfig {
             cache: false,
             cache_file: None,
             incremental: true,
+            iteration_metrics: true,
         }
     }
 
@@ -130,6 +142,12 @@ pub struct IterationRecord {
     /// with [`IsdcConfig::incremental`] off, for the initial schedule, and
     /// after any cold fallback).
     pub solver_warm: bool,
+    /// SSP drain counters of this iteration's LP solve: Dijkstra passes,
+    /// nodes settled, augmenting paths, flow pushed. The batched
+    /// multi-source drain keeps `dijkstras` at or below `paths`; all zero
+    /// with [`IsdcConfig::incremental`] off (the one-shot solver's
+    /// counters are not retrievable) and for cached zero-delta re-solves.
+    pub drain: DrainStats,
     /// Wall-clock time spent in this iteration.
     pub elapsed: Duration,
 }
@@ -178,6 +196,18 @@ impl IsdcResult {
     /// schedule).
     pub fn iterations(&self) -> usize {
         self.history.len().saturating_sub(1)
+    }
+
+    /// Accumulated SSP drain counters across every iteration's LP solve —
+    /// the run-level view of how much search the solver did (pairs with
+    /// the `solve` row of [`IsdcResult::stage_profile`], which holds the
+    /// wall-clock side).
+    pub fn drain_totals(&self) -> DrainStats {
+        let mut total = DrainStats::default();
+        for rec in &self.history {
+            total += rec.drain;
+        }
+        total
     }
 }
 
@@ -293,7 +323,9 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     let stats_now = || cache.map(|c| c.stats()).unwrap_or_default();
     let mut stats_before = stats_now();
     let mut state = PipelineState::new(graph, model, oracle, config, seed)?;
-    let naive = state.delays().clone();
+    // The never-updated matrix is only consumed by the oracle metrics;
+    // skip the O(pairs) copy when those are off.
+    let naive = config.iteration_metrics.then(|| state.delays().clone());
     let initial_potentials = state.initial_potentials().map(<[i64]>::to_vec);
     let initial_engine = state.take_initial_engine();
     let initial_warm = state.solver_warm();
@@ -301,13 +333,15 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
         graph,
         state.schedule(),
         state.delays(),
-        &naive,
+        naive.as_ref(),
         oracle,
         SolveInfo {
             iteration: 0,
             subgraphs_evaluated: 0,
             solver_time: state.initial_solve_time(),
             solver_warm: initial_warm,
+            drain: state.solver_drain(),
+            metrics: config.iteration_metrics,
         },
         &mut stats_before,
         &stats_now,
@@ -334,7 +368,7 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
             graph,
             state.schedule(),
             state.delays(),
-            &naive,
+            naive.as_ref(),
             oracle,
             SolveInfo {
                 iteration,
@@ -343,6 +377,8 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
                 // pre-pipeline driver timed under this name.
                 solver_time: reformulate_time + solve_time,
                 solver_warm,
+                drain: state.solver_drain(),
+                metrics: config.iteration_metrics,
             },
             &mut stats_before,
             &stats_now,
@@ -381,6 +417,10 @@ struct SolveInfo {
     subgraphs_evaluated: usize,
     solver_time: Duration,
     solver_warm: bool,
+    drain: DrainStats,
+    /// [`IsdcConfig::iteration_metrics`]: whether to pay for the oracle
+    /// quality metrics on this record.
+    metrics: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -388,28 +428,37 @@ fn snapshot<O: DelayOracle + ?Sized>(
     graph: &Graph,
     schedule: &Schedule,
     delays: &DelayMatrix,
-    naive: &DelayMatrix,
+    naive: Option<&DelayMatrix>,
     oracle: &O,
     solve: SolveInfo,
     stats_before: &mut CacheStats,
     stats_now: &dyn Fn() -> CacheStats,
     elapsed: Duration,
 ) -> IterationRecord {
-    let sta = metrics::stage_sta_delays(graph, schedule, oracle);
-    let est = metrics::estimated_stage_delays(graph, schedule, delays);
-    let naive_est = metrics::estimated_stage_delays(graph, schedule, naive);
+    let (error_pct, naive_error_pct) = if solve.metrics {
+        let sta = metrics::stage_sta_delays(graph, schedule, oracle);
+        let est = metrics::estimated_stage_delays(graph, schedule, delays);
+        let naive = naive.expect("naive matrix retained while metrics are on");
+        let naive_est = metrics::estimated_stage_delays(graph, schedule, naive);
+        (metrics::estimation_error_pct(&est, &sta), metrics::estimation_error_pct(&naive_est, &sta))
+    } else {
+        // Metrics skipped (e.g. a sweep's inner points): the oracle is not
+        // consulted at all, which is the whole saving.
+        (0.0, 0.0)
+    };
     let stats_after = stats_now();
     let record = IterationRecord {
         iteration: solve.iteration,
         register_bits: schedule.register_bits(graph),
         num_stages: schedule.num_stages(),
-        estimation_error_pct: metrics::estimation_error_pct(&est, &sta),
-        naive_estimation_error_pct: metrics::estimation_error_pct(&naive_est, &sta),
+        estimation_error_pct: error_pct,
+        naive_estimation_error_pct: naive_error_pct,
         subgraphs_evaluated: solve.subgraphs_evaluated,
         cache_hits: stats_after.hits - stats_before.hits,
         cache_misses: stats_after.misses - stats_before.misses,
         solver_time: solve.solver_time,
         solver_warm: solve.solver_warm,
+        drain: solve.drain,
         elapsed,
     };
     *stats_before = stats_after;

@@ -78,6 +78,7 @@ mod sweep;
 pub use delay::{DelayMatrix, DirtySet};
 pub use driver::{run_isdc, run_sdc, IsdcConfig, IsdcResult, IterationRecord};
 pub use isdc_cache::{CacheStats, CachingOracle, DelayCache};
+pub use isdc_sdc::DrainStats;
 pub use pipeline::{PipelineState, RunSeed, Stage, StageKind, StageProfile};
 pub use schedule::Schedule;
 pub use scheduler::{

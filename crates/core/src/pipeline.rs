@@ -34,6 +34,7 @@ use crate::scheduler::{
 };
 use crate::subgraph::{extract_subgraphs, Subgraph};
 use isdc_ir::{Graph, NodeId};
+use isdc_sdc::DrainStats;
 use isdc_synth::{evaluate_parallel, DelayOracle, DelayReport, OpDelayModel};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -180,6 +181,7 @@ pub struct PipelineState<'a, O: ?Sized> {
     carry: DirtySet,
     schedule: Schedule,
     solver_warm: bool,
+    solver_drain: DrainStats,
     initial_solve_time: Duration,
     initial_potentials: Option<Vec<i64>>,
     initial_engine: Option<IncrementalScheduler>,
@@ -225,12 +227,16 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
         } else {
             None
         };
-        let (schedule, solver_warm) = match engine.as_mut() {
+        let (schedule, solver_warm, solver_drain) = match engine.as_mut() {
             Some(engine) => {
                 let schedule = engine.reschedule(graph, &delays, &DirtySet::new(graph.len()))?;
-                (schedule, engine.last_solve_was_warm())
+                (schedule, engine.last_solve_was_warm(), engine.last_drain_stats())
             }
-            None => (schedule_with_matrix(graph, &delays, config.clock_period_ps)?, false),
+            None => (
+                schedule_with_matrix(graph, &delays, config.clock_period_ps)?,
+                false,
+                DrainStats::default(),
+            ),
         };
         let initial_solve_time = solve_start.elapsed();
         // Exported right after the naive-matrix solve: these are the
@@ -253,6 +259,7 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
             carry: DirtySet::new(graph.len()),
             schedule,
             solver_warm,
+            solver_drain,
             initial_solve_time,
             initial_potentials,
             initial_engine,
@@ -273,6 +280,12 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
     /// Whether the most recent solve was warm-started.
     pub fn solver_warm(&self) -> bool {
         self.solver_warm
+    }
+
+    /// SSP drain counters of the most recent solve (zeros on the cold
+    /// non-incremental path, whose one-shot solver is consumed internally).
+    pub fn solver_drain(&self) -> DrainStats {
+        self.solver_drain
     }
 
     /// Wall-clock time of the initial (iteration 0) LP build + solve.
@@ -451,11 +464,13 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Solve {
             Some(engine) => {
                 state.schedule = engine.reschedule(state.graph, &state.delays, &dirty)?;
                 state.solver_warm = engine.last_solve_was_warm();
+                state.solver_drain = engine.last_drain_stats();
             }
             None => {
                 state.schedule =
                     schedule_with_matrix(state.graph, &state.delays, state.config.clock_period_ps)?;
                 state.solver_warm = false;
+                state.solver_drain = DrainStats::default();
             }
         }
         Ok(state.solver_warm)

@@ -461,6 +461,22 @@ impl IncrementalScheduler {
         !self.rebuilt && self.solver.last_solve_was_warm()
     }
 
+    /// Drain counters of the most recent solve (see
+    /// [`isdc_sdc::DrainStats`]): how many Dijkstra passes the SSP drain
+    /// ran and how many augmenting paths they delivered. On a bulk
+    /// retarget the batched drain keeps `dijkstras` far below `paths`.
+    pub fn last_drain_stats(&self) -> isdc_sdc::DrainStats {
+        self.solver.last_drain_stats()
+    }
+
+    /// Routes solves through the retained serial reference drain
+    /// (test/bench hook; see
+    /// [`isdc_sdc::IncrementalSolver::use_reference_drain`]).
+    #[doc(hidden)]
+    pub fn use_reference_drain(&mut self, on: bool) {
+        self.solver.use_reference_drain(on);
+    }
+
     /// Exports the solver's node potentials after a solve — the cross-run
     /// warm-start currency: `-potentials` is the optimal LP assignment, and
     /// [`IncrementalScheduler::warm_from_potentials`] on a *fresh* engine
@@ -832,6 +848,40 @@ mod tests {
             engine.reschedule(&g, &d, &empty).unwrap_err(),
             ScheduleError::OperationExceedsClock { .. }
         ));
+    }
+
+    #[test]
+    fn bulk_retarget_batches_the_drain() {
+        // Widen the clock on a design with many flow-carrying timing
+        // constraints: the retarget relaxes them all at once, so the warm
+        // re-solve's excess arrives in bulk and the batched drain must
+        // deliver its augmenting paths in fewer Dijkstra passes than paths
+        // (the serial reference pays exactly one per path).
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        for _ in 0..10 {
+            let mut prev = a;
+            for _ in 0..7 {
+                prev = g.unary(OpKind::Not, prev).unwrap();
+            }
+            g.set_output(prev);
+        }
+        let delays: Vec<f64> =
+            std::iter::once(0.0).chain(std::iter::repeat(400.0)).take(g.len()).collect();
+        let d = DelayMatrix::initialize(&g, &delays);
+        let options = ScheduleOptions { clock_period_ps: 500.0, max_stages: None };
+        let empty = crate::delay::DirtySet::new(g.len());
+        let mut engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
+        engine.reschedule(&g, &d, &empty).unwrap();
+
+        engine.retarget(&g, &d, 2500.0);
+        let got = engine.reschedule(&g, &d, &empty).unwrap();
+        assert!(engine.last_solve_was_warm(), "an ascending retarget re-solves warm");
+        assert_eq!(got, schedule_with_matrix(&g, &d, 2500.0).unwrap());
+        let stats = engine.last_drain_stats();
+        assert!(stats.paths > 1, "the bulk retarget must re-route flow: {stats:?}");
+        assert!(stats.dijkstras <= stats.paths, "{stats:?}");
+        assert!(stats.dijkstras < stats.paths, "bulk retargets must batch: {stats:?}");
     }
 
     #[test]

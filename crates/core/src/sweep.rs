@@ -155,6 +155,14 @@ fn is_infeasibility(e: &ScheduleError) -> bool {
 /// Runs `base` at every period of `periods` through the session, in the
 /// given order. Infeasible periods are recorded, not fatal.
 ///
+/// Per-iteration oracle metrics ([`IsdcConfig::iteration_metrics`]) are
+/// computed only for the **final** point: inner points are stepping stones
+/// whose error columns nobody reads, and the metric evaluations are the
+/// one remaining cost a sweep pays symmetrically with independent runs.
+/// Schedules and register counts are unaffected (the metrics are purely
+/// observational). Pass a `base` with `iteration_metrics: false` to skip
+/// them everywhere.
+///
 /// # Errors
 ///
 /// Propagates solver failures that do not signal infeasibility.
@@ -164,8 +172,12 @@ pub fn sweep_clock_period<O: DelayOracle + ?Sized>(
     periods: &[Picos],
 ) -> Result<Vec<SweepPoint>, ScheduleError> {
     let mut points = Vec::with_capacity(periods.len());
-    for &clock in periods {
-        let config = IsdcConfig { clock_period_ps: clock, ..base.clone() };
+    for (i, &clock) in periods.iter().enumerate() {
+        let config = IsdcConfig {
+            clock_period_ps: clock,
+            iteration_metrics: base.iteration_metrics && i + 1 == periods.len(),
+            ..base.clone()
+        };
         match session.run(&config) {
             Ok(run) => points.push(SweepPoint::from_session_run(&run)),
             Err(e) if is_infeasibility(&e) => points.push(SweepPoint::infeasible(clock)),
@@ -255,7 +267,9 @@ pub struct MinPeriodSearch {
 /// Binary-searches the smallest feasible clock period in `[lo, hi]` to a
 /// resolution of `tol_ps`, scheduling through the session so feasible
 /// probes reuse each other's work. `lo` may be infeasible; `hi` should be
-/// feasible (otherwise the search reports `None`).
+/// feasible (otherwise the search reports `None`). Probes skip the
+/// per-iteration oracle metrics ([`IsdcConfig::iteration_metrics`]) —
+/// schedules and feasibility are unaffected.
 ///
 /// # Errors
 ///
@@ -276,7 +290,11 @@ pub fn min_feasible_period<O: DelayOracle + ?Sized>(
     let mut probes = Vec::new();
     let mut probe =
         |session: &mut IsdcSession<'_, O>, clock: Picos| -> Result<bool, ScheduleError> {
-            let config = IsdcConfig { clock_period_ps: clock, ..base.clone() };
+            // Probes are pure feasibility/quality stepping stones — nobody
+            // reads their per-iteration error columns, so none of them pay
+            // the oracle metrics (same reasoning as a sweep's inner points).
+            let config =
+                IsdcConfig { clock_period_ps: clock, iteration_metrics: false, ..base.clone() };
             match session.run(&config) {
                 Ok(run) => {
                     probes.push(SweepPoint::from_session_run(&run));

@@ -25,18 +25,29 @@
 //! so warm and cold solves of equivalent systems return bit-identical
 //! assignments (see `mcf::canonical_assignment`).
 
-use crate::mcf::{canonical_assignment, dot, ssp_drain, CanonGraph, FlowNetwork, LpSolution};
+use crate::mcf::{
+    canonical_assignment, dot, ssp_drain, ssp_drain_serial, CanonGraph, DrainProfile, DrainStats,
+    FlowNetwork, LpSolution, SolverScratch,
+};
 use crate::system::{DifferenceSystem, SolveError};
 
 /// Persistent warm-solve state: the flow network, its potentials, any
-/// excess re-exposed by canceled flow on relaxed arcs, and the
-/// canonicalization graph's fixed adjacency.
+/// excess re-exposed by canceled flow on relaxed arcs, the
+/// canonicalization graph's fixed adjacency, and the drain's reusable
+/// Dijkstra scratch (versioned buffers + heap), so warm re-drains allocate
+/// nothing.
 #[derive(Clone, Debug)]
 struct WarmState {
     net: FlowNetwork,
     pi: Vec<i64>,
     excess: Vec<i64>,
     canon: CanonGraph,
+    scratch: SolverScratch,
+    /// True until the state's first drain: the excess is the full supply
+    /// (cold start or imported potentials), which wants the diffuse drain
+    /// profile; afterwards excess only ever comes from canceled flow on
+    /// relaxed arcs, the bulk profile (see [`DrainProfile`]).
+    fresh: bool,
 }
 
 /// A reusable SDC LP solver that persists the min-cost-flow state across
@@ -112,6 +123,12 @@ pub struct IncrementalSolver {
     /// The warm state's canonicalization graph no longer reflects
     /// `implied`; rebuilt lazily at the next solve.
     canon_stale: bool,
+    /// Drain counters of the most recent [`IncrementalSolver::solve`]
+    /// (zeroed for cached zero-delta solves and feasibility queries).
+    last_drain: DrainStats,
+    /// Test/bench hook: route solves through the retained serial reference
+    /// drain instead of the batched multi-source one.
+    serial_drain: bool,
 }
 
 impl IncrementalSolver {
@@ -143,6 +160,8 @@ impl IncrementalSolver {
             last_was_warm: false,
             implied,
             canon_stale: false,
+            last_drain: DrainStats::default(),
+            serial_drain: false,
         })
     }
 
@@ -164,6 +183,23 @@ impl IncrementalSolver {
     /// state (false for the first solve and after any cold fallback).
     pub fn last_solve_was_warm(&self) -> bool {
         self.last_was_warm
+    }
+
+    /// Drain counters of the most recent [`IncrementalSolver::solve`]:
+    /// Dijkstra passes run, nodes settled, augmenting paths pushed and flow
+    /// delivered. Zero for cached zero-delta re-solves and pure
+    /// feasibility queries (no drain runs at all there).
+    pub fn last_drain_stats(&self) -> DrainStats {
+        self.last_drain
+    }
+
+    /// Routes every subsequent solve through the retained single-source
+    /// reference drain instead of the batched multi-source one. Results
+    /// are bit-identical by construction; only search counts and time
+    /// change. A test/bench hook, not a tuning knob.
+    #[doc(hidden)]
+    pub fn use_reference_drain(&mut self, on: bool) {
+        self.serial_drain = on;
     }
 
     /// Forces the next solve to run cold, discarding warm state.
@@ -210,7 +246,8 @@ impl IncrementalSolver {
         let excess: Vec<i64> = self.weights.iter().map(|&w| -w).collect();
         let canon = CanonGraph::new_pruned(&self.system, &self.implied);
         self.canon_stale = false;
-        self.state = Some(WarmState { net, pi: pi.to_vec(), excess, canon });
+        let scratch = SolverScratch::new(n);
+        self.state = Some(WarmState { net, pi: pi.to_vec(), excess, canon, scratch, fresh: true });
         self.cached = None;
         self.pending = true;
         true
@@ -303,6 +340,7 @@ impl IncrementalSolver {
     /// See [`crate::minimize`].
     pub fn solve(&mut self) -> Result<LpSolution, SolveError> {
         let n = self.system.num_vars();
+        self.last_drain = DrainStats::default();
         if self.zero_objective {
             // Pure feasibility query: any satisfying point is optimal.
             let assignment = self.system.solve_feasible()?;
@@ -333,7 +371,8 @@ impl IncrementalSolver {
             let pi: Vec<i64> = feasible.iter().map(|&x| -x).collect();
             let canon = CanonGraph::new_pruned(&self.system, &self.implied);
             self.canon_stale = false;
-            self.state = Some(WarmState { net, pi, excess, canon });
+            let scratch = SolverScratch::new(n);
+            self.state = Some(WarmState { net, pi, excess, canon, scratch, fresh: true });
         }
         if self.canon_stale {
             // Implication flags changed since the canonicalization graph was
@@ -344,7 +383,23 @@ impl IncrementalSolver {
             self.canon_stale = false;
         }
         let state = self.state.as_mut().expect("state just ensured");
-        if let Err(e) = ssp_drain(&mut state.net, &mut state.excess, &mut state.pi) {
+        let mut drain = DrainStats::default();
+        let profile = if state.fresh { DrainProfile::Diffuse } else { DrainProfile::Bulk };
+        let drained = if self.serial_drain {
+            ssp_drain_serial(&mut state.net, &mut state.excess, &mut state.pi, &mut drain)
+        } else {
+            ssp_drain(
+                &mut state.net,
+                &mut state.excess,
+                &mut state.pi,
+                profile,
+                &mut state.scratch,
+                &mut drain,
+            )
+        };
+        self.last_drain = drain;
+        state.fresh = false;
+        if let Err(e) = drained {
             // A failed drain leaves partial flow behind; poison the state.
             self.state = None;
             self.cached = None;
@@ -611,6 +666,71 @@ mod tests {
         solver.mark_implied(&[direct]);
         let got = solver.solve().unwrap();
         assert_eq!(got, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn bulk_relaxation_batches_the_drain() {
+        // Many independent weighted pairs, each with a flow-carrying timing
+        // bound. Relaxing all of them at once re-exposes every pair's
+        // supply in one batch; the multi-source drain must settle them in
+        // far fewer Dijkstra passes than augmenting paths — the serial
+        // reference pays exactly one Dijkstra per path.
+        const PAIRS: u32 = 80;
+        let mut sys = DifferenceSystem::new(2 * PAIRS as usize);
+        let mut arcs = Vec::new();
+        let mut weights = vec![0i64; 2 * PAIRS as usize];
+        for k in 0..PAIRS {
+            arcs.push(sys.add_constraint(VarId(2 * k), VarId(2 * k + 1), -3));
+            weights[(2 * k) as usize] = -1;
+            weights[(2 * k + 1) as usize] = 1;
+        }
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+        let mut reference = solver.clone();
+        reference.use_reference_drain(true);
+
+        for &ci in &arcs {
+            solver.update_bound(ci, -1);
+            reference.update_bound(ci, -1);
+            sys.set_bound(ci, -1);
+        }
+        let batched = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(batched, minimize(&sys, &weights).unwrap());
+
+        let stats = solver.last_drain_stats();
+        assert_eq!(stats.paths, u64::from(PAIRS), "one augmenting path per relaxed pair");
+        assert!(stats.dijkstras <= stats.paths, "never more passes than paths: {stats:?}");
+        assert!(stats.dijkstras < stats.paths, "a bulk relaxation must actually batch: {stats:?}");
+
+        let serial = reference.solve().unwrap();
+        assert_eq!(serial, batched, "reference drain must agree bit-for-bit");
+        let serial_stats = reference.last_drain_stats();
+        assert_eq!(
+            serial_stats.dijkstras, serial_stats.paths,
+            "the serial drain pays one Dijkstra per path: {serial_stats:?}"
+        );
+        assert_eq!(serial_stats.flow_pushed, stats.flow_pushed);
+    }
+
+    #[test]
+    fn drain_stats_reset_on_cached_and_feasibility_solves() {
+        let (sys, weights, timing) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights).unwrap();
+        solver.solve().unwrap();
+        assert!(solver.last_drain_stats().dijkstras > 0, "the cold solve drains");
+        // Zero-delta re-solve: served from cache, no drain at all.
+        solver.solve().unwrap();
+        assert_eq!(solver.last_drain_stats(), DrainStats::default());
+        // A relaxation re-drains only what its canceled flow re-exposed.
+        solver.update_bound(timing[0], solver.bound(timing[0]) + 1);
+        solver.solve().unwrap();
+        let warm = solver.last_drain_stats();
+        assert!(warm.dijkstras <= warm.paths, "{warm:?}");
+        // Feasibility queries never touch the flow network.
+        let mut feas = IncrementalSolver::new(sys, vec![0; 5]).unwrap();
+        feas.solve().unwrap();
+        assert_eq!(feas.last_drain_stats(), DrainStats::default());
     }
 
     #[test]

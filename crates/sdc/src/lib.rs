@@ -41,5 +41,5 @@ mod mcf;
 mod system;
 
 pub use incremental::IncrementalSolver;
-pub use mcf::{minimize, LpSolution};
+pub use mcf::{minimize, DrainStats, LpSolution};
 pub use system::{Constraint, DifferenceSystem, SolveError, VarId};

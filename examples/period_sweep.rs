@@ -14,6 +14,13 @@
 //!   within-run warm solver, but nothing shared across runs. The gap to
 //!   this baseline is exactly what cross-run persistence buys.
 //!
+//! Both baselines run `run_isdc` with its defaults, per-iteration oracle
+//! metrics included — that is what a user doing per-point runs gets —
+//! while the session sweep skips those metrics on non-final points
+//! (`IsdcConfig::iteration_metrics`). The speedups therefore measure the
+//! *product* gap (session sweep vs naive per-point runs), not the solver
+//! in isolation; `BENCH_solver.json` holds the engine-only comparison.
+//!
 //! The program verifies bit-identity against both baselines point by
 //! point, prints per-run reuse statistics, and writes `BENCH_sweep.json`
 //! at the workspace root.

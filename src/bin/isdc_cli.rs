@@ -180,12 +180,21 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             cache,
             cache_file,
             incremental,
+            iteration_metrics: true,
         };
         let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
         println!("iterations: {}", result.iterations());
         for rec in &result.history {
+            // Drain counters ride on the verbose per-iteration display when
+            // the incremental engine produced any (the cold path's one-shot
+            // solver is consumed before its counters can be read).
+            let drain = if rec.drain.paths > 0 {
+                format!(", {} dijkstras/{} paths", rec.drain.dijkstras, rec.drain.paths)
+            } else {
+                String::new()
+            };
             let solver = format!(
-                "{:?} ({})",
+                "{:?} ({}{drain})",
                 rec.solver_time,
                 if rec.solver_warm { "warm" } else { "cold" }
             );
