@@ -41,6 +41,7 @@ use isdc_core::{
 use isdc_ir::Graph;
 use isdc_synth::{DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
+use isdc_telemetry::{ArgValue, MetricsFrame};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -235,6 +236,11 @@ pub struct BatchReport {
     /// Shared-cache counter deltas over the batch (hits/misses/inserts by
     /// this batch's workers only).
     pub cache: CacheStats,
+    /// The fleet metrics frame: every run's telemetry frame scoped under a
+    /// deterministic `job{j}/pt{p}/…` key (plan order, so keys are
+    /// thread-count-independent) and max-joined into one store.
+    /// [`MetricsFrame::totals`] sums it back into fleet counters.
+    pub metrics: MetricsFrame,
 }
 
 impl BatchReport {
@@ -247,6 +253,23 @@ impl BatchReport {
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
     }
+}
+
+/// Folds every point's telemetry frame into one fleet store, scoped by
+/// `job{j}/pt{p}` — the point's position in the *job* (plan order), not
+/// the shard, so the key set is identical for every thread count and for
+/// [`serial_reference`]. Deterministic per-point counters therefore total
+/// bit-identically however the batch was sharded.
+fn fleet_frame(jobs: &[JobResult]) -> MetricsFrame {
+    let mut fleet = MetricsFrame::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        for (pi, point) in job.points.iter().enumerate() {
+            for (name, value) in &point.metrics.metrics {
+                fleet.insert(format!("job{ji}/pt{pi}/{name}"), value.clone());
+            }
+        }
+    }
+    fleet
 }
 
 /// A shard's raw outcome before aggregation.
@@ -299,6 +322,7 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
 ) -> Result<BatchReport, BatchError> {
     let shards = plan_shards(designs, jobs, options)?;
     let threads = options.resolved_threads().min(shards.len()).max(1);
+    let batch_span = isdc_telemetry::span_u64("batch", "shards", shards.len() as u64);
     let stats_before = cache.stats();
     let start = Instant::now();
 
@@ -307,19 +331,36 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
     let slots: Vec<Mutex<Option<Result<ShardOutput, ScheduleError>>>> =
         shards.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
+        for wi in 0..threads {
+            let (next, abort, shards, slots) = (&next, &abort, &shards, &slots);
+            scope.spawn(move || {
+                if isdc_telemetry::enabled() {
+                    // Each worker gets its own named trace track, so the
+                    // Perfetto view shows one lane per pool thread.
+                    isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
                 }
-                let at = next.fetch_add(1, Ordering::Relaxed);
-                let Some(shard) = shards.get(at) else { break };
-                let outcome =
-                    run_shard(shard, &designs[shard.design], model, oracle, Arc::clone(cache));
-                if outcome.is_err() {
-                    abort.store(true, Ordering::Relaxed);
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let at = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(at) else { break };
+                    let shard_span = isdc_telemetry::span_u64("shard", "job", shard.job as u64);
+                    shard_span.note(
+                        "shard_info",
+                        vec![
+                            ("shard", ArgValue::U64(shard.shard as u64)),
+                            ("design", ArgValue::Str(designs[shard.design].name.clone())),
+                        ],
+                    );
+                    let outcome =
+                        run_shard(shard, &designs[shard.design], model, oracle, Arc::clone(cache));
+                    if outcome.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    drop(shard_span);
+                    *slots[at].lock().expect("slot lock poisoned") = Some(outcome);
                 }
-                *slots[at].lock().expect("slot lock poisoned") = Some(outcome);
             });
         }
     });
@@ -358,8 +399,10 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
             }
         }
     }
+    drop(batch_span);
     let stats_after = cache.stats();
     let executed = results.iter().map(|r| r.shards).sum();
+    let metrics = fleet_frame(&results);
     Ok(BatchReport {
         jobs: results,
         threads,
@@ -370,6 +413,7 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
             misses: stats_after.misses - stats_before.misses,
             inserts: stats_after.inserts - stats_before.inserts,
         },
+        metrics,
     })
 }
 
@@ -408,12 +452,14 @@ pub fn serial_reference<O: DelayOracle + ?Sized>(
             elapsed: out.elapsed,
         });
     }
+    let metrics = fleet_frame(&results);
     Ok(BatchReport {
         jobs: results,
         threads: 1,
         shards: jobs.len(),
         elapsed: start.elapsed(),
         cache: CacheStats::default(),
+        metrics,
     })
 }
 

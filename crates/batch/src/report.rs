@@ -4,6 +4,7 @@
 use crate::engine::BatchReport;
 use crate::spec::JobKind;
 use isdc_cache::json::escape;
+use isdc_core::StageKind;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -107,6 +108,20 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
         doc.report.cache_hit_rate(),
         doc.report.cache.inserts
     );
+    // Fleet totals, summed out of the batch's merged metrics frame. Only
+    // leaves that are unique across the metric namespace are meaningful
+    // here (per-stage `ns`/`calls` leaves would collide).
+    let totals = doc.report.metrics.totals();
+    let fleet = |leaf: &str| totals.get(leaf).copied().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  \"fleet\": {{\"drain_dijkstras\": {}, \"drain_paths\": {}, \
+         \"drain_flow_pushed\": {}, \"iterations\": {}}},",
+        fleet("dijkstras"),
+        fleet("paths"),
+        fleet("flow_pushed"),
+        fleet("iterations")
+    );
     out.push_str("  \"runs\": [\n");
     for (i, job) in doc.report.jobs.iter().enumerate() {
         if i > 0 {
@@ -131,7 +146,23 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
         if let Some(min) = job.min_period_ps {
             let _ = write!(out, ", \"min_period_ps\": {min:?}");
         }
-        out.push('}');
+        let drain = |leaf: &str| job.points.iter().map(|p| p.drain_total(leaf)).sum::<u64>();
+        let _ = write!(
+            out,
+            ", \"drain_dijkstras\": {}, \"drain_paths\": {}, \"drain_flow_pushed\": {}",
+            drain("dijkstras"),
+            drain("paths"),
+            drain("flow_pushed")
+        );
+        out.push_str(", \"stage_us\": {");
+        for (si, stage) in StageKind::ALL.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            let us: u64 = job.points.iter().map(|p| p.stage_micros(*stage)).sum();
+            let _ = write!(out, "\"{}\": {us}", stage.name());
+        }
+        out.push_str("}}");
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -161,6 +192,7 @@ mod tests {
             cache_misses: 0,
             elapsed: Duration::ZERO,
             schedule: None,
+            metrics: isdc_telemetry::MetricsFrame::new(),
         };
         let report = BatchReport {
             jobs: vec![JobResult {
@@ -174,6 +206,7 @@ mod tests {
             shards: 1,
             elapsed: Duration::from_nanos(500),
             cache: CacheStats::default(),
+            metrics: isdc_telemetry::MetricsFrame::new(),
         };
         let doc = BatchBenchDoc {
             mode: "quick",
@@ -200,6 +233,9 @@ mod tests {
             "\"cache_hit_rate\": 0.0000",
             "\"hit_rate\": 0.0000",
             "\"feasible\": 0",
+            "\"fleet\": {\"drain_dijkstras\": 0",
+            "\"drain_paths\": 0",
+            "\"stage_us\": {\"extract\": 0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

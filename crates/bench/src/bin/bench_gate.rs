@@ -203,6 +203,26 @@ fn gate_sweep(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
             actual: doc.number(key).ok_or_else(|| format!("sweep doc lacks `{key}`"))?,
         });
     }
+    drain_sanity(doc.array("runs").unwrap_or(&[]), "sweep run")?;
+    Ok(())
+}
+
+/// Structural sanity over the registry-derived drain fields rows now
+/// carry: SSP pushes at least one augmenting path per Dijkstra pass, so
+/// `drain_dijkstras <= drain_paths` whenever any path was pushed. Rows
+/// without the fields (older documents) pass vacuously — the gate
+/// tolerates enrichment, it doesn't require it.
+fn drain_sanity(rows: &[Value], what: &str) -> Result<(), String> {
+    for (i, row) in rows.iter().enumerate() {
+        let (Some(dijkstras), Some(paths)) =
+            (row.number("drain_dijkstras"), row.number("drain_paths"))
+        else {
+            continue;
+        };
+        if paths > 0.0 && dijkstras > paths {
+            return Err(format!("{what} {i}: {dijkstras} drain Dijkstras exceed {paths} paths"));
+        }
+    }
     Ok(())
 }
 
@@ -238,6 +258,7 @@ fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
             .number("speedup_at_max_threads")
             .ok_or("batch doc lacks speedup_at_max_threads")?,
     });
+    drain_sanity(doc.array("runs").unwrap_or(&[]), "batch run")?;
     Ok(())
 }
 

@@ -1,8 +1,8 @@
 //! The sharded, thread-safe delay cache.
 
 use crate::fingerprint::Fingerprint;
+use isdc_telemetry::{Counter, MetricsFrame, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// One memoized downstream evaluation, stored against canonical indices so
@@ -105,9 +105,13 @@ pub struct DelayCache {
     shards: Box<[RwLock<HashMap<u128, CachedDelay>>]>,
     mask: usize,
     potentials: RwLock<HashMap<u128, Vec<StoredPotentials>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    /// The cache's telemetry registry. The hit/miss/insert counters
+    /// below are handles into it; [`DelayCache::stats`] and
+    /// [`DelayCache::metrics`] are two views over the same cells.
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
 }
 
 impl Default for DelayCache {
@@ -130,13 +134,20 @@ impl DelayCache {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         let count = shards.next_power_of_two();
+        let registry = Registry::new();
+        let (hits, misses, inserts) = (
+            registry.counter("cache/hits"),
+            registry.counter("cache/misses"),
+            registry.counter("cache/inserts"),
+        );
         Self {
             shards: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
             mask: count - 1,
             potentials: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            registry,
+            hits,
+            misses,
+            inserts,
         }
     }
 
@@ -149,11 +160,11 @@ impl DelayCache {
         let found = self.shard(fp).read().expect("shard lock poisoned").get(&fp.0).cloned();
         match found {
             Some(entry) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 Some(entry)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
                 None
             }
         }
@@ -161,7 +172,7 @@ impl DelayCache {
 
     /// Inserts (or replaces) an entry, counting an insert.
     pub fn insert(&self, fp: Fingerprint, entry: CachedDelay) {
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.incr();
         self.shard(fp).write().expect("shard lock poisoned").insert(fp.0, entry);
     }
 
@@ -180,13 +191,16 @@ impl DelayCache {
         self.len() == 0
     }
 
-    /// A consistent snapshot of the counters.
+    /// A consistent snapshot of the counters — a [`CacheStats`]-shaped
+    /// view over the telemetry registry cells.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-        }
+        CacheStats { hits: self.hits.get(), misses: self.misses.get(), inserts: self.inserts.get() }
+    }
+
+    /// The same counters as a mergeable telemetry frame
+    /// (`cache/hits`, `cache/misses`, `cache/inserts`).
+    pub fn metrics(&self) -> MetricsFrame {
+        self.registry.snapshot()
     }
 
     /// Drops all entries, keeping the counters.

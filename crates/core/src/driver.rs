@@ -23,6 +23,7 @@ use isdc_ir::Graph;
 use isdc_sdc::DrainStats;
 use isdc_synth::{DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
+use isdc_telemetry::{MetricValue, MetricsFrame};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,7 +63,7 @@ pub struct IsdcConfig {
     /// bounds). Schedules are bit-identical either way; this knob only
     /// trades solver time, so it defaults to on.
     pub incremental: bool,
-    /// Compute the per-iteration oracle quality metrics
+    /// Compute the per-iteration **oracle quality metrics**
     /// ([`IterationRecord::estimation_error_pct`] and its naive twin),
     /// which time every pipeline stage through the downstream oracle after
     /// each iteration. Defaults to on;
@@ -71,6 +72,15 @@ pub struct IsdcConfig {
     /// where the records are never read — schedules, register bits and
     /// convergence are unaffected either way (the metrics are purely
     /// observational), only the error columns read 0.
+    ///
+    /// **Not to be confused with telemetry.** This flag gates the paper's
+    /// Fig. 7 estimation-error measurement (extra oracle work per
+    /// iteration); it has nothing to do with the `isdc-telemetry` span /
+    /// metrics-registry layer, which is controlled globally by
+    /// [`isdc_telemetry::set_enabled`] (CLI: `--trace`) and records
+    /// every iteration — including ones whose quality metrics this flag
+    /// skips. With metrics off the `oracle_metrics` span simply never
+    /// opens inside the `iteration` span.
     pub iteration_metrics: bool,
 }
 
@@ -176,8 +186,17 @@ pub struct IsdcResult {
     /// Final oracle-cache counters, when caching was enabled.
     pub cache_stats: Option<CacheStats>,
     /// Accumulated wall-clock cost of each pipeline stage across the run,
-    /// in [`StageKind::ALL`] order.
+    /// in [`StageKind::ALL`] order — a view over [`IsdcResult::metrics`]
+    /// (`stage/{name}/ns`, `stage/{name}/calls`).
     pub stage_profile: Vec<(StageKind, StageProfile)>,
+    /// Every metric the run recorded, as one mergeable telemetry frame:
+    /// per-stage wall-clock (`stage/*`), solver drain totals (`drain/*`),
+    /// iteration/subgraph counts (`run/*`), the LP solve-time histogram
+    /// (`solve/ns`) and — when caching was on — this run's share of cache
+    /// traffic (`cache/*`). [`IsdcResult::stage_profile`],
+    /// [`IsdcResult::drain_totals`] and [`IsdcResult::cache_stats`] are
+    /// views/summaries of the same underlying cells.
+    pub metrics: MetricsFrame,
     /// Total wall-clock scheduling time.
     pub total_time: Duration,
 }
@@ -319,9 +338,11 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     cache: Option<&DelayCache>,
     seed: RunSeed<'_>,
 ) -> Result<PipelineOutcome, ScheduleError> {
+    let _run_span = isdc_telemetry::span_f64("run", "clock_ps", config.clock_period_ps);
     let start = Instant::now();
     let stats_now = || cache.map(|c| c.stats()).unwrap_or_default();
-    let mut stats_before = stats_now();
+    let run_stats_start = stats_now();
+    let mut stats_before = run_stats_start;
     let mut state = PipelineState::new(graph, model, oracle, config, seed)?;
     // The never-updated matrix is only consumed by the oracle metrics;
     // skip the O(pairs) copy when those are off.
@@ -351,6 +372,10 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     let mut stable_for = 0usize;
     let mut prev_bits = state.schedule().register_bits(graph);
     for iteration in 1..=config.max_iterations {
+        // Opened unconditionally: iterations whose *quality metrics* are
+        // skipped (`iteration_metrics: false`) still get full span
+        // coverage — only the oracle_metrics child span is absent.
+        let _iter_span = isdc_telemetry::span_u64("iteration", "i", iteration as u64);
         let iter_start = Instant::now();
         let (subgraphs, _) = run_stage(&mut Extract, &mut state, ())?;
         if subgraphs.is_empty() {
@@ -364,6 +389,7 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
         let (solver_warm, solve_time) = run_stage(&mut Solve, &mut state, dirty)?;
 
         let next_bits = state.schedule().register_bits(graph);
+        state.metrics().iterations.incr();
         history.push(snapshot(
             graph,
             state.schedule(),
@@ -396,6 +422,22 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     }
 
     let stage_profile = state.profile();
+    let mut metrics_frame = state.metrics_frame();
+    if cache.is_some() {
+        // This run's share of the (possibly shared) cache's traffic, as
+        // registry-shaped counters alongside the pipeline's own.
+        let final_stats = stats_now();
+        metrics_frame
+            .insert("cache/hits", MetricValue::Counter(final_stats.hits - run_stats_start.hits));
+        metrics_frame.insert(
+            "cache/misses",
+            MetricValue::Counter(final_stats.misses - run_stats_start.misses),
+        );
+        metrics_frame.insert(
+            "cache/inserts",
+            MetricValue::Counter(final_stats.inserts - run_stats_start.inserts),
+        );
+    }
     Ok(PipelineOutcome {
         result: IsdcResult {
             schedule: state.schedule().clone(),
@@ -403,6 +445,7 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
             history,
             cache_stats: cache.map(|c| c.stats()),
             stage_profile,
+            metrics: metrics_frame,
             total_time: start.elapsed(),
         },
         initial_potentials,
@@ -436,6 +479,7 @@ fn snapshot<O: DelayOracle + ?Sized>(
     elapsed: Duration,
 ) -> IterationRecord {
     let (error_pct, naive_error_pct) = if solve.metrics {
+        let _span = isdc_telemetry::span("oracle_metrics");
         let sta = metrics::stage_sta_delays(graph, schedule, oracle);
         let est = metrics::estimated_stage_delays(graph, schedule, delays);
         let naive = naive.expect("naive matrix retained while metrics are on");

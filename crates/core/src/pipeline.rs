@@ -36,6 +36,7 @@ use crate::subgraph::{extract_subgraphs, Subgraph};
 use isdc_ir::{Graph, NodeId};
 use isdc_sdc::DrainStats;
 use isdc_synth::{evaluate_parallel, DelayOracle, DelayReport, OpDelayModel};
+use isdc_telemetry::{Counter, Histogram, MetricsFrame, Registry};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -91,15 +92,104 @@ impl StageKind {
             StageKind::Solve => 5,
         }
     }
+
+    /// The stage's telemetry span name (static, for the trace layer).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            StageKind::Extract => "stage:extract",
+            StageKind::Dedupe => "stage:dedupe",
+            StageKind::Evaluate => "stage:evaluate",
+            StageKind::Feedback => "stage:feedback",
+            StageKind::Reformulate => "stage:reformulate",
+            StageKind::Solve => "stage:solve",
+        }
+    }
 }
 
 /// Accumulated wall-clock cost of one stage across a run.
+///
+/// Since the telemetry refactor this is a *view*: the authoritative
+/// cells live in the run's metrics [`Registry`] (`stage/{name}/ns` and
+/// `stage/{name}/calls`), and [`PipelineState::profile`] reads them
+/// back into this shape.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageProfile {
     /// Total time spent in the stage.
     pub total: Duration,
     /// Number of invocations (the initial solve counts for `Solve`).
     pub invocations: usize,
+}
+
+/// The registry-backed metric handles of one run. Every counter that
+/// used to be a bespoke field (per-stage wall-clock, drain totals,
+/// subgraph counts) records through here, so
+/// [`IsdcResult::metrics`](crate::IsdcResult) is one coherent frame and
+/// the legacy accessors are views over the same cells.
+pub(crate) struct RunMetrics {
+    registry: Registry,
+    stage_ns: [Counter; 6],
+    stage_calls: [Counter; 6],
+    drain_dijkstras: Counter,
+    drain_nodes_settled: Counter,
+    drain_paths: Counter,
+    drain_flow_pushed: Counter,
+    /// Pipeline iterations completed (excluding the initial solve).
+    pub(crate) iterations: Counter,
+    /// Subgraphs sent to the oracle (post-dedupe), summed over iterations.
+    pub(crate) subgraphs_evaluated: Counter,
+    /// Distribution of individual LP solve times (log2 ns buckets).
+    solve_ns: Histogram,
+}
+
+impl RunMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let stage_ns =
+            StageKind::ALL.map(|kind| registry.counter(&format!("stage/{}/ns", kind.name())));
+        let stage_calls =
+            StageKind::ALL.map(|kind| registry.counter(&format!("stage/{}/calls", kind.name())));
+        let drain_dijkstras = registry.counter("drain/dijkstras");
+        let drain_nodes_settled = registry.counter("drain/nodes_settled");
+        let drain_paths = registry.counter("drain/paths");
+        let drain_flow_pushed = registry.counter("drain/flow_pushed");
+        let iterations = registry.counter("run/iterations");
+        let subgraphs_evaluated = registry.counter("run/subgraphs_evaluated");
+        let solve_ns = registry.histogram("solve/ns");
+        Self {
+            registry,
+            stage_ns,
+            stage_calls,
+            drain_dijkstras,
+            drain_nodes_settled,
+            drain_paths,
+            drain_flow_pushed,
+            iterations,
+            subgraphs_evaluated,
+            solve_ns,
+        }
+    }
+
+    fn record_stage(&self, kind: StageKind, elapsed: Duration) {
+        self.stage_ns[kind.index()].add(elapsed.as_nanos() as u64);
+        self.stage_calls[kind.index()].incr();
+        if kind == StageKind::Solve {
+            self.solve_ns.record(elapsed.as_nanos() as u64);
+        }
+    }
+
+    fn record_drain(&self, drain: DrainStats) {
+        self.drain_dijkstras.add(drain.dijkstras);
+        self.drain_nodes_settled.add(drain.nodes_settled);
+        self.drain_paths.add(drain.paths);
+        self.drain_flow_pushed.add(drain.flow_pushed);
+    }
+
+    fn stage_profile(&self, kind: StageKind) -> StageProfile {
+        StageProfile {
+            total: Duration::from_nanos(self.stage_ns[kind.index()].get()),
+            invocations: self.stage_calls[kind.index()].get() as usize,
+        }
+    }
 }
 
 /// One ISDC iteration pipeline step: consumes `In`, produces `Out`, reading
@@ -138,6 +228,7 @@ pub fn run_stage<O: DelayOracle + ?Sized, S: Stage<O>>(
     state: &mut PipelineState<'_, O>,
     input: S::In,
 ) -> Result<(S::Out, Duration), ScheduleError> {
+    let _span = isdc_telemetry::span(S::KIND.span_name());
     let start = Instant::now();
     let out = stage.run(state, input)?;
     let elapsed = start.elapsed();
@@ -185,7 +276,7 @@ pub struct PipelineState<'a, O: ?Sized> {
     initial_solve_time: Duration,
     initial_potentials: Option<Vec<i64>>,
     initial_engine: Option<IncrementalScheduler>,
-    profile: [StageProfile; 6],
+    metrics: RunMetrics,
 }
 
 impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
@@ -207,6 +298,7 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
     ) -> Result<Self, ScheduleError> {
         let delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
         let options = ScheduleOptions { clock_period_ps: config.clock_period_ps, max_stages: None };
+        let init_span = isdc_telemetry::span("initial_solve");
         let solve_start = Instant::now();
         let mut engine = if config.incremental {
             Some(match seed.engine {
@@ -239,6 +331,7 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
             ),
         };
         let initial_solve_time = solve_start.elapsed();
+        drop(init_span);
         // Exported right after the naive-matrix solve: these are the
         // potentials (and, on request, the whole engine) a *future* run's
         // iteration 0 — same naive matrix — can seed from. The final
@@ -246,10 +339,9 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
         // the next run does not start from.
         let initial_potentials = engine.as_ref().and_then(IncrementalScheduler::potentials);
         let initial_engine = if seed.export_engine { engine.clone() } else { None };
-        let mut profile = [StageProfile::default(); 6];
-        let solve = &mut profile[StageKind::Solve.index()];
-        solve.total += initial_solve_time;
-        solve.invocations += 1;
+        let metrics = RunMetrics::new();
+        metrics.record_stage(StageKind::Solve, initial_solve_time);
+        metrics.record_drain(solver_drain);
         Ok(Self {
             graph,
             config,
@@ -263,7 +355,7 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
             initial_solve_time,
             initial_potentials,
             initial_engine,
-            profile,
+            metrics,
         })
     }
 
@@ -307,15 +399,23 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
     }
 
     /// The per-stage wall-clock profile accumulated so far, in
-    /// [`StageKind::ALL`] order.
+    /// [`StageKind::ALL`] order — a view over the run's metrics registry.
     pub fn profile(&self) -> Vec<(StageKind, StageProfile)> {
-        StageKind::ALL.iter().map(|&k| (k, self.profile[k.index()])).collect()
+        StageKind::ALL.iter().map(|&k| (k, self.metrics.stage_profile(k))).collect()
+    }
+
+    /// The run's metric handles (driver-internal).
+    pub(crate) fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// A mergeable snapshot of every metric the run has recorded.
+    pub fn metrics_frame(&self) -> MetricsFrame {
+        self.metrics.registry.snapshot()
     }
 
     fn record(&mut self, kind: StageKind, elapsed: Duration) {
-        let cell = &mut self.profile[kind.index()];
-        cell.total += elapsed;
-        cell.invocations += 1;
+        self.metrics.record_stage(kind, elapsed);
     }
 }
 
@@ -384,6 +484,7 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Evaluate {
         input: Self::In,
     ) -> Result<Self::Out, ScheduleError> {
         let node_sets: Vec<Vec<NodeId>> = input.iter().map(|s| s.nodes.clone()).collect();
+        state.metrics.subgraphs_evaluated.add(node_sets.len() as u64);
         let reports =
             evaluate_parallel(state.oracle, state.graph, &node_sets, state.config.threads);
         Ok((input, reports))
@@ -473,6 +574,7 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Solve {
                 state.solver_drain = DrainStats::default();
             }
         }
+        state.metrics.record_drain(state.solver_drain);
         Ok(state.solver_warm)
     }
 }

@@ -190,6 +190,9 @@ impl<'a, O: DelayOracle + ?Sized> IsdcSession<'a, O> {
     ///
     /// See [`run_isdc`](crate::run_isdc).
     pub fn run(&mut self, config: &IsdcConfig) -> Result<SessionRun, ScheduleError> {
+        // Wraps the pipeline's own "run" span, so the gap between the two
+        // is exactly the session's seed/handoff overhead.
+        let _span = isdc_telemetry::span_f64("session:run", "clock_ps", config.clock_period_ps);
         let caching = CachingOracle::with_cache(self.oracle, Arc::clone(&self.cache));
         let stats_before = self.cache.stats();
         // Strongest seed first: the previous run's engine, retargeted to

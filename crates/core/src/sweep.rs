@@ -24,11 +24,13 @@
 //! the bench tooling and CI consume.
 
 use crate::driver::IsdcConfig;
+use crate::pipeline::StageKind;
 use crate::schedule::Schedule;
 use crate::scheduler::ScheduleError;
 use crate::session::{IsdcSession, SessionRun};
 use isdc_synth::DelayOracle;
 use isdc_techlib::Picos;
+use isdc_telemetry::MetricsFrame;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -62,6 +64,10 @@ pub struct SweepPoint {
     pub elapsed: Duration,
     /// The final schedule, for bit-identity checks (absent if infeasible).
     pub schedule: Option<Schedule>,
+    /// The run's full telemetry frame ([`IsdcResult::metrics`]
+    /// (crate::IsdcResult::metrics)): per-stage wall-clock, drain totals,
+    /// iteration counts. Empty for infeasible points.
+    pub metrics: MetricsFrame,
 }
 
 impl SweepPoint {
@@ -73,6 +79,18 @@ impl SweepPoint {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// A drain counter (`drain/dijkstras`, `drain/paths`, ...) from the
+    /// run's telemetry frame, or 0 for infeasible points.
+    pub fn drain_total(&self, leaf: &str) -> u64 {
+        self.metrics.counter_or_zero(&format!("drain/{leaf}"))
+    }
+
+    /// Wall-clock microseconds spent in `stage` across the run, from the
+    /// telemetry frame.
+    pub fn stage_micros(&self, stage: StageKind) -> u64 {
+        self.metrics.counter_or_zero(&format!("stage/{}/ns", stage.name())) / 1_000
     }
 
     fn infeasible(clock_period_ps: Picos) -> Self {
@@ -89,6 +107,7 @@ impl SweepPoint {
             cache_misses: 0,
             elapsed: Duration::ZERO,
             schedule: None,
+            metrics: MetricsFrame::new(),
         }
     }
 
@@ -125,6 +144,7 @@ impl SweepPoint {
             cache_misses,
             elapsed: result.total_time,
             schedule: Some(result.schedule.clone()),
+            metrics: result.metrics.clone(),
         }
     }
 }
@@ -171,6 +191,7 @@ pub fn sweep_clock_period<O: DelayOracle + ?Sized>(
     base: &IsdcConfig,
     periods: &[Picos],
 ) -> Result<Vec<SweepPoint>, ScheduleError> {
+    let _span = isdc_telemetry::span_u64("sweep", "points", periods.len() as u64);
     let mut points = Vec::with_capacity(periods.len());
     for (i, &clock) in periods.iter().enumerate() {
         let config = IsdcConfig {
@@ -287,6 +308,7 @@ pub fn min_feasible_period<O: DelayOracle + ?Sized>(
 ) -> Result<MinPeriodSearch, ScheduleError> {
     assert!(tol_ps > 0.0, "tolerance must be positive");
     assert!(lo <= hi, "empty search interval");
+    let _span = isdc_telemetry::span("min_period_search");
     let mut probes = Vec::new();
     let mut probe =
         |session: &mut IsdcSession<'_, O>, clock: Picos| -> Result<bool, ScheduleError> {
@@ -375,6 +397,23 @@ pub fn render_sweep_json(
             p.cache_hit_rate(),
             p.elapsed.as_nanos(),
         );
+        // Registry-derived enrichment: solver drain totals and per-stage
+        // wall-clock, straight from the run's telemetry frame.
+        let _ = write!(
+            out,
+            ", \"drain_dijkstras\": {}, \"drain_paths\": {}, \"drain_flow_pushed\": {}",
+            p.drain_total("dijkstras"),
+            p.drain_total("paths"),
+            p.drain_total("flow_pushed"),
+        );
+        out.push_str(", \"stage_us\": {");
+        for (si, kind) in StageKind::ALL.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", kind.name(), p.stage_micros(*kind));
+        }
+        out.push('}');
         for (name, points) in baselines {
             if let Some(b) = points.iter().find(|b| b.clock_period_ps == p.clock_period_ps) {
                 let _ = write!(out, ", \"{name}_elapsed_ns\": {}", b.elapsed.as_nanos());
@@ -402,6 +441,10 @@ mod tests {
 
     #[test]
     fn sweep_json_shape_is_stable() {
+        let mut metrics = MetricsFrame::new();
+        metrics.insert("drain/dijkstras", isdc_telemetry::MetricValue::Counter(7));
+        metrics.insert("drain/paths", isdc_telemetry::MetricValue::Counter(12));
+        metrics.insert("stage/solve/ns", isdc_telemetry::MetricValue::Counter(42_000));
         let point = SweepPoint {
             clock_period_ps: 2500.0,
             feasible: true,
@@ -415,6 +458,7 @@ mod tests {
             cache_misses: 2,
             elapsed: Duration::from_nanos(1234),
             schedule: None,
+            metrics,
         };
         let cold =
             SweepPoint { warm_start: false, elapsed: Duration::from_nanos(9999), ..point.clone() };
@@ -425,6 +469,10 @@ mod tests {
             "\"speedup_vs_cold\": 8.10",
             "\"warm_start\": true",
             "\"cache_hit_rate\": 0.9524",
+            "\"drain_dijkstras\": 7",
+            "\"drain_paths\": 12",
+            "\"stage_us\": {\"extract\": 0",
+            "\"solve\": 42",
             "\"cold_elapsed_ns\": 9999",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -343,6 +343,7 @@ impl IncrementalSolver {
         self.last_drain = DrainStats::default();
         if self.zero_objective {
             // Pure feasibility query: any satisfying point is optimal.
+            let _span = isdc_telemetry::span("solve:feasibility");
             let assignment = self.system.solve_feasible()?;
             let objective = dot(&self.weights, &assignment);
             self.last_was_warm = false;
@@ -361,6 +362,7 @@ impl IncrementalSolver {
         if self.state.is_none() {
             // Cold start: feasibility first — it also seeds the potentials
             // (pi_u = -x_u makes every reduced cost b - x_u + x_v >= 0).
+            let _span = isdc_telemetry::span("solve:feasibility");
             let feasible = self.system.solve_feasible()?;
             let mut net = FlowNetwork::new(n);
             for c in self.system.constraints() {
@@ -384,6 +386,7 @@ impl IncrementalSolver {
         }
         let state = self.state.as_mut().expect("state just ensured");
         let mut drain = DrainStats::default();
+        let drain_span = isdc_telemetry::span("solve:drain");
         let profile = if state.fresh { DrainProfile::Diffuse } else { DrainProfile::Bulk };
         let drained = if self.serial_drain {
             ssp_drain_serial(&mut state.net, &mut state.excess, &mut state.pi, &mut drain)
@@ -397,6 +400,16 @@ impl IncrementalSolver {
                 &mut drain,
             )
         };
+        drain_span.note(
+            "drain_stats",
+            vec![
+                ("dijkstras", isdc_telemetry::ArgValue::U64(drain.dijkstras)),
+                ("nodes_settled", isdc_telemetry::ArgValue::U64(drain.nodes_settled)),
+                ("paths", isdc_telemetry::ArgValue::U64(drain.paths)),
+                ("flow_pushed", isdc_telemetry::ArgValue::U64(drain.flow_pushed)),
+            ],
+        );
+        drop(drain_span);
         self.last_drain = drain;
         state.fresh = false;
         if let Err(e) = drained {
@@ -409,7 +422,9 @@ impl IncrementalSolver {
         self.last_was_warm = warm;
         let state = self.state.as_ref().expect("state retained on success");
         let x_star: Vec<i64> = state.pi.iter().map(|&p| -p).collect();
+        let canon_span = isdc_telemetry::span("solve:canonicalize");
         let assignment = canonical_assignment(&self.system, &state.net, &x_star, &state.canon);
+        drop(canon_span);
         debug_assert!(self.system.first_violation(&assignment).is_none());
         let objective = dot(&self.weights, &assignment);
         debug_assert_eq!(

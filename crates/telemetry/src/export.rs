@@ -1,0 +1,516 @@
+//! Trace exporters and the JSONL re-importer.
+//!
+//! Two on-disk formats, both hand-rolled (this crate has zero deps):
+//!
+//! - **JSON-lines** ([`render_jsonl`]): one event per line, preceded by
+//!   one `track` metadata line per registered track. Round-trippable via
+//!   [`parse_jsonl`], which is what `isdc-cli trace check` uses.
+//! - **Chrome `trace_event`** ([`render_chrome_trace`]): the JSON-array
+//!   form understood by [Perfetto](https://ui.perfetto.dev) and
+//!   `chrome://tracing`. Tracks map to threads (`tid`), so each batch
+//!   worker renders as its own named row.
+
+use crate::trace::{ArgValue, EventKind, Trace};
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_value(out: &mut String, s: &str) {
+    out.push('"');
+    escape_json(s, out);
+    out.push('"');
+}
+
+fn push_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::I64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::Str(s) => push_str_value(out, s),
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_value(out, k);
+        out.push(':');
+        push_arg_value(out, v);
+    }
+    out.push('}');
+}
+
+fn kind_code(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+    }
+}
+
+/// Renders a trace as JSON-lines: first one `{"kind":"track",...}` line
+/// per registered track, then one line per event in sequence order.
+pub fn render_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (id, name) in trace.tracks.iter().enumerate() {
+        out.push_str(&format!("{{\"kind\":\"track\",\"track\":{id},\"name\":"));
+        push_str_value(&mut out, name);
+        out.push_str("}\n");
+    }
+    for e in &trace.events {
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"seq\":{},\"track\":{},\"name\":",
+            kind_code(e.kind),
+            e.seq,
+            e.track
+        ));
+        push_str_value(&mut out, e.name);
+        out.push_str(&format!(",\"t_ns\":{}", e.t_ns));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":");
+            push_args(&mut out, &e.args);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders a trace in Chrome `trace_event` JSON-array format. Load the
+/// file in Perfetto or `chrome://tracing`; each track appears as a
+/// named thread under one `isdc` process, and span arguments show in
+/// the selection panel. Timestamps are microseconds with nanosecond
+/// fraction preserved.
+pub fn render_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"isdc\"}}",
+    );
+    for (id, name) in trace.tracks.iter().enumerate() {
+        out.push_str(&format!(
+            ",\n{{\"ph\":\"M\",\"pid\":1,\"tid\":{id},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        ));
+        push_str_value(&mut out, name);
+        out.push_str("}}");
+    }
+    for e in &trace.events {
+        let ts_us = e.t_ns as f64 / 1000.0;
+        out.push_str(&format!(
+            ",\n{{\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{ts_us:.3},\"name\":",
+            kind_code(e.kind),
+            e.track
+        ));
+        push_str_value(&mut out, e.name);
+        // Instant events need a scope; "t" (thread) keeps them on their
+        // track's row in Perfetto.
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":");
+            push_args(&mut out, &e.args);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// An event re-read from a JSONL trace file (names owned, arguments
+/// dropped — the checker only needs structure and timing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Global sequence number.
+    pub seq: u64,
+    /// Track id.
+    pub track: u32,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Span name.
+    pub name: String,
+    /// Nanoseconds since the trace epoch.
+    pub t_ns: u64,
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value parser for re-reading our own JSONL output. Not a
+// general-purpose parser: enough of RFC 8259 to round-trip what
+// render_jsonl emits, with clear errors on anything malformed.
+
+enum Json {
+    Obj(Vec<(String, Json)>),
+    // Array payloads are only traversed by tests (the chrome-trace
+    // self-check); JSONL lines are all objects.
+    Arr(#[allow(dead_code)] Vec<Json>),
+    Str(String),
+    Num(f64),
+    // Booleans/nulls are parsed for completeness but nothing in the
+    // trace schema reads their payload.
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing garbage"))
+        }
+    }
+}
+
+/// Parses a JSONL trace file produced by [`render_jsonl`] back into
+/// events and the track-name table. Returns a line-tagged error for
+/// anything malformed.
+pub fn parse_jsonl(text: &str) -> Result<(Vec<OwnedEvent>, Vec<String>), String> {
+    let mut events = Vec::new();
+    let mut tracks: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parser = Parser::new(line);
+        let value = parser
+            .value()
+            .and_then(|v| parser.finish().map(|()| v))
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+        match kind {
+            "track" => {
+                let id = value
+                    .get("track")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: track line missing id", lineno + 1))?
+                    as usize;
+                let name = value
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: track line missing name", lineno + 1))?;
+                if tracks.len() <= id {
+                    tracks.resize(id + 1, String::new());
+                }
+                tracks[id] = name.to_string();
+            }
+            "B" | "E" | "i" => {
+                let event_kind = match kind {
+                    "B" => EventKind::Begin,
+                    "E" => EventKind::End,
+                    _ => EventKind::Instant,
+                };
+                let field = |key: &str| {
+                    value
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {}: missing \"{key}\"", lineno + 1))
+                };
+                events.push(OwnedEvent {
+                    seq: field("seq")?,
+                    track: field("track")? as u32,
+                    kind: event_kind,
+                    name: value
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
+                        .to_string(),
+                    t_ns: field("t_ns")?,
+                });
+            }
+            other => {
+                return Err(format!("line {}: unknown event kind {other:?}", lineno + 1));
+            }
+        }
+    }
+    events.sort_by_key(|e| e.seq);
+    Ok((events, tracks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Event;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            events: vec![
+                Event {
+                    seq: 0,
+                    track: 0,
+                    kind: EventKind::Begin,
+                    name: "run",
+                    t_ns: 1000,
+                    args: vec![
+                        ("clock_ps", ArgValue::F64(2500.0)),
+                        ("design", ArgValue::Str("crc\"32".into())),
+                    ],
+                },
+                Event {
+                    seq: 1,
+                    track: 0,
+                    kind: EventKind::Instant,
+                    name: "mark",
+                    t_ns: 1500,
+                    args: vec![("n", ArgValue::U64(7))],
+                },
+                Event {
+                    seq: 2,
+                    track: 0,
+                    kind: EventKind::End,
+                    name: "run",
+                    t_ns: 2000,
+                    args: vec![],
+                },
+            ],
+            tracks: vec!["main".into()],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = sample_trace();
+        let text = render_jsonl(&trace);
+        let (events, tracks) = parse_jsonl(&text).expect("own output parses");
+        assert_eq!(tracks, vec!["main".to_string()]);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "run");
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!(events[2].kind, EventKind::End);
+        assert_eq!(events[1].t_ns, 1500);
+        crate::validate_events(events.iter().map(|e| (e.track, e.kind, e.name.as_str(), e.t_ns)))
+            .expect("round-tripped trace is well-formed");
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_json() {
+        let trace = sample_trace();
+        let text = render_chrome_trace(&trace);
+        // Parse with our own JSON parser: array of objects, metadata
+        // first, microsecond timestamps.
+        let mut parser = Parser::new(&text);
+        let value = parser.value().and_then(|v| parser.finish().map(|()| v)).expect("valid JSON");
+        let Json::Arr(items) = value else { panic!("chrome trace must be a JSON array") };
+        assert_eq!(items.len(), 2 + 3, "process meta + thread meta + 3 events");
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("M"));
+        let begin = &items[2];
+        assert_eq!(begin.get("ph").and_then(Json::as_str), Some("B"));
+        match begin.get("ts") {
+            Some(Json::Num(ts)) => assert!((ts - 1.0).abs() < 1e-9, "1000ns = 1.0us"),
+            _ => panic!("ts missing"),
+        }
+        assert!(begin.get("args").is_some());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"kind\":\"B\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"kind\":\"Z\",\"seq\":0}").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # isdc-telemetry — unified observability for the ISDC workspace
+//!
+//! One coherent layer replacing the scattered counters that used to live
+//! in four crates: hierarchical **spans** (`session → run → iteration →
+//! stage → solver drain phase`) recorded into a sharded, thread-safe
+//! event buffer; a **metrics registry** of counters, gauges and
+//! histograms whose snapshots merge with a deterministic, commutative,
+//! associative and idempotent join (the same contract as
+//! `DelayCache::merge`, so batch workers record locally and the
+//! aggregator folds fleet totals bit-deterministically); and
+//! **exporters** to JSON-lines and Chrome `trace_event` format (loadable
+//! in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
+//!
+//! Tracing is globally off by default. When disabled, the span hot path
+//! is a single relaxed atomic load — no allocation, no lock, no clock
+//! read — so instrumented code pays nothing in production runs (the
+//! overhead-guard test in `tests/overhead.rs` enforces this). Enable
+//! with [`set_enabled`]; spans are scoped guards, so they cannot be left
+//! unbalanced even on early return:
+//!
+//! ```
+//! isdc_telemetry::set_enabled(true);
+//! {
+//!     let _run = isdc_telemetry::span("run");
+//!     let _iter = isdc_telemetry::span_u64("iteration", "i", 0);
+//! } // guards close in reverse order
+//! let trace = isdc_telemetry::take_trace();
+//! isdc_telemetry::set_enabled(false);
+//! assert!(trace.validate().is_ok());
+//! ```
+#![warn(missing_docs)]
+
+mod check;
+mod export;
+mod registry;
+mod trace;
+
+pub use check::{validate_events, TraceError, TraceSummary};
+pub use export::{parse_jsonl, render_chrome_trace, render_jsonl, OwnedEvent};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricKind, MetricValue, MetricsFrame, Registry, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    enabled, now_ns, reset, set_enabled, set_thread_track, span, span_f64, span_str, span_u64,
+    take_trace, ArgValue, Event, EventKind, SpanGuard, Trace,
+};

@@ -1,0 +1,371 @@
+//! The span collector: a global, sharded, thread-safe event buffer.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Disabled cost ≈ zero.** [`span`] when tracing is off is one
+//!    relaxed atomic load and a `None` guard — no clock read, no lock,
+//!    no allocation. Instrumentation can therefore sit on warm paths
+//!    (per-iteration, per-solve) without a feature gate.
+//! 2. **No unbalanced spans.** The only way to record a `Begin` is to
+//!    hold a [`SpanGuard`]; its `Drop` records the matching `End`, so
+//!    early returns and `?` propagation cannot leak an open span.
+//! 3. **Thread-safe without a global bottleneck.** Events land in one of
+//!    a fixed set of mutex-protected shards picked by the recording
+//!    thread's track id; a global atomic sequence number gives a total
+//!    order for reassembly.
+//!
+//! Timestamps are monotonic nanoseconds since a process-wide epoch
+//! (first telemetry touch), so traces from one process share a timeline.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of mutex-protected event-buffer shards. Tracks hash onto
+/// shards by id, so up to this many threads record without contention.
+const SHARDS: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static BUFFERS: [Mutex<Vec<Event>>; SHARDS] = [const { Mutex::new(Vec::new()) }; SHARDS];
+/// Registered track names; a track's id is its index here. Track 0 is
+/// pre-registered as "main" lazily on first use.
+static TRACKS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// This thread's track id, or `u32::MAX` if not yet assigned.
+    static THREAD_TRACK: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// A typed span/event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument (ids, counts).
+    U64(u64),
+    /// Signed integer argument.
+    I64(i64),
+    /// Floating-point argument (clock periods, rates).
+    F64(f64),
+    /// String argument (design names).
+    Str(String),
+}
+
+/// What an [`Event`] marks: the start of a span, its end, or a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened (Chrome `ph: "B"`).
+    Begin,
+    /// Span closed (Chrome `ph: "E"`).
+    End,
+    /// Instantaneous point event (Chrome `ph: "i"`).
+    Instant,
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number: a total order across all tracks.
+    pub seq: u64,
+    /// Track (≈ thread) the event was recorded on.
+    pub track: u32,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Span name. Static because instrumentation sites name their spans
+    /// with literals; parsed traces use [`crate::OwnedEvent`] instead.
+    pub name: &'static str,
+    /// Monotonic nanoseconds since the process telemetry epoch.
+    pub t_ns: u64,
+    /// Key/value arguments attached at `Begin` (empty on `End`).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A drained trace: every event recorded since the last [`take_trace`]
+/// or [`reset`], in global sequence order, plus the track-name table.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in ascending `seq` order.
+    pub events: Vec<Event>,
+    /// Track names; index = track id.
+    pub tracks: Vec<String>,
+}
+
+impl Trace {
+    /// Checks well-formedness: per-track LIFO nesting with name-matched
+    /// ends, monotone timestamps, and no span left open.
+    pub fn validate(&self) -> Result<crate::TraceSummary, crate::TraceError> {
+        crate::validate_events(self.events.iter().map(|e| (e.track, e.kind, e.name, e.t_ns)))
+    }
+
+    /// Name of `track`, or a synthesized placeholder if unregistered.
+    pub fn track_name(&self, track: u32) -> String {
+        self.tracks.get(track as usize).cloned().unwrap_or_else(|| format!("track-{track}"))
+    }
+}
+
+/// Returns whether span recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables span recording. Disabling does not drop
+/// already-buffered events; live guards still record their `End` so a
+/// mid-run toggle cannot unbalance the trace.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Monotonic nanoseconds since the process telemetry epoch.
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Names the calling thread's track (shown as the thread name in
+/// Perfetto). Returns the track id. Batch workers call this once at
+/// spawn (`batch-worker-{i}`); unnamed threads get `thread-{id}` on
+/// their first recorded event.
+pub fn set_thread_track(name: impl Into<String>) -> u32 {
+    let id = register_track(name.into());
+    THREAD_TRACK.with(|t| t.set(id));
+    id
+}
+
+fn register_track(name: String) -> u32 {
+    let mut tracks = TRACKS.lock().unwrap();
+    if tracks.is_empty() {
+        tracks.push("main".to_string());
+    }
+    if name == "main" {
+        return 0;
+    }
+    if let Some(pos) = tracks.iter().position(|t| *t == name) {
+        return pos as u32;
+    }
+    tracks.push(name);
+    (tracks.len() - 1) as u32
+}
+
+/// The calling thread's track id, assigning a fresh one if needed.
+fn thread_track() -> u32 {
+    THREAD_TRACK.with(|t| {
+        let id = t.get();
+        if id != u32::MAX {
+            return id;
+        }
+        // First event from an unnamed thread: the main thread (the one
+        // that touched telemetry first) claims track 0, others get a
+        // synthesized name.
+        let mut tracks = TRACKS.lock().unwrap();
+        let id = if tracks.is_empty() {
+            tracks.push("main".to_string());
+            0
+        } else {
+            let id = tracks.len();
+            tracks.push(format!("thread-{id}"));
+            id as u32
+        };
+        drop(tracks);
+        t.set(id);
+        id
+    })
+}
+
+fn record(kind: EventKind, name: &'static str, track: u32, args: Vec<(&'static str, ArgValue)>) {
+    let event =
+        Event { seq: SEQ.fetch_add(1, Ordering::Relaxed), track, kind, name, t_ns: now_ns(), args };
+    let shard = track as usize % SHARDS;
+    BUFFERS[shard].lock().unwrap().push(event);
+}
+
+/// A scoped span: records `Begin` on creation (when tracing is enabled)
+/// and the matching `End` on drop. When tracing is disabled the guard is
+/// inert and costs nothing.
+#[must_use = "a span guard records its End when dropped; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    /// `Some((name, track))` iff a `Begin` was recorded.
+    live: Option<(&'static str, u32)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Record the End even if tracing was disabled mid-span: an open
+        // Begin with no End would fail trace validation.
+        if let Some((name, track)) = self.live.take() {
+            record(EventKind::End, name, track, Vec::new());
+        }
+    }
+}
+
+/// Opens a span named `name` on the calling thread's track.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    span_slow(name, Vec::new())
+}
+
+/// Opens a span with one `u64` argument.
+#[inline]
+pub fn span_u64(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    span_slow(name, vec![(key, ArgValue::U64(value))])
+}
+
+/// Opens a span with one `f64` argument.
+#[inline]
+pub fn span_f64(name: &'static str, key: &'static str, value: f64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    span_slow(name, vec![(key, ArgValue::F64(value))])
+}
+
+/// Opens a span with one string argument.
+#[inline]
+pub fn span_str(name: &'static str, key: &'static str, value: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    span_slow(name, vec![(key, ArgValue::Str(value.to_string()))])
+}
+
+#[cold]
+fn span_slow(name: &'static str, args: Vec<(&'static str, ArgValue)>) -> SpanGuard {
+    let track = thread_track();
+    record(EventKind::Begin, name, track, args);
+    SpanGuard { live: Some((name, track)) }
+}
+
+impl SpanGuard {
+    /// Attaches extra arguments to an already-open span by recording an
+    /// instant event inside it (Chrome `ph: "i"`). Useful for values
+    /// only known after the span opened (e.g. drain counters).
+    pub fn note(&self, name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+        if let Some((_, track)) = self.live {
+            record(EventKind::Instant, name, track, args);
+        }
+    }
+}
+
+/// Drains all buffered events (sorted by global sequence number) and the
+/// track-name table. Buffered events are removed; track registrations
+/// persist so long-lived threads keep their names across drains.
+pub fn take_trace() -> Trace {
+    let mut events = Vec::new();
+    for shard in &BUFFERS {
+        events.append(&mut shard.lock().unwrap());
+    }
+    events.sort_by_key(|e| e.seq);
+    let tracks = TRACKS.lock().unwrap().clone();
+    Trace { events, tracks }
+}
+
+/// Clears all buffered events without returning them. Track
+/// registrations and the epoch persist.
+pub fn reset() {
+    for shard in &BUFFERS {
+        shard.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is global, so tests that enable tracing must not
+    /// interleave; this lock serializes them (also used by integration
+    /// tests via the public API contract: enable → run → take → disable).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("nothing");
+            let _t = span_u64("nested", "i", 3);
+        }
+        assert!(take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        set_enabled(true);
+        {
+            let outer = span("outer");
+            outer.note("mark", vec![("k", ArgValue::U64(7))]);
+            let _inner = span_str("inner", "design", "crc32");
+        }
+        set_enabled(false);
+        let trace = take_trace();
+        let kinds: Vec<EventKind> = trace.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Begin,
+                EventKind::Instant,
+                EventKind::Begin,
+                EventKind::End,
+                EventKind::End
+            ]
+        );
+        // Inner closes before outer (LIFO), names match.
+        assert_eq!(trace.events[3].name, "inner");
+        assert_eq!(trace.events[4].name, "outer");
+        let summary = trace.validate().expect("balanced trace");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.max_depth, 2);
+    }
+
+    #[test]
+    fn mid_span_disable_still_closes() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        set_enabled(true);
+        let s = span("survivor");
+        set_enabled(false);
+        drop(s);
+        let trace = take_trace();
+        assert_eq!(trace.events.len(), 2);
+        trace.validate().expect("End recorded despite disable");
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        set_enabled(true);
+        let main_span = span("parent");
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                scope.spawn(move || {
+                    set_thread_track(format!("worker-{i}"));
+                    let _s = span_u64("work", "i", i);
+                });
+            }
+        });
+        drop(main_span);
+        set_enabled(false);
+        let trace = take_trace();
+        let mut tracks: Vec<u32> = trace.events.iter().map(|e| e.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        assert_eq!(tracks.len(), 4, "main + 3 workers");
+        for i in 0..3 {
+            assert!(trace.tracks.iter().any(|t| t == &format!("worker-{i}")));
+        }
+        trace.validate().expect("per-track balance across threads");
+    }
+}

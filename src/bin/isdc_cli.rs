@@ -7,6 +7,7 @@
 //! isdc-cli batch     [options]                      parallel multi-design batch (isdc-batch)
 //! isdc-cli aiger     <design.ir> [-o out.aag]       lower to gates, export AIGER
 //! isdc-cli bench     [--emit <name> [-o out.ir]]    list / export bundled benchmarks
+//! isdc-cli trace check <trace.jsonl>                validate an exported JSONL trace
 //!
 //! schedule options:
 //!   --clock <ps>          target clock period (default 2500)
@@ -40,6 +41,11 @@
 //!   --shard-points <n>    max sweep points per shard (default: auto)
 //!   --cache-file <file>   load/save the fleet-wide cache snapshot
 //!   --out <file>          write the batch report as BENCH_batch-style JSON
+//!
+//! telemetry options (schedule / sweep / batch):
+//!   --trace <file>        capture a hierarchical span trace and write it on exit
+//!   --trace-format <fmt>  jsonl (default) or chrome (Perfetto / about:tracing)
+//!   --profile             print a per-stage profile table after the run
 //! ```
 //!
 //! Sweeps run every period through one persistent `IsdcSession`, so later
@@ -68,6 +74,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("aiger") => cmd_aiger(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -83,8 +90,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: isdc-cli <show|schedule|sweep|batch|aiger|bench> [args]  (see --help in source header)";
+const USAGE: &str = "usage: isdc-cli <show|schedule|sweep|batch|aiger|bench|trace> [args]  \
+     (see --help in source header)";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -93,6 +100,159 @@ fn load_graph(path: &str) -> Result<Graph, String> {
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// On-disk trace encodings (`--trace-format`).
+#[derive(Clone, Copy)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+/// The `--trace`/`--trace-format`/`--profile` knobs shared by `schedule`,
+/// `sweep`, and `batch`. Parsing the options *enables* span collection
+/// when `--trace` is present, so construct this before the run starts.
+struct TelemetryOpts {
+    trace: Option<(std::path::PathBuf, TraceFormat)>,
+    profile: bool,
+}
+
+impl TelemetryOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let path = flag_value(args, "--trace").map(std::path::PathBuf::from);
+        let format = match flag_value(args, "--trace-format") {
+            None => TraceFormat::Jsonl,
+            Some(_) if path.is_none() => {
+                return Err("--trace-format requires --trace <file>".to_string());
+            }
+            Some("jsonl") => TraceFormat::Jsonl,
+            Some("chrome") => TraceFormat::Chrome,
+            Some(other) => return Err(format!("bad --trace-format `{other}` (jsonl|chrome)")),
+        };
+        let opts = Self {
+            trace: path.map(|p| (p, format)),
+            profile: args.iter().any(|a| a == "--profile"),
+        };
+        if opts.trace.is_some() {
+            isdc::telemetry::set_thread_track("main");
+            isdc::telemetry::set_enabled(true);
+        }
+        Ok(opts)
+    }
+
+    /// Stops collection, validates the captured trace (a malformed trace is
+    /// an error, not a warning), and writes it in the selected format.
+    fn finish(&self) -> Result<(), String> {
+        let Some((path, format)) = &self.trace else { return Ok(()) };
+        isdc::telemetry::set_enabled(false);
+        let trace = isdc::telemetry::take_trace();
+        let summary = trace.validate().map_err(|e| format!("malformed trace: {e}"))?;
+        let rendered = match format {
+            TraceFormat::Jsonl => isdc::telemetry::render_jsonl(&trace),
+            TraceFormat::Chrome => isdc::telemetry::render_chrome_trace(&trace),
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "trace: {} events ({} spans, {} tracks, {:.1}ms) -> {}",
+            summary.events,
+            summary.spans,
+            summary.tracks,
+            summary.duration_ns as f64 / 1e6,
+            path.display()
+        );
+        Ok(())
+    }
+}
+
+/// Sums the counters of many per-run frames key-by-key (frames from
+/// *different* runs share key names, so summing — not the registry's
+/// max-join, which is for sharded scopes — is the right aggregate here).
+fn sum_counters(
+    frames: &[&isdc::telemetry::MetricsFrame],
+) -> std::collections::BTreeMap<String, u64> {
+    let mut sums = std::collections::BTreeMap::new();
+    for frame in frames {
+        for (name, value) in &frame.metrics {
+            if let Some(v) = value.as_counter() {
+                *sums.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+    }
+    sums
+}
+
+/// The `--profile` table: per-stage wall clock, share of the profiled
+/// total, stage invocations, then drain and cache summary lines.
+fn print_profile(frames: &[&isdc::telemetry::MetricsFrame]) {
+    use isdc::core::StageKind;
+    let sums = sum_counters(frames);
+    let get = |key: &str| sums.get(key).copied().unwrap_or(0);
+    let total_ns: u64 = StageKind::ALL.iter().map(|s| get(&format!("stage/{}/ns", s.name()))).sum();
+    println!("profile ({} runs):", frames.len());
+    println!("  stage       |    calls |       time | % total");
+    for stage in StageKind::ALL {
+        let ns = get(&format!("stage/{}/ns", stage.name()));
+        let calls = get(&format!("stage/{}/calls", stage.name()));
+        println!(
+            "  {:<11} | {:>8} | {:>8.2}ms | {:>6.1}%",
+            stage.name(),
+            calls,
+            ns as f64 / 1e6,
+            if total_ns == 0 { 0.0 } else { ns as f64 * 100.0 / total_ns as f64 }
+        );
+    }
+    println!("  total       | {:>8} | {:>8.2}ms | 100.0%", "", total_ns as f64 / 1e6);
+    println!(
+        "  drain: {} dijkstras, {} paths, {} nodes settled, {} flow units",
+        get("drain/dijkstras"),
+        get("drain/paths"),
+        get("drain/nodes_settled"),
+        get("drain/flow_pushed")
+    );
+    let (hits, misses) = (get("cache/hits"), get("cache/misses"));
+    if hits + misses > 0 {
+        println!(
+            "  cache: {hits} hits / {} lookups ({:.1}%), {} inserts",
+            hits + misses,
+            hits as f64 * 100.0 / (hits + misses) as f64,
+            get("cache/inserts")
+        );
+    }
+    println!(
+        "  run: {} iterations, {} subgraphs evaluated",
+        get("run/iterations"),
+        get("run/subgraphs_evaluated")
+    );
+}
+
+/// `trace check <file.jsonl>` — parse an exported JSONL trace and run the
+/// well-formedness validator over it.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let path = args.get(1).ok_or("trace check requires a .jsonl trace file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let (events, tracks) = isdc::telemetry::parse_jsonl(&text)?;
+            let summary = isdc::telemetry::validate_events(
+                events.iter().map(|e| (e.track, e.kind, e.name.as_str(), e.t_ns)),
+            )
+            .map_err(|e| format!("{path}: malformed trace: {e}"))?;
+            println!(
+                "{path}: ok — {} events, {} spans, {} instants, {} tracks (max depth {}), {:.1}ms",
+                summary.events,
+                summary.spans,
+                summary.instants,
+                summary.tracks,
+                summary.max_depth,
+                summary.duration_ns as f64 / 1e6
+            );
+            for (i, name) in tracks.iter().enumerate() {
+                println!("  track {i}: {name}");
+            }
+            Ok(())
+        }
+        _ => Err("usage: isdc-cli trace check <trace.jsonl>".to_string()),
+    }
 }
 
 fn cmd_show(args: &[String]) -> Result<(), String> {
@@ -157,6 +317,8 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         .unwrap_or(2500.0);
     let feedback = args.iter().any(|a| a == "--feedback");
     let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
+    let telemetry = TelemetryOpts::parse(args)?;
+    let session_span = isdc::telemetry::span_str("session", "design", path);
 
     let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     let cache = args.iter().any(|a| a == "--cache") || cache_file.is_some();
@@ -183,6 +345,9 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             iteration_metrics: true,
         };
         let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
+        if telemetry.profile {
+            print_profile(&[&result.metrics]);
+        }
         println!("iterations: {}", result.iterations());
         for rec in &result.history {
             // Drain counters ride on the verbose per-iteration display when
@@ -229,9 +394,14 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         }
         (result.schedule, "isdc")
     } else {
+        if telemetry.profile {
+            eprintln!("note: --profile reports the ISDC pipeline; pass --feedback to profile");
+        }
         let (schedule, _) = run_sdc(&g, &model, clock).map_err(|e| e.to_string())?;
         (schedule, "sdc")
     };
+    drop(session_span);
+    telemetry.finish()?;
 
     println!("scheduler:     {label}");
     println!("clock:         {clock}ps");
@@ -286,6 +456,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad --tol `{v}`")))
         .transpose()?
         .unwrap_or(10.0);
+    let telemetry = TelemetryOpts::parse(args)?;
+    let session_span = isdc::telemetry::span_str("session", "design", &name);
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
@@ -310,6 +482,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
     let periods = linear_grid(from, to, points);
     let sweep = sweep_clock_period(&mut session, &base, &periods).map_err(|e| e.to_string())?;
+    if telemetry.profile {
+        let frames: Vec<&isdc::telemetry::MetricsFrame> =
+            sweep.iter().map(|p| &p.metrics).collect();
+        print_profile(&frames);
+    }
     println!("{name}: {} nodes, {} points, {from}ps..{to}ps", g.len(), points);
     println!("clock_ps | feasible | reg bits | stages | iters | warm | hit rate | elapsed");
     for p in &sweep {
@@ -337,6 +514,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             None => println!("no feasible period at or below {to}ps"),
         }
     }
+    drop(session_span);
+    telemetry.finish()?;
 
     if let Some(path) = &snapshot {
         session.save_snapshot(path).map_err(|e| e.to_string())?;
@@ -413,6 +592,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad --shard-points `{v}`")))
         .transpose()?
         .unwrap_or(0);
+    let telemetry = TelemetryOpts::parse(args)?;
+    let session_span = isdc::telemetry::span_u64("session", "jobs", jobs.len() as u64);
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
@@ -432,6 +613,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let options = BatchOptions { threads, shard_points };
     let report =
         run_batch(&designs, &jobs, &options, &model, &oracle, &cache).map_err(|e| e.to_string())?;
+    drop(session_span);
+    telemetry.finish()?;
+    if telemetry.profile {
+        let frames: Vec<&isdc::telemetry::MetricsFrame> =
+            report.jobs.iter().flat_map(|j| j.points.iter().map(|p| &p.metrics)).collect();
+        print_profile(&frames);
+    }
     println!(
         "{} jobs over {} shards on {} threads in {:.2?} ({} runs, fleet hit rate {:.1}%)",
         report.jobs.len(),

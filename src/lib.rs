@@ -18,6 +18,8 @@
 //! - [`core`] — ISDC itself (delay matrix, extraction, iteration driver);
 //! - [`batch`] — the parallel multi-session batch engine (shared cache,
 //!   period shards, worker pool);
+//! - [`telemetry`] — hierarchical spans, the fleet metrics registry, and
+//!   JSONL/Chrome trace export (see README § Observability);
 //! - [`benchsuite`] — the 17 evaluation benchmarks and sweep generators.
 //!
 //! # Examples
@@ -61,3 +63,4 @@ pub use isdc_netlist as netlist;
 pub use isdc_sdc as sdc;
 pub use isdc_synth as synth;
 pub use isdc_techlib as techlib;
+pub use isdc_telemetry as telemetry;

@@ -1,0 +1,193 @@
+//! Telemetry acceptance: traces captured over real pipeline runs are
+//! well-formed, batch workers land on distinct per-worker tracks, fleet
+//! metric totals are bit-identical across thread counts, and enabling
+//! span collection never perturbs the schedules themselves.
+
+use isdc::batch::{run_batch, serial_reference, BatchDesign, BatchOptions, Job};
+use isdc::cache::DelayCache;
+use isdc::core::{sweep_clock_period, IsdcConfig, IsdcSession};
+use isdc::synth::{OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+use isdc::telemetry::{self, EventKind};
+use std::sync::{Arc, Mutex};
+
+/// The span collector is process-global; tests that enable it must not
+/// interleave with each other.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn smallest_graph() -> (isdc::ir::Graph, f64) {
+    let mut suite = isdc::benchsuite::suite();
+    suite.sort_by_key(|b| b.graph.len());
+    let b = suite.into_iter().next().expect("non-empty suite");
+    (b.graph, b.clock_period_ps)
+}
+
+fn tiny_config(clock: f64) -> IsdcConfig {
+    let mut config = IsdcConfig::paper_defaults(clock);
+    config.max_iterations = 3;
+    config.subgraphs_per_iteration = 8;
+    config.threads = 1;
+    config
+}
+
+fn small_batch(max_designs: usize) -> (Vec<BatchDesign>, Vec<Job>) {
+    let mut suite = isdc::benchsuite::suite();
+    suite.sort_by_key(|b| b.graph.len());
+    let designs: Vec<BatchDesign> = suite
+        .into_iter()
+        .take(max_designs)
+        .map(|b| {
+            let mut base = tiny_config(b.clock_period_ps);
+            base.subgraphs_per_iteration = 4;
+            BatchDesign { name: b.name.to_string(), graph: b.graph, base }
+        })
+        .collect();
+    let jobs = designs
+        .iter()
+        .map(|d| {
+            let c = d.base.clock_period_ps;
+            Job::sweep(&d.name, vec![c, c * 2.0])
+        })
+        .collect();
+    (designs, jobs)
+}
+
+#[test]
+fn sweep_trace_is_well_formed_even_with_quality_metrics_skipped() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    telemetry::set_enabled(true);
+
+    let (graph, clock) = smallest_graph();
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let mut base = tiny_config(clock);
+    // The satellite guarantee: iterations whose *quality metrics* are
+    // skipped still get full span coverage.
+    base.iteration_metrics = false;
+    let mut session = IsdcSession::new(&graph, &model, &oracle);
+    let sweep = sweep_clock_period(&mut session, &base, &[clock, clock * 2.0]).expect("sweep");
+
+    telemetry::set_enabled(false);
+    let trace = telemetry::take_trace();
+    let summary = trace.validate().expect("well-formed trace");
+    assert!(summary.spans > 0 && summary.events > 0);
+
+    let begins = |name: &str| {
+        trace.events.iter().filter(|e| e.kind == EventKind::Begin && e.name == name).count()
+    };
+    assert_eq!(begins("sweep"), 1);
+    assert_eq!(begins("run"), 2, "one run span per sweep point");
+    assert_eq!(begins("initial_solve"), 2);
+    let iterations: usize = sweep.iter().map(|p| p.iterations).sum();
+    assert!(
+        begins("iteration") >= iterations,
+        "every recorded iteration must have a span: {} < {iterations}",
+        begins("iteration")
+    );
+    // No oracle_metrics span may exist: quality metrics were skipped.
+    assert_eq!(begins("oracle_metrics"), 0);
+    for stage in ["stage:extract", "stage:solve"] {
+        assert!(begins(stage) > 0, "missing {stage} spans");
+    }
+}
+
+#[test]
+fn batch_workers_trace_onto_distinct_tracks() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    telemetry::set_enabled(true);
+
+    let (designs, jobs) = small_batch(4);
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let cache = Arc::new(DelayCache::new());
+    let options = BatchOptions { threads: 3, shard_points: 1 };
+    let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache).expect("batch");
+    assert_eq!(report.threads, 3);
+
+    telemetry::set_enabled(false);
+    let trace = telemetry::take_trace();
+    trace.validate().expect("well-formed batch trace");
+    let mut worker_tracks: Vec<String> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "shard")
+        .map(|e| trace.track_name(e.track))
+        .collect();
+    worker_tracks.sort();
+    worker_tracks.dedup();
+    assert!(
+        worker_tracks.len() >= 2,
+        "3 workers over 8 shards should trace on >=2 distinct tracks: {worker_tracks:?}"
+    );
+    for track in &worker_tracks {
+        assert!(track.starts_with("batch-worker-"), "shard span on foreign track {track}");
+    }
+}
+
+#[test]
+fn fleet_totals_are_bit_identical_across_thread_counts() {
+    // Deterministic leaves only: iteration counts, stage invocations and
+    // subgraph totals replay bit-identically however the batch is sharded
+    // or interleaved; drain/cache/timing leaves legitimately vary.
+    const DETERMINISTIC_LEAVES: [&str; 3] = ["iterations", "subgraphs_evaluated", "calls"];
+
+    // Not a tracing test, but its worker threads would write onto the
+    // traced tests' tracks if it overlapped one of them.
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (designs, jobs) = small_batch(3);
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    let reference = serial_reference(&designs, &jobs, &model, &oracle).expect("serial");
+    let expected: Vec<u64> = {
+        let totals = reference.metrics.totals();
+        DETERMINISTIC_LEAVES.iter().map(|l| totals.get(*l).copied().unwrap_or(0)).collect()
+    };
+    assert!(expected.iter().all(|&v| v > 0), "reference totals must be non-trivial: {expected:?}");
+
+    for threads in [1usize, 2, 4] {
+        let cache = Arc::new(DelayCache::new());
+        let options = BatchOptions { threads, shard_points: 1 };
+        let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache).expect("batch");
+        let totals = report.metrics.totals();
+        let got: Vec<u64> =
+            DETERMINISTIC_LEAVES.iter().map(|l| totals.get(*l).copied().unwrap_or(0)).collect();
+        assert_eq!(got, expected, "fleet totals diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn enabling_telemetry_does_not_perturb_schedules() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (graph, clock) = smallest_graph();
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let base = tiny_config(clock);
+    let periods = [clock, clock * 1.5];
+
+    let quiet = {
+        let mut session = IsdcSession::new(&graph, &model, &oracle);
+        sweep_clock_period(&mut session, &base, &periods).expect("quiet sweep")
+    };
+    let traced = {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        let mut session = IsdcSession::new(&graph, &model, &oracle);
+        let sweep = sweep_clock_period(&mut session, &base, &periods).expect("traced sweep");
+        telemetry::set_enabled(false);
+        telemetry::take_trace().validate().expect("well-formed trace");
+        sweep
+    };
+    for (q, t) in quiet.iter().zip(&traced) {
+        assert_eq!(q.feasible, t.feasible);
+        assert_eq!(q.register_bits, t.register_bits);
+        assert_eq!(q.num_stages, t.num_stages);
+        assert_eq!(q.schedule, t.schedule, "telemetry must not perturb the optimum");
+    }
+}
