@@ -28,10 +28,32 @@
 //! exact single-threaded baseline the guarantee is stated against;
 //! `tests/batch.rs` enforces it across randomized job mixes.
 //!
-//! A failing shard (a real solver error, not mere infeasibility — see
-//! [`isdc_core::sweep_clock_period`]) stops the queue: running shards
-//! finish, queued ones are abandoned, and the first failure in plan order
-//! is reported.
+//! # Fault tolerance
+//!
+//! Every shard executes inside `catch_unwind`, so a panicking worker —
+//! whether a real bug or an injected `isdc_faults` chaos fault — is
+//! **isolated**: the panic becomes a structured [`JobError`] and every
+//! shared asset stays usable (slot access recovers from lock poisoning;
+//! the shared cache's inserts are single-call atomic, so a panic can lose
+//! at most its own insert). Failures classified as *transient* — panics
+//! and injected faults — retry up to [`BatchOptions::max_retries`] times
+//! with a deterministic exponential backoff (no wall-clock randomness;
+//! each retry is a `shard:retry` telemetry span). Real solver errors are
+//! deterministic and never retried; infeasible periods are not failures
+//! at all (they record as infeasible points — see
+//! [`isdc_core::sweep_clock_period`]).
+//!
+//! What happens to the *rest* of the queue is the [`FailPolicy`]:
+//! [`FailPolicy::Abort`] (the default) stops handing out shards, so later
+//! jobs report [`JobStatus::Skipped`]; [`FailPolicy::KeepGoing`] finishes
+//! every other job, skipping only the failed job's own remaining shards.
+//! Either way [`run_batch`] returns a [`BatchReport`] whose per-job
+//! [`JobStatus`] pinpoints each failure; only *planning* errors (an
+//! unknown design name) fail the call itself. A non-`Ok` job's points are
+//! withheld — a partial sweep's contents would depend on thread timing —
+//! so the report stays deterministic, and unaffected jobs remain
+//! bit-identical to the serial reference because the shared assets are
+//! pure accelerators.
 
 use crate::spec::{Job, JobKind};
 use isdc_cache::{CacheStats, DelayCache};
@@ -41,8 +63,9 @@ use isdc_core::{
 use isdc_ir::Graph;
 use isdc_synth::{DelayOracle, OpDelayModel};
 use isdc_techlib::Picos;
-use isdc_telemetry::{ArgValue, MetricsFrame};
+use isdc_telemetry::{ArgValue, MetricValue, MetricsFrame};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -61,8 +84,24 @@ pub struct BatchDesign {
     pub base: IsdcConfig,
 }
 
-/// Batch execution knobs. The all-zero default resolves both fields
-/// automatically.
+/// What the queue does once a shard has failed terminally (i.e. after its
+/// retry budget is spent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailPolicy {
+    /// Stop handing out new shards: running shards finish, queued ones are
+    /// abandoned, and every job the abort cut short reports
+    /// [`JobStatus::Skipped`]. The strict default — one bad job means the
+    /// batch needs attention, so don't burn time on the rest.
+    #[default]
+    Abort,
+    /// Keep scheduling every job that can still make progress: only the
+    /// failed job's own remaining shards are skipped, every other job
+    /// completes normally. The CLI's `--keep-going`.
+    KeepGoing,
+}
+
+/// Batch execution knobs. The default resolves thread count and shard size
+/// automatically, aborts on first failure, and never retries.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchOptions {
     /// Worker threads (each owns one [`IsdcSession`] at a time). 0 means
@@ -74,6 +113,14 @@ pub struct BatchOptions {
     /// wide batch keeps whole sweeps (and their in-shard ascending warm
     /// starts) together.
     pub shard_points: usize,
+    /// What the queue does after a terminal shard failure.
+    pub fail_policy: FailPolicy,
+    /// Retry budget per shard for *transient* failures — panics and
+    /// injected faults. Real solver errors are deterministic and never
+    /// retried. Retries back off exponentially (1ms · 2^attempt, capped at
+    /// 64ms) with no wall-clock randomness, so chaos runs replay
+    /// identically.
+    pub max_retries: u32,
 }
 
 impl BatchOptions {
@@ -96,8 +143,10 @@ pub enum BatchError {
         /// The unresolved name.
         design: String,
     },
-    /// A shard failed with a real solver error (infeasible periods are
-    /// recorded as infeasible points, not errors).
+    /// A job failed with a real solver error (infeasible periods are
+    /// recorded as infeasible points, not errors). Raised by the strict
+    /// [`serial_reference`] baseline; [`run_batch`] reports execution
+    /// failures per job via [`JobStatus`] instead.
     Schedule {
         /// Index of the owning job.
         job: usize,
@@ -122,6 +171,85 @@ impl fmt::Display for BatchError {
 }
 
 impl std::error::Error for BatchError {}
+
+/// How a shard failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobErrorKind {
+    /// The worker panicked; the panic was caught at the shard boundary by
+    /// `catch_unwind` and never crossed into the rest of the fleet.
+    Panic,
+    /// Scheduling returned a real error (including the chaos-only
+    /// [`ScheduleError::Injected`]).
+    Schedule(ScheduleError),
+}
+
+/// A structured per-job failure: exactly which shard of which job failed,
+/// how, and after how many retries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobError {
+    /// Index of the owning job in the submitted list.
+    pub job: usize,
+    /// Which of the job's shards failed (stitch order).
+    pub shard: usize,
+    /// The design being scheduled.
+    pub design: String,
+    /// Panic or real scheduling error.
+    pub kind: JobErrorKind,
+    /// Human-readable cause: the panic payload or the error display.
+    pub message: String,
+    /// Retries this shard spent before giving up.
+    pub retries: u32,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            JobErrorKind::Panic => "panicked",
+            JobErrorKind::Schedule(_) => "failed",
+        };
+        write!(
+            f,
+            "job {} ({}) shard {} {what}: {}",
+            self.job, self.design, self.shard, self.message
+        )?;
+        if self.retries > 0 {
+            write!(f, " (after {} retries)", self.retries)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A job's terminal state in a [`BatchReport`].
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum JobStatus {
+    /// Every shard completed; the job's points are stitched in plan order.
+    #[default]
+    Ok,
+    /// A shard failed terminally. The job's points are withheld — which of
+    /// its other shards ran would depend on thread timing — and the error
+    /// pinpoints job, shard and cause.
+    Failed(JobError),
+    /// The queue aborted ([`FailPolicy::Abort`]) before the job could
+    /// finish; any partial points are withheld.
+    Skipped,
+}
+
+impl JobStatus {
+    /// True for [`JobStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+
+    /// The failure, for [`JobStatus::Failed`].
+    pub fn error(&self) -> Option<&JobError> {
+        match self {
+            JobStatus::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// One planned unit of worker work: a contiguous slice of a job.
 #[derive(Clone, Debug, PartialEq)]
@@ -205,6 +333,12 @@ pub struct JobResult {
     pub shards: usize,
     /// Summed worker wall-clock across the job's shards.
     pub elapsed: Duration,
+    /// Terminal status. `points` and `min_period_ps` are withheld (empty /
+    /// `None`) unless this is [`JobStatus::Ok`].
+    pub status: JobStatus,
+    /// Transient-failure retries spent across the job's shards, including
+    /// retries that eventually succeeded.
+    pub retries: u32,
 }
 
 impl JobResult {
@@ -253,6 +387,32 @@ impl BatchReport {
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
     }
+
+    /// Jobs that failed terminally.
+    pub fn jobs_failed(&self) -> usize {
+        self.jobs.iter().filter(|j| matches!(j.status, JobStatus::Failed(_))).count()
+    }
+
+    /// Jobs that needed at least one transient-failure retry (including
+    /// jobs that then succeeded).
+    pub fn jobs_retried(&self) -> usize {
+        self.jobs.iter().filter(|j| j.retries > 0).count()
+    }
+
+    /// Total shard retries spent across the batch.
+    pub fn total_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| u64::from(j.retries)).sum()
+    }
+
+    /// The first failure in job (= plan) order, if any job failed.
+    pub fn first_error(&self) -> Option<&JobError> {
+        self.jobs.iter().find_map(|j| j.status.error())
+    }
+
+    /// True when every job finished [`JobStatus::Ok`].
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.status.is_ok())
+    }
 }
 
 /// Folds every point's telemetry frame into one fleet store, scoped by
@@ -277,6 +437,85 @@ struct ShardOutput {
     points: Vec<SweepPoint>,
     min_period_ps: Option<Picos>,
     elapsed: Duration,
+    /// Transient-failure retries this shard spent before succeeding.
+    retries: u32,
+}
+
+/// A slot's terminal state: what the worker that drew the shard left
+/// behind for the stitcher.
+enum ShardOutcome {
+    Ok(ShardOutput),
+    Failed(JobError),
+    /// The owning job had already failed terminally, so the shard was
+    /// drawn and dropped without running.
+    Skipped,
+}
+
+/// Renders a caught panic payload. `panic!` with a format string yields a
+/// `String`, `panic!("literal")` a `&str`; anything else (a custom
+/// `panic_any` payload, or `std::thread::scope`'s generic re-panic when an
+/// inner worker died) falls back to a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one shard behind a panic boundary, retrying transient failures
+/// (panics and injected faults) up to `max_retries` times with
+/// deterministic exponential backoff. Never panics, never poisons.
+fn run_shard_isolated<O: DelayOracle + ?Sized>(
+    shard: &ShardJob,
+    design: &BatchDesign,
+    model: &OpDelayModel,
+    oracle: &O,
+    cache: &Arc<DelayCache>,
+    max_retries: u32,
+) -> ShardOutcome {
+    let mut retries = 0u32;
+    loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            isdc_faults::fire("batch/shard");
+            run_shard(shard, design, model, oracle, Arc::clone(cache))
+        }));
+        let (kind, message) = match attempt {
+            Ok(Ok(mut out)) => {
+                out.retries = retries;
+                return ShardOutcome::Ok(out);
+            }
+            Ok(Err(error)) => {
+                let message = error.to_string();
+                (JobErrorKind::Schedule(error), message)
+            }
+            Err(payload) => (JobErrorKind::Panic, panic_message(payload.as_ref())),
+        };
+        // Panics and injected faults are treated as transient; real solver
+        // errors are deterministic, so retrying them only wastes time.
+        let transient = matches!(
+            kind,
+            JobErrorKind::Panic | JobErrorKind::Schedule(ScheduleError::Injected { .. })
+        );
+        if !transient || retries >= max_retries {
+            return ShardOutcome::Failed(JobError {
+                job: shard.job,
+                shard: shard.shard,
+                design: design.name.clone(),
+                kind,
+                message,
+                retries,
+            });
+        }
+        retries += 1;
+        let retry_span = isdc_telemetry::span_u64("shard:retry", "attempt", u64::from(retries));
+        // Deterministic bounded backoff: 1ms · 2^(attempt-1), capped at
+        // 64ms. No jitter — chaos runs must replay identically.
+        std::thread::sleep(Duration::from_millis(1u64 << (retries - 1).min(6)));
+        drop(retry_span);
+    }
 }
 
 fn run_shard<O: DelayOracle + ?Sized>(
@@ -291,7 +530,7 @@ fn run_shard<O: DelayOracle + ?Sized>(
     match &shard.kind {
         JobKind::Sweep { periods } => {
             let points = sweep_clock_period(&mut session, &design.base, periods)?;
-            Ok(ShardOutput { points, min_period_ps: None, elapsed: start.elapsed() })
+            Ok(ShardOutput { points, min_period_ps: None, elapsed: start.elapsed(), retries: 0 })
         }
         JobKind::MinPeriod { lo, hi, tol_ps } => {
             let search = min_feasible_period(&mut session, &design.base, *lo, *hi, *tol_ps)?;
@@ -299,19 +538,27 @@ fn run_shard<O: DelayOracle + ?Sized>(
                 points: search.probes,
                 min_period_ps: search.min_period_ps,
                 elapsed: start.elapsed(),
+                retries: 0,
             })
         }
     }
 }
 
 /// Executes `jobs` over `designs` on a pool of worker threads sharing
-/// `cache`. See the [module docs](self) for the execution model and the
-/// determinism guarantee.
+/// `cache`. See the [module docs](self) for the execution model, the
+/// determinism guarantee, and the fault-tolerance contract.
+///
+/// Execution failures do **not** fail the call: each job carries its
+/// [`JobStatus`], and [`BatchReport::first_error`] /
+/// [`BatchReport::jobs_failed`] summarize them. The fleet frame gains
+/// three batch-level counters — `fault/injected`, `job/retries`,
+/// `job/failed` — all zero on a clean run.
 ///
 /// # Errors
 ///
-/// [`BatchError::UnknownDesign`] from planning, or the first (in plan
-/// order) [`BatchError::Schedule`] any shard hit.
+/// [`BatchError::UnknownDesign`] from planning. (Before the fault-
+/// tolerance rework this call also failed on the first shard error;
+/// callers that want that strictness check [`BatchReport::all_ok`].)
 pub fn run_batch<O: DelayOracle + ?Sized>(
     designs: &[BatchDesign],
     jobs: &[Job],
@@ -324,15 +571,20 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
     let threads = options.resolved_threads().min(shards.len()).max(1);
     let batch_span = isdc_telemetry::span_u64("batch", "shards", shards.len() as u64);
     let stats_before = cache.stats();
+    let injected_before = isdc_faults::injected_count();
     let start = Instant::now();
 
     let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<ShardOutput, ScheduleError>>>> =
-        shards.iter().map(|_| Mutex::new(None)).collect();
+    let stop = AtomicBool::new(false);
+    // One flag per job: once a job fails terminally, its queued shards are
+    // dropped (drawn and marked Skipped) instead of executed — their
+    // points would be withheld anyway.
+    let job_failed: Vec<AtomicBool> = jobs.iter().map(|_| AtomicBool::new(false)).collect();
+    let slots: Vec<Mutex<Option<ShardOutcome>>> = shards.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for wi in 0..threads {
-            let (next, abort, shards, slots) = (&next, &abort, &shards, &slots);
+            let (next, stop, job_failed, shards, slots) =
+                (&next, &stop, &job_failed, &shards, &slots);
             scope.spawn(move || {
                 if isdc_telemetry::enabled() {
                     // Each worker gets its own named trace track, so the
@@ -340,33 +592,49 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
                     isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
                 }
                 loop {
-                    if abort.load(Ordering::Relaxed) {
+                    if stop.load(Ordering::Relaxed) {
                         break;
                     }
                     let at = next.fetch_add(1, Ordering::Relaxed);
                     let Some(shard) = shards.get(at) else { break };
-                    let shard_span = isdc_telemetry::span_u64("shard", "job", shard.job as u64);
-                    shard_span.note(
-                        "shard_info",
-                        vec![
-                            ("shard", ArgValue::U64(shard.shard as u64)),
-                            ("design", ArgValue::Str(designs[shard.design].name.clone())),
-                        ],
-                    );
-                    let outcome =
-                        run_shard(shard, &designs[shard.design], model, oracle, Arc::clone(cache));
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
+                    let outcome = if job_failed[shard.job].load(Ordering::Relaxed) {
+                        ShardOutcome::Skipped
+                    } else {
+                        let shard_span = isdc_telemetry::span_u64("shard", "job", shard.job as u64);
+                        shard_span.note(
+                            "shard_info",
+                            vec![
+                                ("shard", ArgValue::U64(shard.shard as u64)),
+                                ("design", ArgValue::Str(designs[shard.design].name.clone())),
+                            ],
+                        );
+                        run_shard_isolated(
+                            shard,
+                            &designs[shard.design],
+                            model,
+                            oracle,
+                            cache,
+                            options.max_retries,
+                        )
+                    };
+                    if matches!(outcome, ShardOutcome::Failed(_)) {
+                        job_failed[shard.job].store(true, Ordering::Relaxed);
+                        if options.fail_policy == FailPolicy::Abort {
+                            stop.store(true, Ordering::Relaxed);
+                        }
                     }
-                    drop(shard_span);
-                    *slots[at].lock().expect("slot lock poisoned") = Some(outcome);
+                    // Poison-tolerant: the guarded store is a single
+                    // assignment, so a poisoned slot still holds either
+                    // `None` or a complete outcome — never a torn value.
+                    *slots[at].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 }
             });
         }
     });
 
-    // Stitch shards back per job, in plan order; the first error (by plan
-    // order) wins. Abandoned shards only occur after an error.
+    // Stitch shards back per job, in plan order. The first failed shard in
+    // stitch order carries the job's error; abandoned (never-drawn) shards
+    // only occur after an abort.
     let mut results: Vec<JobResult> = jobs
         .iter()
         .map(|job| JobResult {
@@ -375,34 +643,62 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
             min_period_ps: None,
             shards: 0,
             elapsed: Duration::ZERO,
+            status: JobStatus::Ok,
+            retries: 0,
         })
         .collect();
+    let mut abandoned = vec![false; jobs.len()];
     for (shard, slot) in shards.iter().zip(slots) {
-        let outcome = slot.into_inner().expect("slot lock poisoned");
+        let outcome = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+        let result = &mut results[shard.job];
         match outcome {
-            Some(Ok(out)) => {
-                let result = &mut results[shard.job];
+            Some(ShardOutcome::Ok(out)) => {
+                result.retries += out.retries;
                 result.points.extend(out.points);
                 result.min_period_ps = result.min_period_ps.or(out.min_period_ps);
                 result.shards += 1;
                 result.elapsed += out.elapsed;
             }
-            Some(Err(error)) => {
-                return Err(BatchError::Schedule {
-                    job: shard.job,
-                    design: designs[shard.design].name.clone(),
-                    error,
-                });
+            Some(ShardOutcome::Failed(error)) => {
+                result.retries += error.retries;
+                result.shards += 1;
+                if result.status.is_ok() {
+                    result.status = JobStatus::Failed(error);
+                }
             }
+            Some(ShardOutcome::Skipped) => {}
             None => {
-                debug_assert!(abort.load(Ordering::Relaxed), "only an abort abandons shards");
+                debug_assert!(stop.load(Ordering::Relaxed), "only an abort abandons shards");
+                abandoned[shard.job] = true;
             }
+        }
+    }
+    // A job the abort cut short (some shard never drawn) is Skipped, and
+    // any partial points are withheld: which shards did run before the
+    // abort landed depends on thread timing.
+    for (result, abandoned) in results.iter_mut().zip(abandoned) {
+        if abandoned && result.status.is_ok() {
+            result.status = JobStatus::Skipped;
+        }
+        if !result.status.is_ok() {
+            result.points.clear();
+            result.min_period_ps = None;
         }
     }
     drop(batch_span);
     let stats_after = cache.stats();
     let executed = results.iter().map(|r| r.shards).sum();
-    let metrics = fleet_frame(&results);
+    let mut metrics = fleet_frame(&results);
+    // Batch-level robustness counters, all zero on a clean run. The
+    // injected count is the process-global hook counter's delta over this
+    // batch (concurrent batches may both observe a shared fault — the
+    // counter is telemetry, not an oracle).
+    let injected = isdc_faults::injected_count().saturating_sub(injected_before);
+    metrics.insert("fault/injected", MetricValue::Counter(injected));
+    let retries: u64 = results.iter().map(|r| u64::from(r.retries)).sum();
+    metrics.insert("job/retries", MetricValue::Counter(retries));
+    let failed = results.iter().filter(|r| matches!(r.status, JobStatus::Failed(_))).count();
+    metrics.insert("job/failed", MetricValue::Counter(failed as u64));
     Ok(BatchReport {
         jobs: results,
         threads,
@@ -450,6 +746,8 @@ pub fn serial_reference<O: DelayOracle + ?Sized>(
             min_period_ps: out.min_period_ps,
             shards: 1,
             elapsed: out.elapsed,
+            status: JobStatus::Ok,
+            retries: 0,
         });
     }
     let metrics = fleet_frame(&results);
@@ -489,7 +787,7 @@ mod tests {
             Job::sweep("tiny", (0..10).map(|i| 2500.0 + i as f64 * 100.0).collect()),
             Job::min_period("tiny", 1.0, 2500.0, 10.0),
         ];
-        let options = BatchOptions { threads: 4, shard_points: 4 };
+        let options = BatchOptions { threads: 4, shard_points: 4, ..Default::default() };
         let shards = plan_shards(&designs, &jobs, &options).unwrap();
         assert_eq!(shards.len(), 3 + 1, "10 points at <=4 each, plus one search shard");
         let sizes: Vec<usize> = shards[..3]
@@ -510,9 +808,9 @@ mod tests {
     fn auto_sharding_fills_threads_but_never_splits_at_one() {
         let designs = designs();
         let jobs = vec![Job::sweep("tiny", vec![2500.0; 12])];
-        let one = BatchOptions { threads: 1, shard_points: 0 };
+        let one = BatchOptions { threads: 1, ..Default::default() };
         assert_eq!(plan_shards(&designs, &jobs, &one).unwrap().len(), 1);
-        let eight = BatchOptions { threads: 8, shard_points: 0 };
+        let eight = BatchOptions { threads: 8, ..Default::default() };
         let shards = plan_shards(&designs, &jobs, &eight).unwrap();
         assert!(shards.len() >= 8, "one job must still fill an 8-thread pool: {}", shards.len());
     }

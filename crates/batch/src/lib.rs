@@ -27,6 +27,13 @@
 //! shard size. Both shared assets are pure accelerators, so parallelism
 //! changes wall-clock time and nothing else (enforced by `tests/batch.rs`).
 //!
+//! **Fault tolerance:** every shard runs behind a panic boundary, failures
+//! become structured per-job [`JobStatus`] records (with bounded
+//! deterministic retries for transient faults), and [`FailPolicy`] picks
+//! between aborting the queue and `--keep-going`. Unaffected jobs stay
+//! bit-identical even with a fault injected — `tests/chaos.rs` proves it
+//! for every `isdc_faults` site.
+//!
 //! # Examples
 //!
 //! ```
@@ -54,7 +61,7 @@
 //! let model = OpDelayModel::new(lib.clone());
 //! let oracle = SynthesisOracle::new(lib);
 //! let cache = Arc::new(DelayCache::new());
-//! let options = BatchOptions { threads: 2, shard_points: 2 };
+//! let options = BatchOptions { threads: 2, shard_points: 2, ..Default::default() };
 //! let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache)?;
 //! assert_eq!(report.total_points(), 3);
 //! assert!(report.jobs[0].points.iter().all(|p| p.feasible));
@@ -70,7 +77,7 @@ pub mod spec;
 
 pub use engine::{
     plan_shards, run_batch, serial_reference, BatchDesign, BatchError, BatchOptions, BatchReport,
-    JobResult, ShardJob,
+    FailPolicy, JobError, JobErrorKind, JobResult, JobStatus, ShardJob,
 };
 pub use report::{render_batch_json, BatchBenchDoc, ScalingRow};
 pub use spec::{parse_jobs, render_jobs, Job, JobKind};

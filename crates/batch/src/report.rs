@@ -1,7 +1,7 @@
 //! `BENCH_batch.json` rendering: batch totals, per-thread-count scaling
 //! against the serial session sweep, and per-job records.
 
-use crate::engine::BatchReport;
+use crate::engine::{BatchReport, JobStatus};
 use crate::spec::JobKind;
 use isdc_cache::json::escape;
 use isdc_core::StageKind;
@@ -64,6 +64,15 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
     );
     let _ = writeln!(out, "  \"hardware_threads\": {},", doc.hardware_threads);
     let _ = writeln!(out, "  \"bit_identical\": {},", doc.bit_identical);
+    // Robustness attestation: both zero on a clean run (the bench gate
+    // asserts it — a benchmark that survived only via retries, or dropped
+    // jobs, is not a valid measurement).
+    let _ = writeln!(
+        out,
+        "  \"jobs_failed\": {}, \"jobs_retried\": {},",
+        doc.report.jobs_failed(),
+        doc.report.jobs_retried()
+    );
     if let Some(serial) = doc.serial_total {
         let _ = writeln!(out, "  \"serial_total_ns\": {},", serial.as_nanos());
     }
@@ -132,17 +141,27 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
             JobKind::MinPeriod { .. } => "min_period",
         };
         let feasible = job.points.iter().filter(|p| p.feasible).count();
+        let status = match &job.status {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Skipped => "skipped",
+        };
         let _ = write!(
             out,
-            "    {{\"design\": \"{}\", \"type\": \"{kind}\", \"shards\": {}, \
+            "    {{\"design\": \"{}\", \"type\": \"{kind}\", \"status\": \"{status}\", \
+             \"retries\": {}, \"shards\": {}, \
              \"points\": {}, \"feasible\": {feasible}, \"cache_hit_rate\": {:.4}, \
              \"elapsed_ns\": {}",
             escape(&job.job.design),
+            job.retries,
             job.shards,
             job.points.len(),
             job.cache_hit_rate(),
             job.elapsed.as_nanos()
         );
+        if let JobStatus::Failed(error) = &job.status {
+            let _ = write!(out, ", \"error\": \"{}\"", escape(&error.to_string()));
+        }
         if let Some(min) = job.min_period_ps {
             let _ = write!(out, ", \"min_period_ps\": {min:?}");
         }
@@ -201,6 +220,8 @@ mod tests {
                 min_period_ps: None,
                 shards: 1,
                 elapsed: Duration::from_nanos(5),
+                status: JobStatus::Ok,
+                retries: 0,
             }],
             threads: 8,
             shards: 1,
@@ -226,6 +247,8 @@ mod tests {
             "\"bench\": \"batch\"",
             "\"hardware_threads\": 4",
             "\"bit_identical\": true",
+            "\"jobs_failed\": 0, \"jobs_retried\": 0",
+            "\"status\": \"ok\", \"retries\": 0",
             "\"serial_total_ns\": 2000",
             "\"speedup_vs_serial\": 4.00",
             "\"speedup_vs_cold\": 16.00",

@@ -232,6 +232,16 @@ fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
     if doc.get("bit_identical") != Some(&Value::Bool(true)) {
         return Err("batch doc does not attest bit_identical: true".into());
     }
+    // Robustness attestation: a bench that dropped jobs, or only survived
+    // via the retry machinery, is not a valid measurement. The fields are
+    // required — their absence means the document predates them.
+    for key in ["jobs_failed", "jobs_retried"] {
+        match doc.number(key) {
+            None => return Err(format!("batch doc lacks `{key}`")),
+            Some(n) if n != 0.0 => return Err(format!("batch doc attests {key} = {n}, want 0")),
+            Some(_) => {}
+        }
+    }
     let hardware = doc.number("hardware_threads").unwrap_or(1.0);
     let max_threads = doc.number("max_threads_measured").ok_or("batch doc lacks scaling")?;
     let best = doc

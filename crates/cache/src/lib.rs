@@ -75,5 +75,5 @@ mod store;
 
 pub use fingerprint::{canonicalize, CanonicalSubgraph, Fingerprint};
 pub use oracle::CachingOracle;
-pub use persist::{OLDEST_SUPPORTED_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
+pub use persist::{SnapshotLoad, OLDEST_SUPPORTED_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
 pub use store::{CacheStats, CachedDelay, DelayCache, StoredPotentials};

@@ -109,6 +109,7 @@ fn report_from_entry(canon: &CanonicalSubgraph, entry: &CachedDelay) -> DelayRep
 
 impl<O: DelayOracle> DelayOracle for CachingOracle<O> {
     fn evaluate(&self, graph: &Graph, members: &[NodeId]) -> DelayReport {
+        isdc_faults::fire("oracle/eval");
         let canon = canonicalize(graph, members);
         if let Some(entry) = self.cache.get(canon.fingerprint) {
             return report_from_entry(&canon, &entry);

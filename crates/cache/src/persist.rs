@@ -24,13 +24,27 @@
 //!
 //! **Versioning.** Version 2 added the `potentials` section — LP solver
 //! potentials per (design fingerprint, clock period), the cross-run
-//! warm-start currency of [`IsdcSession`](../isdc_core). The compatibility
-//! rule: a loader accepts its own version and every earlier one (version-1
-//! snapshots simply carry no potentials), and always writes the current
-//! version. Potentials are doubly safeguarded: by the oracle tag here, and
-//! by the importer, which validates a vector against its own LP before
-//! using it — so even a mis-tagged vector can only cost a cold start, never
-//! a wrong schedule.
+//! warm-start currency of [`IsdcSession`](../isdc_core). Version 3 added
+//! the crash-safety layer: files are written temp-then-rename (a torn
+//! process dies before the rename and leaves the old snapshot intact) and
+//! carry a trailing integrity footer line, `#crc32:xxxxxxxx`, covering the
+//! JSON body — so truncation and bit corruption are *detected*, not
+//! silently merged. The compatibility rule: a loader accepts its own
+//! version and every earlier one (v1 has no potentials; v1/v2 have no
+//! footer and load unchanged), and always writes the current version.
+//! Potentials are doubly safeguarded: by the oracle tag here, and by the
+//! importer, which validates a vector against its own LP before using it —
+//! so even a mis-tagged vector can only cost a cold start, never a wrong
+//! schedule.
+//!
+//! **Recovery.** [`DelayCache::load`] stays strict (an error for every
+//! failure); [`DelayCache::load_resilient`] implements the fleet policy: a
+//! corrupt file (truncated, checksum mismatch, unparseable, unsupported
+//! version) is *quarantined* — renamed to `<name>.corrupt` so the evidence
+//! survives and the next save cannot be confused with it — and the run
+//! continues on a cold cache, reporting a [`SnapshotLoad::ColdStart`]
+//! warning instead of erroring. A snapshot produced by a *different*
+//! oracle is foreign, not corrupt: it is left untouched on disk.
 //!
 //! Floats are written in Rust's shortest-roundtrip form, so a
 //! save/load cycle reproduces bit-identical `f64`s. The codec is hand-rolled
@@ -41,14 +55,101 @@
 use crate::fingerprint::Fingerprint;
 use crate::json::{escape as escape_json, Parser};
 use crate::store::{CachedDelay, DelayCache, StoredPotentials};
+use isdc_faults::FaultKind;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 2;
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Oldest snapshot version [`DelayCache::merge_json`] still accepts.
 pub const OLDEST_SUPPORTED_SNAPSHOT_VERSION: u64 = 1;
+
+/// First version whose files must end in a `#crc32:` integrity footer; a
+/// v3 body without one is a truncated write, not a valid snapshot.
+const FOOTER_REQUIRED_VERSION: u64 = 3;
+
+/// CRC-32 (IEEE 802.3, reflected, the `cksum -o3`/zlib polynomial) over
+/// `data`. Bitwise rather than table-driven: snapshots are small enough
+/// that the simpler code wins over 1 KiB of table.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Splits a snapshot file's contents into the JSON body and its verified
+/// footer checksum, if a footer is present.
+///
+/// Accepts exactly the footer [`DelayCache::save`] writes:
+/// `\n#crc32:xxxxxxxx\n` after the body.
+fn split_footer(data: &str) -> Result<(&str, Option<u32>), String> {
+    let trimmed = data.strip_suffix('\n').unwrap_or(data);
+    let Some(at) = trimmed.rfind("\n#crc32:") else {
+        return Ok((data, None));
+    };
+    let (body, footer) = (&trimmed[..at], &trimmed[at + "\n#crc32:".len()..]);
+    let stored = u32::from_str_radix(footer, 16)
+        .map_err(|_| format!("malformed integrity footer `#crc32:{footer}`"))?;
+    Ok((body, Some(stored)))
+}
+
+/// Best-effort peek at the body's `version` field without mutating
+/// anything; `None` when the body is malformed (the merge will report it).
+fn peek_version(json: &str) -> Option<u64> {
+    let mut p = Parser::new(json);
+    p.expect(b'{').ok()?;
+    loop {
+        let key = p.string().ok()?;
+        p.expect(b':').ok()?;
+        if key == "version" {
+            return Some(p.number().ok()? as u64);
+        }
+        p.skip_value().ok()?;
+        if !p.comma_or_close(b'}').ok()? {
+            return None;
+        }
+    }
+}
+
+/// Why a snapshot failed to load, classified for the recovery policy.
+enum LoadFailure {
+    /// The file could not be read at all.
+    Io(std::io::ErrorKind, String),
+    /// The bytes are not a valid snapshot — quarantine material.
+    Corrupt(String),
+    /// A valid snapshot from a different oracle — left untouched on disk.
+    Foreign(String),
+}
+
+/// The outcome of a resilient snapshot load
+/// ([`DelayCache::load_resilient`]): the fleet keeps running on a cold
+/// cache instead of erroring when a snapshot is unusable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotLoad {
+    /// The snapshot merged cleanly.
+    Loaded {
+        /// Delay entries merged.
+        entries: usize,
+    },
+    /// No snapshot exists at the path — a normal first run.
+    Missing,
+    /// The snapshot was unusable; the run proceeds cold.
+    ColdStart {
+        /// Human-readable cause (checksum mismatch, truncation, foreign
+        /// oracle, I/O failure…).
+        reason: String,
+        /// Where the corrupt file was moved (`<name>.corrupt`), when it
+        /// was quarantined. `None` for foreign/I/O causes.
+        quarantined: Option<PathBuf>,
+    },
+}
 
 impl DelayCache {
     /// Serializes every entry to the snapshot JSON format, stamped with the
@@ -172,22 +273,88 @@ impl DelayCache {
         Ok(merged)
     }
 
-    /// Best-effort convenience: [`DelayCache::merge_json`] from a file.
-    ///
-    /// # Errors
-    ///
-    /// Returns the I/O or parse failure, including an oracle-tag mismatch.
-    pub fn load(&self, path: &Path, oracle: &str) -> Result<usize, String> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        self.merge_json(&json, oracle)
+    /// Loads and verifies a snapshot file, classifying any failure for the
+    /// recovery policy. Verification (footer checksum, version/footer
+    /// agreement, full parse) happens before anything merges, so a
+    /// rejected file merges nothing.
+    fn load_classified(&self, path: &Path, oracle: &str) -> Result<usize, LoadFailure> {
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| LoadFailure::Io(e.kind(), format!("reading {}: {e}", path.display())))?;
+        if data.is_empty() {
+            return Err(LoadFailure::Corrupt("snapshot file is empty".to_string()));
+        }
+        let (body, footer) = split_footer(&data).map_err(LoadFailure::Corrupt)?;
+        if let Some(stored) = footer {
+            let actual = crc32(body.as_bytes());
+            if actual != stored {
+                return Err(LoadFailure::Corrupt(format!(
+                    "integrity check failed: footer crc32 {stored:08x}, body crc32 {actual:08x}"
+                )));
+            }
+        } else if peek_version(body).is_some_and(|v| v >= FOOTER_REQUIRED_VERSION) {
+            return Err(LoadFailure::Corrupt(
+                "snapshot is truncated: version requires an integrity footer, none found"
+                    .to_string(),
+            ));
+        }
+        self.merge_json(body, oracle).map_err(|e| {
+            // The one non-corruption rejection merge_json produces is the
+            // oracle-tag mismatch (see the message it formats above).
+            if e.starts_with("snapshot was produced by oracle") {
+                LoadFailure::Foreign(e)
+            } else {
+                LoadFailure::Corrupt(e)
+            }
+        })
     }
 
-    /// Writes the snapshot JSON to `path`, creating parent directories.
+    /// Strict convenience: [`DelayCache::merge_json`] from a file, with the
+    /// v3 integrity footer verified when present.
     ///
     /// # Errors
     ///
-    /// Returns the I/O failure.
+    /// Returns the I/O, integrity, or parse failure, including an
+    /// oracle-tag mismatch. For the degrade-instead-of-error policy use
+    /// [`DelayCache::load_resilient`].
+    pub fn load(&self, path: &Path, oracle: &str) -> Result<usize, String> {
+        self.load_classified(path, oracle).map_err(|failure| match failure {
+            LoadFailure::Io(_, e) | LoadFailure::Corrupt(e) | LoadFailure::Foreign(e) => e,
+        })
+    }
+
+    /// The fleet's snapshot-load policy: merge when the file is intact,
+    /// otherwise degrade to a cold start instead of erroring. A *corrupt*
+    /// file (truncated/torn write, checksum mismatch, unparseable,
+    /// unsupported version) is quarantined by renaming it to
+    /// `<name>.corrupt`; a missing file or a foreign oracle's snapshot is
+    /// reported without touching the disk. Never panics, never errors.
+    pub fn load_resilient(&self, path: &Path, oracle: &str) -> SnapshotLoad {
+        match self.load_classified(path, oracle) {
+            Ok(entries) => SnapshotLoad::Loaded { entries },
+            Err(LoadFailure::Io(std::io::ErrorKind::NotFound, _)) => SnapshotLoad::Missing,
+            Err(LoadFailure::Io(_, reason)) | Err(LoadFailure::Foreign(reason)) => {
+                SnapshotLoad::ColdStart { reason, quarantined: None }
+            }
+            Err(LoadFailure::Corrupt(reason)) => {
+                let mut name = path.as_os_str().to_os_string();
+                name.push(".corrupt");
+                let target = PathBuf::from(name);
+                let quarantined = std::fs::rename(path, &target).ok().map(|()| target);
+                SnapshotLoad::ColdStart { reason, quarantined }
+            }
+        }
+    }
+
+    /// Writes the snapshot to `path` crash-safely, creating parent
+    /// directories: the JSON body plus its `#crc32:` footer land in a
+    /// sibling `<name>.tmp` file which is then renamed over `path`, so a
+    /// crash mid-write can tear only the temp file — the previous snapshot
+    /// survives intact — and a torn rename target is detectable by the
+    /// footer check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O failure (or an injected `snapshot/write` fault).
     pub fn save(&self, path: &Path, oracle: &str) -> Result<(), String> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -195,8 +362,29 @@ impl DelayCache {
                     .map_err(|e| format!("creating {}: {e}", parent.display()))?;
             }
         }
-        std::fs::write(path, self.to_json(oracle))
-            .map_err(|e| format!("writing {}: {e}", path.display()))
+        let body = self.to_json(oracle);
+        let data = format!("{body}\n#crc32:{:08x}\n", crc32(body.as_bytes()));
+        match isdc_faults::check("snapshot/write") {
+            // A torn write: half the bytes land at the final path with no
+            // rename barrier, and the caller is told nothing — exactly the
+            // evidence a mid-write crash leaves. The next load must detect
+            // and quarantine it.
+            Some(FaultKind::TruncateWrite) => {
+                return std::fs::write(path, &data.as_bytes()[..data.len() / 2])
+                    .map_err(|e| format!("writing {}: {e}", path.display()));
+            }
+            Some(FaultKind::Error) => {
+                return Err(format!("injected error fault at snapshot/write ({})", path.display()));
+            }
+            Some(FaultKind::Panic) => panic!("injected panic fault at snapshot/write"),
+            None => {}
+        }
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        std::fs::write(&tmp, &data).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("renaming {} over {}: {e}", tmp.display(), path.display()))
     }
 }
 
@@ -419,6 +607,179 @@ mod tests {
         let restored = DelayCache::new();
         assert_eq!(restored.merge_json(&cache.to_json("synthesis"), "synthesis").unwrap(), 0);
         assert!(restored.is_empty());
+    }
+
+    /// A unique temp path per test so `cargo test`'s parallel threads
+    /// never collide.
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("isdc-persist-{tag}-{}.json", std::process::id()))
+    }
+
+    /// Asserts a written-then-mangled snapshot loads as a quarantined cold
+    /// start: nothing merged, file moved aside to `.corrupt`, no panic.
+    fn assert_quarantined(tag: &str, mangle: impl FnOnce(Vec<u8>) -> Vec<u8>) {
+        let path = temp_path(tag);
+        sample().save(&path, "synthesis").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, mangle(bytes)).unwrap();
+        let cold = DelayCache::new();
+        let outcome = cold.load_resilient(&path, "synthesis");
+        let SnapshotLoad::ColdStart { reason, quarantined } = outcome else {
+            panic!("{tag}: expected a cold start, got {outcome:?}");
+        };
+        let moved = quarantined.expect("corrupt file must be quarantined");
+        assert!(moved.to_string_lossy().ends_with(".corrupt"), "{moved:?}");
+        assert!(moved.exists(), "{tag}: quarantined file must survive as evidence");
+        assert!(!path.exists(), "{tag}: the bad file must be moved out of the way");
+        assert!(cold.is_empty(), "{tag}: nothing may merge from a corrupt file ({reason})");
+        // The quarantined path is free again: a fresh save+load succeeds.
+        sample().save(&path, "synthesis").unwrap();
+        assert_eq!(cold.load_resilient(&path, "synthesis"), SnapshotLoad::Loaded { entries: 2 });
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&moved);
+    }
+
+    #[test]
+    fn save_writes_footer_and_roundtrips() {
+        let path = temp_path("footer");
+        let cache = sample();
+        cache.store_potentials(Fingerprint(0xabc), 2500.0, vec![0, -1]);
+        cache.save(&path, "synthesis").unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.contains("\"version\":3"));
+        assert!(data.trim_end().lines().last().unwrap().starts_with("#crc32:"), "{data}");
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_name).exists(), "temp file must be renamed away");
+        let restored = DelayCache::new();
+        assert_eq!(restored.load(&path, "synthesis").unwrap(), 2);
+        assert_eq!(restored.entries(), cache.entries());
+        assert_eq!(restored.potential_entries(), cache.potential_entries());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_quarantines_and_cold_starts() {
+        assert_quarantined("truncated", |bytes| bytes[..bytes.len() / 2].to_vec());
+    }
+
+    #[test]
+    fn truncation_that_only_drops_the_footer_is_still_detected() {
+        // The subtlest torn write: a bytewise-valid v3 JSON body whose
+        // footer never made it to disk. The version-aware loader knows v3
+        // requires a footer.
+        assert_quarantined("footerless", |bytes| {
+            let text = String::from_utf8(bytes).unwrap();
+            let body = &text[..text.rfind("\n#crc32:").unwrap()];
+            body.as_bytes().to_vec()
+        });
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum_and_quarantines() {
+        assert_quarantined("bitflip", |mut bytes| {
+            // Flip a digit inside a delay value: still perfectly
+            // parseable JSON — only the checksum can catch it.
+            let at = bytes.iter().position(|&b| b == b'8').unwrap();
+            bytes[at] = b'9';
+            bytes
+        });
+    }
+
+    #[test]
+    fn zero_length_snapshot_quarantines_and_cold_starts() {
+        assert_quarantined("empty", |_| Vec::new());
+    }
+
+    #[test]
+    fn unknown_future_version_quarantines_and_cold_starts() {
+        assert_quarantined("future", |bytes| {
+            let text = String::from_utf8(bytes).unwrap();
+            let body =
+                text[..text.rfind("\n#crc32:").unwrap()].replace("\"version\":3", "\"version\":99");
+            // A well-formed future snapshot, correct checksum and all —
+            // rejected by version, not by integrity.
+            format!("{body}\n#crc32:{:08x}\n", crc32(body.as_bytes())).into_bytes()
+        });
+    }
+
+    #[test]
+    fn foreign_oracle_snapshot_is_not_quarantined() {
+        let path = temp_path("foreign");
+        sample().save(&path, "synthesis").unwrap();
+        let cold = DelayCache::new();
+        let outcome = cold.load_resilient(&path, "aig-depth");
+        let SnapshotLoad::ColdStart { reason, quarantined } = outcome else {
+            panic!("expected cold start, got {outcome:?}");
+        };
+        assert!(quarantined.is_none(), "a foreign snapshot is valid — leave it alone");
+        assert!(reason.contains("synthesis"), "{reason}");
+        assert!(path.exists());
+        assert!(cold.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_snapshot_is_reported_as_missing() {
+        let cold = DelayCache::new();
+        let path = temp_path("missing-never-created");
+        assert_eq!(cold.load_resilient(&path, "synthesis"), SnapshotLoad::Missing);
+    }
+
+    #[test]
+    fn footerless_v1_and_v2_files_round_trip_unchanged() {
+        // Pre-v3 snapshots have no footer; both the strict and the
+        // resilient loaders must accept them as-is.
+        for (version, potentials) in [(1u64, ""), (2, r#","potentials":[]"#)] {
+            let json = format!(
+                r#"{{"version":{version},"oracle":"synthesis","entries":[
+                    {{"key":"0000000000000000000000000000000a","delay_ps":3.5,
+                     "aig_depth":1,"and_count":2,"arrivals":[[0,3.5]]}}]{potentials}}}"#
+            );
+            let path = temp_path(&format!("v{version}"));
+            std::fs::write(&path, &json).unwrap();
+            let cache = DelayCache::new();
+            assert_eq!(cache.load(&path, "synthesis").unwrap(), 1, "strict v{version}");
+            let resilient = DelayCache::new();
+            assert_eq!(
+                resilient.load_resilient(&path, "synthesis"),
+                SnapshotLoad::Loaded { entries: 1 },
+                "resilient v{version}"
+            );
+            assert!(path.exists());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE reference vector plus an empty-input sanity check.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn injected_truncate_write_fault_produces_a_detectable_torn_file() {
+        let path = temp_path("fault-torn");
+        isdc_faults::install(isdc_faults::FaultPlan::new().with(
+            "snapshot/write",
+            0,
+            FaultKind::TruncateWrite,
+        ));
+        let save_result = sample().save(&path, "synthesis");
+        isdc_faults::clear();
+        save_result.expect("a torn write reports success — the crash hides the loss");
+        let cold = DelayCache::new();
+        let outcome = cold.load_resilient(&path, "synthesis");
+        assert!(
+            matches!(outcome, SnapshotLoad::ColdStart { quarantined: Some(_), .. }),
+            "torn file must quarantine: {outcome:?}"
+        );
+        assert!(cold.is_empty());
+        let _ = std::fs::remove_file(&path);
+        let mut corrupt = path.as_os_str().to_os_string();
+        corrupt.push(".corrupt");
+        let _ = std::fs::remove_file(corrupt);
     }
 
     #[test]

@@ -3,7 +3,22 @@
 use crate::fingerprint::Fingerprint;
 use isdc_telemetry::{Counter, MetricsFrame, Registry};
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-tolerant read lock. Every mutation under these locks is a
+/// single-call `HashMap`/`Vec` operation that either completes or leaves
+/// the map untouched, so a panicking holder (e.g. an injected
+/// `cache/insert` fault in one batch worker) never leaves a shard
+/// half-mutated — recovering the guard is always safe, and one worker's
+/// panic must not take down the rest of the fleet.
+fn read_shard<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Poison-tolerant write lock; see [`read_shard`] for why recovery is safe.
+fn write_shard<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One memoized downstream evaluation, stored against canonical indices so
 /// it can be replayed onto any structurally identical subgraph.
@@ -157,7 +172,7 @@ impl DelayCache {
 
     /// Looks up a fingerprint, counting a hit or miss.
     pub fn get(&self, fp: Fingerprint) -> Option<CachedDelay> {
-        let found = self.shard(fp).read().expect("shard lock poisoned").get(&fp.0).cloned();
+        let found = read_shard(self.shard(fp)).get(&fp.0).cloned();
         match found {
             Some(entry) => {
                 self.hits.incr();
@@ -172,18 +187,21 @@ impl DelayCache {
 
     /// Inserts (or replaces) an entry, counting an insert.
     pub fn insert(&self, fp: Fingerprint, entry: CachedDelay) {
+        // The fault hook fires *before* the lock is taken: an injected
+        // panic here loses only this one insert, never shard consistency.
+        isdc_faults::fire("cache/insert");
         self.inserts.incr();
-        self.shard(fp).write().expect("shard lock poisoned").insert(fp.0, entry);
+        write_shard(self.shard(fp)).insert(fp.0, entry);
     }
 
     /// Inserts without touching the counters (snapshot loading).
     pub(crate) fn insert_silent(&self, fp: Fingerprint, entry: CachedDelay) {
-        self.shard(fp).write().expect("shard lock poisoned").insert(fp.0, entry);
+        write_shard(self.shard(fp)).insert(fp.0, entry);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("shard lock poisoned").len()).sum()
+        self.shards.iter().map(|s| read_shard(s).len()).sum()
     }
 
     /// True if nothing is cached.
@@ -206,14 +224,14 @@ impl DelayCache {
     /// Drops all entries, keeping the counters.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.write().expect("shard lock poisoned").clear();
+            write_shard(s).clear();
         }
     }
 
     /// Stores (or replaces) the potentials learned for `design` at
     /// `clock_ps`, keeping the per-design list sorted by period.
     pub fn store_potentials(&self, design: Fingerprint, clock_ps: f64, pi: Vec<i64>) {
-        let mut map = self.potentials.write().expect("potential lock poisoned");
+        let mut map = write_shard(&self.potentials);
         let list = map.entry(design.0).or_default();
         match list.binary_search_by(|p| p.clock_ps.total_cmp(&clock_ps)) {
             Ok(i) => list[i].pi = pi,
@@ -232,7 +250,7 @@ impl DelayCache {
         design: Fingerprint,
         clock_ps: f64,
     ) -> Option<(f64, Vec<i64>)> {
-        let map = self.potentials.read().expect("potential lock poisoned");
+        let map = read_shard(&self.potentials);
         let list = map.get(&design.0)?;
         let pick = match list.binary_search_by(|p| p.clock_ps.total_cmp(&clock_ps)) {
             Ok(i) => i,
@@ -246,7 +264,7 @@ impl DelayCache {
     /// All stored potentials, ascending by design fingerprint then period
     /// (a stable order for snapshots and tests).
     pub fn potential_entries(&self) -> Vec<(Fingerprint, StoredPotentials)> {
-        let map = self.potentials.read().expect("potential lock poisoned");
+        let map = read_shard(&self.potentials);
         let mut out: Vec<(Fingerprint, StoredPotentials)> = map
             .iter()
             .flat_map(|(&k, list)| list.iter().map(move |p| (Fingerprint(k), p.clone())))
@@ -275,7 +293,7 @@ impl DelayCache {
         let mut changed = 0;
         for (fp, theirs) in other.entries() {
             let shard = self.shard(fp);
-            let mut map = shard.write().expect("shard lock poisoned");
+            let mut map = write_shard(shard);
             match map.entry(fp.0) {
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(theirs);
@@ -290,7 +308,7 @@ impl DelayCache {
             }
         }
         for (design, theirs) in other.potential_entries() {
-            let mut map = self.potentials.write().expect("potential lock poisoned");
+            let mut map = write_shard(&self.potentials);
             let list = map.entry(design.0).or_default();
             match list.binary_search_by(|p| p.clock_ps.total_cmp(&theirs.clock_ps)) {
                 Ok(i) => {
@@ -311,11 +329,7 @@ impl DelayCache {
             .shards
             .iter()
             .flat_map(|s| {
-                s.read()
-                    .expect("shard lock poisoned")
-                    .iter()
-                    .map(|(&k, v)| (Fingerprint(k), v.clone()))
-                    .collect::<Vec<_>>()
+                read_shard(s).iter().map(|(&k, v)| (Fingerprint(k), v.clone())).collect::<Vec<_>>()
             })
             .collect();
         out.sort_by_key(|&(fp, _)| fp);

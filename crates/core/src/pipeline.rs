@@ -561,6 +561,8 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Solve {
         state: &mut PipelineState<'_, O>,
         dirty: Self::In,
     ) -> Result<Self::Out, ScheduleError> {
+        isdc_faults::trip("solver/drain")
+            .map_err(|fault| ScheduleError::Injected { site: fault.site })?;
         match state.engine.as_mut() {
             Some(engine) => {
                 state.schedule = engine.reschedule(state.graph, &state.delays, &dirty)?;

@@ -42,6 +42,13 @@ pub enum ScheduleError {
         /// The requested maximum pipeline stages.
         max_stages: u32,
     },
+    /// A deterministic fault-injection hook fired (chaos testing only —
+    /// see `isdc_faults`). Treated as a *transient* failure by the batch
+    /// engine's retry policy, unlike the real solver errors above.
+    Injected {
+        /// The injection site that fired (e.g. `solver/drain`).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -55,6 +62,9 @@ impl fmt::Display for ScheduleError {
             ),
             ScheduleError::LatencyUnachievable { max_stages } => {
                 write!(f, "no schedule meets timing within {max_stages} pipeline stages")
+            }
+            ScheduleError::Injected { site } => {
+                write!(f, "injected fault at {site}")
             }
         }
     }

@@ -171,8 +171,17 @@ impl<'a, O: DelayOracle + ?Sized> IsdcSession<'a, O> {
         self.cache.load(path, self.oracle.name())
     }
 
+    /// Like [`IsdcSession::load_snapshot`], but with the fleet's
+    /// degrade-instead-of-error policy: a corrupt snapshot is quarantined
+    /// (`<name>.corrupt`) and the session starts cold; see
+    /// [`isdc_cache::SnapshotLoad`].
+    pub fn load_snapshot_resilient(&self, path: &Path) -> isdc_cache::SnapshotLoad {
+        self.cache.load_resilient(path, self.oracle.name())
+    }
+
     /// Persists the session's cache — delay entries *and* learned
-    /// potentials — to `path` (snapshot format version 2).
+    /// potentials — to `path` (current snapshot format, written
+    /// crash-safely: temp-then-rename with an integrity footer).
     ///
     /// # Errors
     ///

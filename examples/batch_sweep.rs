@@ -115,8 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut last: Option<BatchReport> = None;
     for &threads in thread_counts {
         let cache = Arc::new(DelayCache::new());
-        let options = BatchOptions { threads, shard_points: 0 };
+        let options = BatchOptions { threads, shard_points: 0, ..Default::default() };
         let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache)?;
+        // Execution failures surface per job since the fault-tolerance
+        // rework; a bench run tolerates none (and the rendered document's
+        // jobs_failed/jobs_retried fields attest it to the gate).
+        assert!(report.all_ok(), "batch @ {threads} threads had failed jobs");
+        assert_eq!(report.jobs_retried(), 0, "a bench must not need retries");
         assert_bit_identical(&report, &serial, threads);
         println!(
             "batch @ {threads} threads: {:.2?} ({:.2}x vs serial, {:.1}x vs cold, {} shards, \

@@ -39,6 +39,10 @@
 //!   --points <n>          grid points for --all-designs (default 10)
 //!   --threads <n>         worker threads (default: available parallelism)
 //!   --shard-points <n>    max sweep points per shard (default: auto)
+//!   --keep-going          don't abort the queue on a job failure; finish
+//!                         every other job and report per-job status
+//!   --max-retries <n>     retry transient shard failures up to n times
+//!                         (deterministic backoff; default 0)
 //!   --cache-file <file>   load/save the fleet-wide cache snapshot
 //!   --out <file>          write the batch report as BENCH_batch-style JSON
 //!
@@ -53,6 +57,17 @@
 //! Batches fan a job queue (design x period shard) out over a worker pool
 //! whose sessions share one delay cache. Schedules are bit-identical to
 //! independent runs in both cases; only the time changes.
+//!
+//! Chaos reproduction: set `ISDC_FAULT_PLAN=site:hit:kind` (kind `panic`,
+//! `error`, or `truncate`; sites in `isdc::faults::SITES`) to arm one
+//! deterministic fault before the command runs — e.g.
+//! `ISDC_FAULT_PLAN=batch/shard:0:panic isdc-cli batch --keep-going ...`.
+//!
+//! Exit codes: 0 success; 2 usage, spec, or I/O errors; 3 one or more
+//! batch jobs failed (the report still prints, and `--out`/`--cache-file`
+//! artifacts are still written — see README § Robustness). A corrupt
+//! cache snapshot never fails a run: it is quarantined to `<file>.corrupt`
+//! and the run cold-starts with a warning.
 
 use isdc::core::metrics::post_synthesis_slack;
 use isdc::core::{
@@ -65,27 +80,79 @@ use isdc::synth::{OpDelayModel, SynthesisOracle};
 use isdc::techlib::TechLibrary;
 use std::process::ExitCode;
 
+/// Exit code for usage, spec, and I/O errors (every plain-`String`
+/// failure in the command handlers).
+const EXIT_SPEC: u8 = 2;
+/// Exit code when batch jobs failed but the run itself completed.
+const EXIT_JOBS_FAILED: u8 = 3;
+
+/// A CLI failure: the message to print and the exit code to die with.
+/// `From<String>` classifies plain errors as spec/IO ([`EXIT_SPEC`]), so
+/// `?` keeps working in the handlers; job failures construct their code
+/// explicitly.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: EXIT_SPEC, message }
+    }
+}
+
+/// Installs a fault plan from `ISDC_FAULT_PLAN=site:hit:kind` (kind one
+/// of `panic`, `error`, `truncate`), so chaos runs are reproducible from
+/// the command line — e.g. `ISDC_FAULT_PLAN=batch/shard:0:panic`.
+fn install_fault_plan_from_env() -> Result<(), String> {
+    let Ok(spec) = std::env::var("ISDC_FAULT_PLAN") else { return Ok(()) };
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [site, hit, kind] = parts[..] else {
+        return Err(format!("ISDC_FAULT_PLAN `{spec}`: want site:hit:kind"));
+    };
+    if !isdc::faults::SITES.contains(&site) {
+        return Err(format!(
+            "ISDC_FAULT_PLAN site `{site}`: known sites are {:?}",
+            isdc::faults::SITES
+        ));
+    }
+    let hit: u64 = hit.parse().map_err(|e| format!("ISDC_FAULT_PLAN hit `{hit}`: {e}"))?;
+    let kind = match kind {
+        "panic" => isdc::faults::FaultKind::Panic,
+        "error" => isdc::faults::FaultKind::Error,
+        "truncate" => isdc::faults::FaultKind::TruncateWrite,
+        other => return Err(format!("ISDC_FAULT_PLAN kind `{other}`: want panic|error|truncate")),
+    };
+    isdc::faults::install(isdc::faults::FaultPlan::new().with(site, hit, kind));
+    eprintln!("fault injection armed: {site} hit {hit} -> {kind:?}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    if let Err(message) = install_fault_plan_from_env() {
+        eprintln!("error: {message}");
+        return ExitCode::from(EXIT_SPEC);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("show") => cmd_show(&args[1..]),
-        Some("schedule") => cmd_schedule(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("show") => cmd_show(&args[1..]).map_err(CliError::from),
+        Some("schedule") => cmd_schedule(&args[1..]).map_err(CliError::from),
+        Some("sweep") => cmd_sweep(&args[1..]).map_err(CliError::from),
         Some("batch") => cmd_batch(&args[1..]),
-        Some("aiger") => cmd_aiger(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+        Some("aiger") => cmd_aiger(&args[1..]).map_err(CliError::from),
+        Some("bench") => cmd_bench(&args[1..]).map_err(CliError::from),
+        Some("trace") => cmd_trace(&args[1..]).map_err(CliError::from),
         Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {}", error.message);
+            ExitCode::from(error.code)
         }
     }
 }
@@ -472,12 +539,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut session = IsdcSession::new(&g, &model, &oracle);
     let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     if let Some(path) = &snapshot {
-        if path.exists() {
-            match session.load_snapshot(path) {
-                Ok(n) => println!("loaded {n} cached delays from {}", path.display()),
-                Err(e) => eprintln!("note: ignoring snapshot: {e}"),
-            }
-        }
+        report_snapshot_load(session.load_snapshot_resilient(path), path);
     }
 
     let periods = linear_grid(from, to, points);
@@ -529,10 +591,30 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(args: &[String]) -> Result<(), String> {
+/// Prints the outcome of a resilient snapshot load. Corruption is a
+/// warning plus a quarantine pointer, never a failure — the run proceeds
+/// cold and rewrites the snapshot on save.
+fn report_snapshot_load(load: isdc::cache::SnapshotLoad, path: &std::path::Path) {
+    use isdc::cache::SnapshotLoad;
+    match load {
+        SnapshotLoad::Loaded { entries } => {
+            println!("loaded {entries} cached delays from {}", path.display());
+        }
+        SnapshotLoad::Missing => {}
+        SnapshotLoad::ColdStart { reason, quarantined } => {
+            eprintln!("warning: ignoring snapshot {}: {reason}", path.display());
+            if let Some(q) = quarantined {
+                eprintln!("warning: quarantined the damaged snapshot to {}", q.display());
+            }
+            eprintln!("warning: starting with a cold cache");
+        }
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     use isdc::batch::{
-        parse_jobs, render_batch_json, run_batch, BatchBenchDoc, BatchDesign, BatchOptions, Job,
-        JobKind, ScalingRow,
+        parse_jobs, render_batch_json, run_batch, BatchBenchDoc, BatchDesign, BatchOptions,
+        FailPolicy, Job, JobKind, JobStatus, ScalingRow,
     };
     use isdc::cache::DelayCache;
     use std::sync::Arc;
@@ -566,7 +648,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(10);
             if points == 0 {
-                return Err("batch needs --points >= 1".to_string());
+                return Err("batch needs --points >= 1".to_string().into());
             }
             suite
                 .iter()
@@ -578,10 +660,12 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 })
                 .collect()
         }
-        None => return Err("batch requires --jobs <spec.json> or --all-designs".to_string()),
+        None => {
+            return Err("batch requires --jobs <spec.json> or --all-designs".to_string().into())
+        }
     };
     if jobs.is_empty() {
-        return Err("the job spec contains no jobs".to_string());
+        return Err("the job spec contains no jobs".to_string().into());
     }
 
     let threads: usize = flag_value(args, "--threads")
@@ -590,6 +674,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .unwrap_or(0);
     let shard_points: usize = flag_value(args, "--shard-points")
         .map(|v| v.parse().map_err(|_| format!("bad --shard-points `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let fail_policy = if args.iter().any(|a| a == "--keep-going") {
+        FailPolicy::KeepGoing
+    } else {
+        FailPolicy::Abort
+    };
+    let max_retries: u32 = flag_value(args, "--max-retries")
+        .map(|v| v.parse().map_err(|_| format!("bad --max-retries `{v}`")))
         .transpose()?
         .unwrap_or(0);
     let telemetry = TelemetryOpts::parse(args)?;
@@ -601,16 +694,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let cache = Arc::new(DelayCache::new());
     let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     if let Some(path) = &snapshot {
-        if path.exists() {
-            use isdc::synth::DelayOracle as _;
-            match cache.load(path, oracle.name()) {
-                Ok(n) => println!("loaded {n} cached delays from {}", path.display()),
-                Err(e) => eprintln!("note: ignoring snapshot: {e}"),
-            }
-        }
+        use isdc::synth::DelayOracle as _;
+        report_snapshot_load(cache.load_resilient(path, oracle.name()), path);
     }
 
-    let options = BatchOptions { threads, shard_points };
+    let options = BatchOptions { threads, shard_points, fail_policy, max_retries };
     let report =
         run_batch(&designs, &jobs, &options, &model, &oracle, &cache).map_err(|e| e.to_string())?;
     drop(session_span);
@@ -629,16 +717,24 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         report.total_points(),
         report.cache_hit_rate() * 100.0,
     );
-    println!("design                       |     type | shards | points | hit rate | elapsed");
+    println!(
+        "design                       |     type |  status | shards | points | hit rate | elapsed"
+    );
     for job in &report.jobs {
         let kind = match &job.job.kind {
             JobKind::Sweep { .. } => "sweep",
             JobKind::MinPeriod { .. } => "min_prd",
         };
+        let status = match &job.status {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed(_) => "FAILED",
+            JobStatus::Skipped => "skipped",
+        };
         println!(
-            "{:<28} | {:>8} | {:>6} | {:>6} | {:>7.1}% | {:.1?}",
+            "{:<28} | {:>8} | {:>7} | {:>6} | {:>6} | {:>7.1}% | {:.1?}",
             job.job.design,
             kind,
+            status,
             job.shards,
             job.points.len(),
             job.cache_hit_rate() * 100.0,
@@ -646,6 +742,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         );
         if let Some(min) = job.min_period_ps {
             println!("{:<28} |   -> minimum feasible period {min:.0}ps", "");
+        }
+        if let JobStatus::Failed(error) = &job.status {
+            println!("{:<28} |   -> {error}", "");
         }
     }
 
@@ -667,6 +766,21 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         };
         std::fs::write(out, render_batch_json(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
+    }
+    // Artifacts above are written even on failure — a partial keep-going
+    // report is still useful — but the exit code says what happened.
+    if !report.all_ok() {
+        let failed = report.jobs_failed();
+        let skipped = report.jobs.iter().filter(|j| matches!(j.status, JobStatus::Skipped)).count();
+        let first =
+            report.first_error().map(|e| format!(": first failure: {e}")).unwrap_or_default();
+        return Err(CliError {
+            code: EXIT_JOBS_FAILED,
+            message: format!(
+                "{failed} job(s) failed, {skipped} skipped, {} completed{first}",
+                report.jobs.len() - failed - skipped
+            ),
+        });
     }
     Ok(())
 }

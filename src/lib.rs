@@ -20,6 +20,8 @@
 //!   period shards, worker pool);
 //! - [`telemetry`] — hierarchical spans, the fleet metrics registry, and
 //!   JSONL/Chrome trace export (see README § Observability);
+//! - [`faults`] — deterministic fault injection for chaos testing (see
+//!   README § Robustness);
 //! - [`benchsuite`] — the 17 evaluation benchmarks and sweep generators.
 //!
 //! # Examples
@@ -58,6 +60,7 @@ pub use isdc_batch as batch;
 pub use isdc_benchsuite as benchsuite;
 pub use isdc_cache as cache;
 pub use isdc_core as core;
+pub use isdc_faults as faults;
 pub use isdc_ir as ir;
 pub use isdc_netlist as netlist;
 pub use isdc_sdc as sdc;

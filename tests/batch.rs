@@ -110,7 +110,7 @@ proptest! {
         let model = OpDelayModel::new(lib.clone());
         let oracle = SynthesisOracle::new(lib);
         let cache = Arc::new(DelayCache::new());
-        let options = BatchOptions { threads, shard_points };
+        let options = BatchOptions { threads, shard_points, ..Default::default() };
         let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache)
             .expect("batch run");
         prop_assert_eq!(report.jobs.len(), jobs.len());
@@ -146,7 +146,7 @@ fn spec_file_roundtrip_drives_the_engine() {
     let report = run_batch(
         &designs,
         &jobs,
-        &BatchOptions { threads: 2, shard_points: 0 },
+        &BatchOptions { threads: 2, ..Default::default() },
         &model,
         &oracle,
         &cache,
@@ -180,7 +180,7 @@ fn preloaded_snapshot_accelerates_without_changing_schedules() {
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
-    let options = BatchOptions { threads: 2, shard_points: 2 };
+    let options = BatchOptions { threads: 2, shard_points: 2, ..Default::default() };
 
     // First batch fills a cache; merge it into a fresh one (the
     // fleet-publication primitive) and re-run: everything replays.
@@ -227,8 +227,12 @@ fn sharding_splits_only_sweeps_and_respects_the_cap() {
         Job::sweep(&designs[0].name, linear_grid(clock, clock * 2.0, 7)),
         Job::min_period(&designs[1].name, 1.0, designs[1].base.clock_period_ps, 50.0),
     ];
-    let shards =
-        plan_shards(&designs, &jobs, &BatchOptions { threads: 3, shard_points: 3 }).unwrap();
+    let shards = plan_shards(
+        &designs,
+        &jobs,
+        &BatchOptions { threads: 3, shard_points: 3, ..Default::default() },
+    )
+    .unwrap();
     assert_eq!(shards.len(), 4, "ceil(7/3) sweep shards + 1 search shard");
     let mut rebuilt: Vec<f64> = Vec::new();
     for s in &shards {

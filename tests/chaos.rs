@@ -1,0 +1,364 @@
+//! Chaos suite: the fleet's fault-tolerance contract under deterministic
+//! fault injection (`isdc::faults`). For any single injected fault the
+//! batch engine must (a) never deadlock — every test returning is half the
+//! proof, the worker pool has no blocking handoff to wedge — (b) report
+//! the failed job precisely (job index, shard, design, cause), and
+//! (c) leave every unaffected job **bit-identical** to a fault-free run.
+//!
+//! The installed fault plan is process-global, so every test serializes on
+//! one lock, and a quiet panic hook keeps expected injected panics out of
+//! the log. CI sweeps `ISDC_FAULT_SEEDS=0..8` over this binary (see
+//! `.github/workflows/ci.yml`); locally a short default range keeps the
+//! suite quick.
+
+use isdc::batch::{
+    run_batch, BatchDesign, BatchOptions, BatchReport, FailPolicy, Job, JobErrorKind, JobStatus,
+};
+use isdc::cache::{CachedDelay, DelayCache, Fingerprint, SnapshotLoad};
+use isdc::core::{linear_grid, IsdcConfig, ScheduleError};
+use isdc::faults::{self, FaultKind, FaultPlan};
+use isdc::synth::{OpDelayModel, SynthesisOracle};
+use isdc::techlib::TechLibrary;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
+
+/// The sites a batch run actually exercises (`snapshot/write` is covered
+/// separately — batches only touch it through explicit save calls).
+const BATCH_SITES: &[&str] = &["oracle/eval", "cache/insert", "solver/drain", "batch/shard"];
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes fault-plan installs across this binary's test threads and
+/// silences panic output while a plan is armed (injected panics are the
+/// point, not noise). Real panics with no plan installed still print.
+fn chaos_guard() -> MutexGuard<'static, ()> {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !faults::enabled() {
+                default(info);
+            }
+        }));
+    });
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Seed sweep width: `ISDC_FAULT_SEEDS=lo..hi` (CI sets `0..8`).
+fn seed_range() -> std::ops::Range<u64> {
+    match std::env::var("ISDC_FAULT_SEEDS") {
+        Ok(s) => {
+            let (lo, hi) = s.split_once("..").expect("ISDC_FAULT_SEEDS must be `lo..hi`");
+            lo.trim().parse().expect("bad lo seed")..hi.trim().parse().expect("bad hi seed")
+        }
+        Err(_) => 0..2,
+    }
+}
+
+/// A small fixed job mix over the three smallest suite designs. With
+/// `shard_points: 1` it plans 6+ shards, so every batch site reaches the
+/// seeded plans' maximum hit index (3) even single-threaded.
+fn fixture() -> (Vec<BatchDesign>, Vec<Job>) {
+    let mut suite = isdc::benchsuite::suite();
+    suite.sort_by_key(|b| b.graph.len());
+    let designs: Vec<BatchDesign> = suite
+        .into_iter()
+        .take(3)
+        .map(|b| {
+            let mut base = IsdcConfig::paper_defaults(b.clock_period_ps);
+            base.max_iterations = 2;
+            base.subgraphs_per_iteration = 4;
+            base.threads = 1;
+            BatchDesign { name: b.name.to_string(), graph: b.graph, base }
+        })
+        .collect();
+    let clocks: Vec<f64> = designs.iter().map(|d| d.base.clock_period_ps).collect();
+    let jobs = vec![
+        Job::sweep(&designs[0].name, linear_grid(clocks[0], clocks[0] * 1.5, 2)),
+        Job::sweep(&designs[1].name, linear_grid(clocks[1], clocks[1] * 1.5, 2)),
+        Job::sweep(&designs[2].name, vec![clocks[2]]),
+        Job::min_period(&designs[0].name, clocks[0] * 0.6, clocks[0] * 1.2, 100.0),
+    ];
+    (designs, jobs)
+}
+
+fn run(
+    designs: &[BatchDesign],
+    jobs: &[Job],
+    threads: usize,
+    fail_policy: FailPolicy,
+    max_retries: u32,
+) -> BatchReport {
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let cache = Arc::new(DelayCache::new());
+    let options = BatchOptions { threads, shard_points: 1, fail_policy, max_retries };
+    run_batch(designs, jobs, &options, &model, &oracle, &cache)
+        .expect("only planning errors fail the call, and the fixture plans cleanly")
+}
+
+/// The batch counter helper: a named `MetricValue::Counter` in the fleet
+/// frame, or 0.
+fn counter(report: &BatchReport, name: &str) -> u64 {
+    report.metrics.metrics.get(name).and_then(|v| v.as_counter()).unwrap_or(0)
+}
+
+fn assert_job_identical(
+    result: &isdc::batch::JobResult,
+    reference: &isdc::batch::JobResult,
+    context: &str,
+) {
+    assert_eq!(result.points.len(), reference.points.len(), "{context}: point count");
+    for (a, b) in result.points.iter().zip(&reference.points) {
+        assert_eq!(a.clock_period_ps, b.clock_period_ps, "{context}");
+        assert_eq!(a.feasible, b.feasible, "{context} at {}ps", a.clock_period_ps);
+        assert_eq!(
+            a.schedule, b.schedule,
+            "{context} at {}ps: unaffected job diverged from the fault-free run",
+            a.clock_period_ps
+        );
+    }
+    assert_eq!(result.min_period_ps, reference.min_period_ps, "{context}");
+}
+
+/// The tentpole invariant: sites x seeds x thread counts, one injected
+/// fault each, keep-going, no retries. Exactly the fired fault's job
+/// fails (with a precise structured error); everything else matches the
+/// fault-free baseline bit for bit.
+#[test]
+fn any_single_fault_fails_at_most_one_job_and_nothing_else() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    faults::clear();
+    let baseline = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+    assert!(baseline.all_ok(), "the baseline must be fault-free");
+    for threads in [1usize, 2, 4] {
+        for site in BATCH_SITES {
+            for seed in seed_range() {
+                faults::install(FaultPlan::seeded(seed, &[site]));
+                let report = run(&designs, &jobs, threads, FailPolicy::KeepGoing, 0);
+                let fired = faults::injected_count();
+                faults::clear();
+                let context = format!("site {site} seed {seed} threads {threads}");
+                assert!(fired <= 1, "{context}: a single-arm plan fires at most once");
+                assert_eq!(
+                    report.jobs_failed() as u64,
+                    fired,
+                    "{context}: each fired fault must fail exactly one job, and an \
+                     unfired plan must fail none"
+                );
+                assert_eq!(counter(&report, "fault/injected"), fired, "{context}");
+                for (ji, (result, reference)) in report.jobs.iter().zip(&baseline.jobs).enumerate()
+                {
+                    match &result.status {
+                        JobStatus::Ok => assert_job_identical(result, reference, &context),
+                        JobStatus::Failed(error) => {
+                            assert_eq!(error.job, ji, "{context}: error names its job");
+                            assert_eq!(error.design, result.job.design, "{context}");
+                            assert!(!error.message.is_empty(), "{context}");
+                            assert!(
+                                result.points.is_empty() && result.min_period_ps.is_none(),
+                                "{context}: failed jobs withhold their points"
+                            );
+                        }
+                        JobStatus::Skipped => {
+                            panic!("{context}: keep-going must never skip a job")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Abort (the default policy), single-threaded, fault on the very first
+/// shard: the queue stops, the report pinpoints job 0 shard 0, and every
+/// other job is Skipped with its points withheld.
+#[test]
+fn abort_policy_reports_the_failure_and_skips_the_rest() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    faults::install(FaultPlan::new().with("batch/shard", 0, FaultKind::Panic));
+    let report = run(&designs, &jobs, 1, FailPolicy::Abort, 0);
+    let fired = faults::injected_count();
+    faults::clear();
+    assert_eq!(fired, 1);
+    assert_eq!(report.jobs_failed(), 1);
+    let error = report.first_error().expect("one failure");
+    assert_eq!((error.job, error.shard), (0, 0), "the report pinpoints the failed shard");
+    assert!(matches!(error.kind, JobErrorKind::Panic));
+    assert!(error.message.contains("batch/shard"), "panic payload survives: {}", error.message);
+    assert!(matches!(report.jobs[0].status, JobStatus::Failed(_)));
+    for job in &report.jobs[1..] {
+        assert_eq!(job.status, JobStatus::Skipped);
+        assert!(job.points.is_empty() && job.min_period_ps.is_none());
+    }
+}
+
+/// Bounded retries absorb transient faults — an injected panic and an
+/// injected solver error both recover on re-execution (the arm fires
+/// once), the report stays strict-`Ok`, the retry is visible in the
+/// counters, and the recovered output is bit-identical to fault-free.
+#[test]
+fn transient_faults_retry_and_recover_bit_identically() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    faults::clear();
+    let baseline = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+    for (site, kind) in [("oracle/eval", FaultKind::Panic), ("solver/drain", FaultKind::Error)] {
+        faults::install(FaultPlan::new().with(site, 1, kind));
+        let report = run(&designs, &jobs, 2, FailPolicy::Abort, 3);
+        let fired = faults::injected_count();
+        faults::clear();
+        assert_eq!(fired, 1, "{site}: the arm must fire");
+        assert!(report.all_ok(), "{site}: one retry must absorb a single injected {kind}");
+        assert_eq!(report.jobs_retried(), 1, "{site}");
+        assert_eq!(report.total_retries(), 1, "{site}");
+        assert_eq!(counter(&report, "job/retries"), 1, "{site}");
+        assert_eq!(counter(&report, "fault/injected"), 1, "{site}");
+        assert_eq!(counter(&report, "job/failed"), 0, "{site}");
+        for (result, reference) in report.jobs.iter().zip(&baseline.jobs) {
+            assert_job_identical(result, reference, site);
+        }
+    }
+}
+
+/// Real solver errors are deterministic: retrying them is a waste, so the
+/// retry budget must not apply. An injected-fault failure past its budget
+/// still reports the retries it spent.
+#[test]
+fn retry_budget_is_spent_then_reported() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    // The arm fires at hit 0; each retry re-executes the shard, but the
+    // once-only arm cannot re-fire, so budget 0 is what makes it terminal.
+    faults::install(FaultPlan::new().with("solver/drain", 0, FaultKind::Error));
+    let report = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+    faults::clear();
+    assert_eq!(report.jobs_failed(), 1);
+    let error = report.first_error().expect("one failure");
+    assert_eq!(error.retries, 0);
+    assert!(
+        matches!(
+            error.kind,
+            JobErrorKind::Schedule(ScheduleError::Injected { site: "solver/drain" })
+        ),
+        "the injected error is classified, not stringly-typed: {:?}",
+        error.kind
+    );
+}
+
+/// Fault-free runs attest zero across every robustness counter — the same
+/// invariant the bench gate enforces on `BENCH_batch.json`.
+#[test]
+fn clean_runs_report_zero_fault_counters() {
+    let _g = chaos_guard();
+    faults::clear();
+    let (designs, jobs) = fixture();
+    let report = run(&designs, &jobs, 2, FailPolicy::Abort, 3);
+    assert!(report.all_ok());
+    assert_eq!(report.jobs_failed(), 0);
+    assert_eq!(report.jobs_retried(), 0);
+    assert_eq!(counter(&report, "fault/injected"), 0);
+    assert_eq!(counter(&report, "job/retries"), 0);
+    assert_eq!(counter(&report, "job/failed"), 0);
+}
+
+/// Seed-swept `snapshot/write` chaos: whatever the injected fault does to
+/// the save — panic mid-write, reported error, torn file on disk — the
+/// loader never panics, never half-merges, and quarantines anything
+/// damaged so the next save starts clean.
+#[test]
+fn snapshot_write_faults_quarantine_and_cold_start() {
+    let _g = chaos_guard();
+    for seed in seed_range() {
+        let path = std::env::temp_dir()
+            .join(format!("isdc-chaos-snap-{}-{seed}.json", std::process::id()));
+        let corrupt = {
+            let mut os = path.clone().into_os_string();
+            os.push(".corrupt");
+            std::path::PathBuf::from(os)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+
+        let cache = DelayCache::new();
+        cache.insert(
+            Fingerprint(0x1000 + u128::from(seed)),
+            CachedDelay { delay_ps: 10.5, aig_depth: 2, and_count: 3, arrivals: vec![] },
+        );
+        faults::install(FaultPlan::seeded(seed, &["snapshot/write"]));
+        let saved = catch_unwind(AssertUnwindSafe(|| cache.save(&path, "chaos")));
+        let fired = faults::injected_count();
+        faults::clear();
+
+        let cold = DelayCache::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| cold.load_resilient(&path, "chaos")))
+            .expect("the resilient loader must never panic");
+        match outcome {
+            SnapshotLoad::Loaded { entries } => {
+                assert_eq!(entries, 1, "seed {seed}: a loadable snapshot holds the entry");
+            }
+            SnapshotLoad::Missing => {
+                assert!(
+                    fired > 0 && !matches!(saved, Ok(Ok(()))),
+                    "seed {seed}: only a failed save leaves nothing behind"
+                );
+            }
+            SnapshotLoad::ColdStart { ref reason, ref quarantined } => {
+                assert!(fired > 0, "seed {seed}: a clean save must load, got: {reason}");
+                assert!(cold.is_empty(), "seed {seed}: a rejected snapshot merges nothing");
+                if let Some(q) = quarantined {
+                    assert!(q.exists(), "seed {seed}: quarantine file present");
+                }
+                // The slate is clean: the same path saves and loads again.
+                cache.save(&path, "chaos").expect("post-quarantine save");
+                assert!(matches!(
+                    cold.load_resilient(&path, "chaos"),
+                    SnapshotLoad::Loaded { entries: 1 }
+                ));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized single faults (site, seed, thread count drawn by
+    /// proptest) preserve the bit-identity of every unaffected job — the
+    /// property-test form of the tentpole invariant.
+    #[test]
+    fn prop_single_faults_preserve_unaffected_jobs(
+        seed in any::<u64>(),
+        threads in 1usize..5,
+        site_idx in 0usize..4,
+    ) {
+        let _g = chaos_guard();
+        let (designs, jobs) = fixture();
+        faults::clear();
+        let baseline = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+        faults::install(FaultPlan::seeded(seed, &[BATCH_SITES[site_idx]]));
+        let report = run(&designs, &jobs, threads, FailPolicy::KeepGoing, 0);
+        let fired = faults::injected_count();
+        faults::clear();
+        prop_assert!(fired <= 1);
+        prop_assert_eq!(report.jobs_failed() as u64, fired);
+        for (result, reference) in report.jobs.iter().zip(&baseline.jobs) {
+            if result.status.is_ok() {
+                prop_assert_eq!(result.points.len(), reference.points.len());
+                for (a, b) in result.points.iter().zip(&reference.points) {
+                    prop_assert_eq!(a.feasible, b.feasible);
+                    prop_assert_eq!(&a.schedule, &b.schedule,
+                        "unaffected job diverged (seed {}, threads {})", seed, threads);
+                }
+            } else {
+                prop_assert!(result.points.is_empty());
+            }
+        }
+    }
+}

@@ -104,7 +104,7 @@ fn batch_workers_trace_onto_distinct_tracks() {
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
     let cache = Arc::new(DelayCache::new());
-    let options = BatchOptions { threads: 3, shard_points: 1 };
+    let options = BatchOptions { threads: 3, shard_points: 1, ..Default::default() };
     let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache).expect("batch");
     assert_eq!(report.threads, 3);
 
@@ -152,7 +152,7 @@ fn fleet_totals_are_bit_identical_across_thread_counts() {
 
     for threads in [1usize, 2, 4] {
         let cache = Arc::new(DelayCache::new());
-        let options = BatchOptions { threads, shard_points: 1 };
+        let options = BatchOptions { threads, shard_points: 1, ..Default::default() };
         let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache).expect("batch");
         let totals = report.metrics.totals();
         let got: Vec<u64> =
