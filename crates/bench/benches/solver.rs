@@ -255,10 +255,26 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
             e.reschedule(&b.graph, final_m, final_dirty).unwrap()
         });
         let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        // Sparsification composition of the LP this design solves: a fresh
+        // build at the final (feedback-relaxed) matrix, so emitted + pruned
+        // equals what the dense Eq. 2 emission would have carried.
+        let sparsity = IncrementalScheduler::new(&b.graph, final_m, &options)
+            .expect("schedulable")
+            .sparsify_stats();
         rows.push(format!(
             "    {{\"name\": \"{}\", \"nodes\": {}, \"clock_ps\": {}, \
-             \"cold_solve_ns\": {}, \"warm_solve_ns\": {}, \"speedup\": {:.2}}}",
-            b.name, n, b.clock_period_ps, cold_ns, warm_ns, speedup
+             \"cold_solve_ns\": {}, \"warm_solve_ns\": {}, \"speedup\": {:.2}, \
+             \"constraints_emitted\": {}, \"constraints_pruned\": {}, \
+             \"pruning_ratio\": {:.3}}}",
+            b.name,
+            n,
+            b.clock_period_ps,
+            cold_ns,
+            warm_ns,
+            speedup,
+            sparsity.constraints_emitted,
+            sparsity.pruned(),
+            sparsity.pruning_ratio()
         ));
     }
     group.finish();

@@ -156,6 +156,18 @@ fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(
         floor: floor_number(entry, "warm_speedup_geomean")?,
         actual: geomean(&speedups),
     });
+    // Eq. 2 sparsification: the densest design (crc32 — always in the
+    // quick subset) must keep pruning at least the floored fraction of the
+    // dense emission, i.e. a ratio of 0.5 is a 2x constraint-count cut.
+    let crc32 = designs
+        .iter()
+        .find(|d| d.text("name") == Some("crc32"))
+        .ok_or("solver doc lacks a crc32 design row")?;
+    checks.push(Check {
+        label: format!("solver[{mode}] crc32 LP pruning ratio"),
+        floor: floor_number(entry, "pruning_ratio_min")?,
+        actual: crc32.number("pruning_ratio").ok_or("crc32 row lacks `pruning_ratio`")?,
+    });
     // The bulk-retarget drain rows: batched vs the retained serial
     // reference, plus the structural attestation that batching batches
     // (never more Dijkstra passes than augmenting paths).

@@ -82,8 +82,8 @@ pub use isdc_sdc::DrainStats;
 pub use pipeline::{PipelineState, RunSeed, Stage, StageKind, StageProfile};
 pub use schedule::Schedule;
 pub use scheduler::{
-    schedule_with_matrix, schedule_with_options, IncrementalScheduler, ScheduleError,
-    ScheduleOptions,
+    schedule_with_matrix, schedule_with_matrix_dense, schedule_with_options, IncrementalScheduler,
+    ScheduleError, ScheduleOptions, SparsifyStats,
 };
 pub use session::{IsdcSession, SessionRun};
 pub use subgraph::{

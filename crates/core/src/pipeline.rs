@@ -30,7 +30,7 @@
 use crate::delay::{DelayMatrix, DirtySet};
 use crate::schedule::Schedule;
 use crate::scheduler::{
-    schedule_with_matrix, IncrementalScheduler, ScheduleError, ScheduleOptions,
+    schedule_with_matrix, IncrementalScheduler, ScheduleError, ScheduleOptions, SparsifyStats,
 };
 use crate::subgraph::{extract_subgraphs, Subgraph};
 use isdc_ir::{Graph, NodeId};
@@ -133,6 +133,10 @@ pub(crate) struct RunMetrics {
     drain_nodes_settled: Counter,
     drain_paths: Counter,
     drain_flow_pushed: Counter,
+    lp_pairs_scanned: Counter,
+    lp_constraints_emitted: Counter,
+    lp_dominance_pruned: Counter,
+    lp_bucket_deduped: Counter,
     /// Pipeline iterations completed (excluding the initial solve).
     pub(crate) iterations: Counter,
     /// Subgraphs sent to the oracle (post-dedupe), summed over iterations.
@@ -152,6 +156,10 @@ impl RunMetrics {
         let drain_nodes_settled = registry.counter("drain/nodes_settled");
         let drain_paths = registry.counter("drain/paths");
         let drain_flow_pushed = registry.counter("drain/flow_pushed");
+        let lp_pairs_scanned = registry.counter("lp/pairs_scanned");
+        let lp_constraints_emitted = registry.counter("lp/constraints_emitted");
+        let lp_dominance_pruned = registry.counter("lp/dominance_pruned");
+        let lp_bucket_deduped = registry.counter("lp/bucket_deduped");
         let iterations = registry.counter("run/iterations");
         let subgraphs_evaluated = registry.counter("run/subgraphs_evaluated");
         let solve_ns = registry.histogram("solve/ns");
@@ -163,6 +171,10 @@ impl RunMetrics {
             drain_nodes_settled,
             drain_paths,
             drain_flow_pushed,
+            lp_pairs_scanned,
+            lp_constraints_emitted,
+            lp_dominance_pruned,
+            lp_bucket_deduped,
             iterations,
             subgraphs_evaluated,
             solve_ns,
@@ -182,6 +194,13 @@ impl RunMetrics {
         self.drain_nodes_settled.add(drain.nodes_settled);
         self.drain_paths.add(drain.paths);
         self.drain_flow_pushed.add(drain.flow_pushed);
+    }
+
+    fn record_lp(&self, delta: SparsifyStats) {
+        self.lp_pairs_scanned.add(delta.pairs_scanned);
+        self.lp_constraints_emitted.add(delta.constraints_emitted);
+        self.lp_dominance_pruned.add(delta.dominance_pruned);
+        self.lp_bucket_deduped.add(delta.bucket_deduped);
     }
 
     fn stage_profile(&self, kind: StageKind) -> StageProfile {
@@ -276,6 +295,10 @@ pub struct PipelineState<'a, O: ?Sized> {
     initial_solve_time: Duration,
     initial_potentials: Option<Vec<i64>>,
     initial_engine: Option<IncrementalScheduler>,
+    /// The engine's cumulative [`SparsifyStats`] as of the last recording —
+    /// a session-carried engine arrives with prior runs' events already
+    /// counted, so the `lp/*` metrics record deltas against this snapshot.
+    lp_seen: SparsifyStats,
     metrics: RunMetrics,
 }
 
@@ -299,6 +322,11 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
         let delays = DelayMatrix::initialize(graph, &model.all_node_delays(graph));
         let options = ScheduleOptions { clock_period_ps: config.clock_period_ps, max_stages: None };
         let init_span = isdc_telemetry::span("initial_solve");
+        // A seeded engine's sparsify counters include previous runs; only
+        // what this run's retarget + build adds should hit this run's
+        // metrics.
+        let lp_base =
+            seed.engine.as_ref().map(IncrementalScheduler::sparsify_stats).unwrap_or_default();
         let solve_start = Instant::now();
         let mut engine = if config.incremental {
             Some(match seed.engine {
@@ -342,6 +370,8 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
         let metrics = RunMetrics::new();
         metrics.record_stage(StageKind::Solve, initial_solve_time);
         metrics.record_drain(solver_drain);
+        let lp_seen = engine.as_ref().map(IncrementalScheduler::sparsify_stats).unwrap_or_default();
+        metrics.record_lp(lp_seen.delta_since(&lp_base));
         Ok(Self {
             graph,
             config,
@@ -355,6 +385,7 @@ impl<'a, O: DelayOracle + ?Sized> PipelineState<'a, O> {
             initial_solve_time,
             initial_potentials,
             initial_engine,
+            lp_seen,
             metrics,
         })
     }
@@ -568,6 +599,9 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Solve {
                 state.schedule = engine.reschedule(state.graph, &state.delays, &dirty)?;
                 state.solver_warm = engine.last_solve_was_warm();
                 state.solver_drain = engine.last_drain_stats();
+                let lp_now = engine.sparsify_stats();
+                state.metrics.record_lp(lp_now.delta_since(&state.lp_seen));
+                state.lp_seen = lp_now;
             }
             None => {
                 state.schedule =

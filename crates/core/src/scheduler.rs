@@ -11,12 +11,39 @@
 //! - **objective** — total register bits: `sum_v width(v) * (last_use_v -
 //!   s_v)`, the metric Table I reports, linearized with one auxiliary
 //!   last-use variable per value and a sink variable for graph outputs.
+//!
+//! # LP sparsification
+//!
+//! Eq. 2 names a constraint for every delay-matrix pair — `O(n^2)` of them —
+//! but most are implied by others. Emission runs a per-source topological
+//! sweep ([`sweep_source`]) that tracks, for each node `w`, the tightest
+//! bound on `x_u - x_w` already provable from dependency 0-edges plus the
+//! timing constraints emitted so far for source `u`. A pair's own bound is
+//! emitted only when it is *strictly tighter* than that chain:
+//!
+//! - **dominance pruning** — if the chain through an intermediate already
+//!   proves a tighter bound, the pair's constraint is dropped;
+//! - **bucket representatives** — pairs sharing a source collapse into
+//!   `ceil(d/Tclk)` buckets along each chain: the first pair reaching a
+//!   bucket emits the representative constraint, later members of the same
+//!   bucket are deduplicated against it.
+//!
+//! Dropped pairs stay droppable only while their dominators hold, so the
+//! incremental engine re-runs the same sweep over dirty rows (or every row
+//! on a [`IncrementalScheduler::retarget`]) and *promotes* a former bucket
+//! member to its own constraint the moment the chain no longer covers it —
+//! see [`isdc_sdc::IncrementalSolver::add_constraint`]. The sparse and dense
+//! systems describe the same polyhedron, and `canonical_assignment` is a
+//! geometric property of that polyhedron, so schedules are bit-identical
+//! ([`schedule_with_matrix_dense`] retains the dense emission as the test
+//! reference).
 
 use crate::delay::{DelayMatrix, DirtySet};
 use crate::schedule::Schedule;
 use isdc_ir::{Graph, NodeId};
 use isdc_sdc::{DifferenceSystem, IncrementalSolver, SolveError, VarId};
 use isdc_techlib::Picos;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from schedule construction.
@@ -138,29 +165,103 @@ pub fn schedule_with_options(
     delays: &DelayMatrix,
     options: &ScheduleOptions,
 ) -> Result<Schedule, ScheduleError> {
-    let built = build_lp(graph, delays, options)?;
+    let built = build_lp(graph, delays, options, true)?;
     // Move the system into the solver instead of going through `minimize`,
-    // which would clone the O(n^2)-constraint system it is handed by ref.
+    // which would clone the system it is handed by ref.
     let solution = IncrementalSolver::new(built.sys, built.weights)
         .and_then(|mut solver| solver.solve())
         .map_err(|e| map_solve_error(e, options.max_stages))?;
     Ok(solution_to_schedule(graph, &solution.assignment))
 }
 
-/// Sentinel in the timing-pair index: no constraint emitted for this pair.
-const NO_CONSTRAINT: usize = usize::MAX;
+/// [`schedule_with_matrix`] through the *dense* Eq. 2 emission — one
+/// constraint per delay-matrix pair, no dominance pruning or bucket
+/// deduplication. The identity-test reference: sparse and dense systems
+/// bound the same polyhedron, so schedules must match bit for bit.
+#[doc(hidden)]
+pub fn schedule_with_matrix_dense(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    clock_period_ps: Picos,
+) -> Result<Schedule, ScheduleError> {
+    let options = ScheduleOptions { clock_period_ps, max_stages: None };
+    let built = build_lp(graph, delays, &options, false)?;
+    let solution = IncrementalSolver::new(built.sys, built.weights)
+        .and_then(|mut solver| solver.solve())
+        .map_err(|e| map_solve_error(e, None))?;
+    Ok(solution_to_schedule(graph, &solution.assignment))
+}
 
-/// Sentinel in the per-pair bound cache for bounds outside `i8` range (the
-/// cache then always falls through to the slow path for that pair).
-const BOUND_UNCACHED: i8 = i8::MIN;
+/// Counters of the sparsified Eq. 2 emission (see the module docs). On an
+/// [`IncrementalScheduler`] these accumulate across the initial build and
+/// every reconciliation sweep, so they export directly as monotone
+/// telemetry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SparsifyStats {
+    /// Delay-matrix pairs whose Eq. 2 bound was derived.
+    pub pairs_scanned: u64,
+    /// Pairs that emitted (or kept, on reconciliation) their own constraint.
+    pub constraints_emitted: u64,
+    /// Pairs dropped because a chain through an intermediate already proves
+    /// a *strictly tighter* bound.
+    pub dominance_pruned: u64,
+    /// Pairs dropped because an earlier pair of the same source already
+    /// carries the same `ceil(d/Tclk)` bucket's bound along the chain.
+    pub bucket_deduped: u64,
+}
 
-/// Compresses a timing bound into the pair cache's `i8` domain.
-fn cache_bound(bound: i64) -> i8 {
-    if bound > i64::from(i8::MIN) {
-        bound as i8
-    } else {
-        BOUND_UNCACHED
+impl SparsifyStats {
+    /// Constraints the dense emission would have added but the sweep
+    /// dropped.
+    pub fn pruned(&self) -> u64 {
+        self.dominance_pruned + self.bucket_deduped
     }
+
+    /// Constraints the dense Eq. 2 emission would have added.
+    pub fn dense_constraints(&self) -> u64 {
+        self.constraints_emitted + self.pruned()
+    }
+
+    /// Fraction of dense constraints dropped; `>= 0.5` means the LP shrank
+    /// by at least 2x.
+    pub fn pruning_ratio(&self) -> f64 {
+        let dense = self.dense_constraints();
+        if dense == 0 {
+            0.0
+        } else {
+            self.pruned() as f64 / dense as f64
+        }
+    }
+
+    /// The events since an `earlier` snapshot of the same cumulative
+    /// counters — what one reconciliation (or one run's share of a
+    /// session-carried engine) contributed.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &SparsifyStats) -> SparsifyStats {
+        SparsifyStats {
+            pairs_scanned: self.pairs_scanned.saturating_sub(earlier.pairs_scanned),
+            constraints_emitted: self
+                .constraints_emitted
+                .saturating_sub(earlier.constraints_emitted),
+            dominance_pruned: self.dominance_pruned.saturating_sub(earlier.dominance_pruned),
+            bucket_deduped: self.bucket_deduped.saturating_sub(earlier.bucket_deduped),
+        }
+    }
+}
+
+/// A timing constraint the LP actually carries for one (source, sink) pair.
+#[derive(Clone, Copy, Debug)]
+struct TimingArc {
+    /// Constraint id in the solver's difference system.
+    id: usize,
+    /// The bound currently written into the solver for this constraint.
+    bound: i64,
+    /// Whether the pair is currently a non-representative (its bound is
+    /// implied by the chain, and the solver's canonicalization edge for it
+    /// is pruned). Mirrors the solver-side flag; kept here because
+    /// [`isdc_sdc::IncrementalSolver::update_bound`] clears the solver's
+    /// flag on any bound change.
+    implied: bool,
 }
 
 /// The SDC LP plus the bookkeeping the incremental engine needs: which
@@ -168,34 +269,136 @@ fn cache_bound(bound: i64) -> i8 {
 struct BuiltLp {
     sys: DifferenceSystem,
     weights: Vec<i64>,
-    /// `u * n + v` -> timing constraint index, [`NO_CONSTRAINT`] if absent.
-    timing_ids: Vec<usize>,
-    /// `u * n + v` -> the currently-emitted bound (0 for pairs without a
-    /// constraint), compressed to `i8`. Dirty-pair and retarget scans
-    /// compare against this before touching the solver: the common case —
-    /// a delay dropped without leaving its `ceil(d/Tclk)` bucket — then
-    /// costs one byte-compare instead of two random lookups into
-    /// constraint storage.
-    bounds: Vec<i8>,
+    /// Per source `u`: sink index -> the emitted timing constraint. Sparse —
+    /// only pairs that ever emitted a constraint have entries, keyed by node
+    /// index in a `BTreeMap` so iteration (and thus constraint ids) stays
+    /// deterministic.
+    timing: Vec<BTreeMap<u32, TimingArc>>,
+    stats: SparsifyStats,
+    chain: ChainScratch,
 }
 
 /// Eq. 2's bound for a pair with critical-path delay `d`: split across
 /// `ceil(d / Tclk)` stages. Nonpositive whenever `d > Tclk`; pairs at or
 /// under the clock need no constraint (encoded as bound 0, which dependency
 /// transitivity already implies for connected pairs).
+///
+/// The stage count is the smallest `k` with `k * Tclk >= d`, found by
+/// floating the quotient and then walking to the exact boundary with
+/// correctly-rounded multiplications — a pair at exactly `k * Tclk` needs
+/// exactly `k` stages at every magnitude, where the historical
+/// `(d / Tclk - 1e-9).ceil()` drifted once one ulp of the quotient exceeded
+/// the fixed epsilon.
 fn timing_bound(d: Picos, clock_period_ps: Picos) -> i64 {
     if d <= clock_period_ps {
         return 0;
     }
-    let stages_needed = (d / clock_period_ps - 1e-9).ceil() as i64;
-    (-(stages_needed - 1)).min(0)
+    let mut stages = (d / clock_period_ps).floor() as i64;
+    if stages < 1 {
+        stages = 1;
+    }
+    while (stages as f64) * clock_period_ps < d {
+        stages += 1;
+    }
+    while stages > 1 && ((stages - 1) as f64) * clock_period_ps >= d {
+        stages -= 1;
+    }
+    -(stages - 1)
+}
+
+/// "No bound provable" sentinel in the dominance chain; large enough that
+/// any real bound wins a `min`, small enough that arithmetic cannot wrap.
+const UNREACHED: i64 = i64::MAX / 2;
+
+/// Per-sweep scratch for [`sweep_source`]: `bound[w]` is the tightest bound
+/// on `x_u - x_w` provable so far, valid only when `stamp[w]` carries the
+/// current sweep's version (version stamps make resets O(1) instead of
+/// O(n) per source).
+#[derive(Clone, Debug)]
+struct ChainScratch {
+    bound: Vec<i64>,
+    stamp: Vec<u64>,
+    version: u64,
+}
+
+impl ChainScratch {
+    fn new(n: usize) -> Self {
+        Self { bound: vec![0; n], stamp: vec![0; n], version: 0 }
+    }
+}
+
+/// The sparsifying emission sweep for one source `u` (see the module docs).
+///
+/// Walks sinks in node-id order — which is topological, operands always
+/// having smaller ids than their users — maintaining `chain[w]`, the
+/// tightest bound on `x_u - x_w` provable from dependency 0-edges plus the
+/// timing constraints *this sweep decided to emit*. For every pair with a
+/// delay entry, `on_pair(w, bound, emitted)` reports the pair's Eq. 2 bound
+/// and whether it needs its own constraint (`emitted` is true exactly when
+/// the bound is negative and strictly tighter than the chain). The diagonal
+/// is skipped: a node's fit in the period is the caller's feasibility
+/// check, not a difference constraint.
+///
+/// Soundness: every finite `chain[w]` is witnessed by a path of emitted
+/// source-`u` constraints and dependency edges, all of whose intermediates
+/// lie strictly between `u` and `w` in id order — so dropping a pair never
+/// weakens the system, and the chain never claims a bound tighter than the
+/// true path bound (delay entries exist exactly for operand-reachable
+/// pairs, and path delays dominate their prefixes).
+fn sweep_source(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    clock_period_ps: Picos,
+    u: NodeId,
+    chain: &mut ChainScratch,
+    stats: &mut SparsifyStats,
+    mut on_pair: impl FnMut(NodeId, i64, bool),
+) {
+    chain.version += 1;
+    let version = chain.version;
+    chain.stamp[u.index()] = version;
+    chain.bound[u.index()] = 0;
+    for w in graph.node_ids().skip(u.index() + 1) {
+        let mut incoming = UNREACHED;
+        for &p in &graph.node(w).operands {
+            if chain.stamp[p.index()] == version {
+                incoming = incoming.min(chain.bound[p.index()]);
+            }
+        }
+        let own = delays.get(u, w).map(|d| {
+            stats.pairs_scanned += 1;
+            timing_bound(d, clock_period_ps)
+        });
+        let mut best = incoming;
+        if let Some(own) = own {
+            let emitted = own < 0 && own < incoming;
+            if emitted {
+                stats.constraints_emitted += 1;
+                best = own;
+            } else if own < 0 {
+                if own == incoming {
+                    stats.bucket_deduped += 1;
+                } else {
+                    stats.dominance_pruned += 1;
+                }
+            }
+            on_pair(w, own, emitted);
+        }
+        if best != UNREACHED {
+            chain.stamp[w.index()] = version;
+            chain.bound[w.index()] = best;
+        }
+    }
 }
 
 /// Builds the full SDC LP of paper §II for the given delay matrix.
+/// `sparsify` selects the Eq. 2 emission: the dominance/bucket sweep, or
+/// the dense one-constraint-per-pair reference.
 fn build_lp(
     graph: &Graph,
     delays: &DelayMatrix,
     options: &ScheduleOptions,
+    sparsify: bool,
 ) -> Result<BuiltLp, ScheduleError> {
     let clock_period_ps = options.clock_period_ps;
     let n = graph.len();
@@ -219,8 +422,9 @@ fn build_lp(
     let sink = VarId(2 * n as u32);
     let mut sys = DifferenceSystem::new(2 * n + 1);
     let mut weights = vec![0i64; 2 * n + 1];
-    let mut timing_ids = vec![NO_CONSTRAINT; n * n];
-    let mut bounds = vec![0i8; n * n];
+    let mut timing: Vec<BTreeMap<u32, TimingArc>> = vec![BTreeMap::new(); n];
+    let mut stats = SparsifyStats::default();
+    let mut chain = ChainScratch::new(n);
 
     // Dependencies: x_p <= x_v.
     for (v, node) in graph.iter() {
@@ -230,13 +434,27 @@ fn build_lp(
     }
 
     // Timing (Eq. 2): pairs whose critical-path delay exceeds Tclk.
-    for u in graph.node_ids() {
-        for v in graph.node_ids() {
-            let Some(d) = delays.get(u, v) else { continue };
-            let bound = timing_bound(d, clock_period_ps);
-            if bound < 0 {
-                timing_ids[u.index() * n + v.index()] = sys.add_constraint(x(u), x(v), bound);
-                bounds[u.index() * n + v.index()] = cache_bound(bound);
+    if sparsify {
+        for u in graph.node_ids() {
+            let map = &mut timing[u.index()];
+            sweep_source(graph, delays, clock_period_ps, u, &mut chain, &mut stats, |w, b, e| {
+                if e {
+                    let id = sys.add_constraint(x(u), x(w), b);
+                    map.insert(w.0, TimingArc { id, bound: b, implied: false });
+                }
+            });
+        }
+    } else {
+        for u in graph.node_ids() {
+            for v in graph.node_ids() {
+                let Some(d) = delays.get(u, v) else { continue };
+                stats.pairs_scanned += 1;
+                let bound = timing_bound(d, clock_period_ps);
+                if bound < 0 {
+                    stats.constraints_emitted += 1;
+                    let id = sys.add_constraint(x(u), x(v), bound);
+                    timing[u.index()].insert(v.0, TimingArc { id, bound, implied: false });
+                }
             }
         }
     }
@@ -291,7 +509,68 @@ fn build_lp(
         weights[x(v).index()] -= w;
     }
 
-    Ok(BuiltLp { sys, weights, timing_ids, bounds })
+    Ok(BuiltLp { sys, weights, timing, stats, chain })
+}
+
+/// Re-runs the emission sweep for source `u` against the live solver,
+/// reconciling what the sweep wants with what the system carries:
+///
+/// - bound changes go through `update_bound` (relaxations stay warm,
+///   tightenings cold-fall on their own);
+/// - a pair that needs a constraint it never had is **promoted** via
+///   `add_constraint` (warm-safe under monotone feedback: the old optimum
+///   satisfied the chain bound that used to dominate the pair, which is at
+///   least as tight as the promoted bound);
+/// - a pair whose constraint the sweep no longer emits is **demoted**: the
+///   constraint stays in the system at its (implied) Eq. 2 bound, so the
+///   polyhedron is unchanged, but its canonicalization edge is pruned.
+///
+/// Demotions and restorations are batched into `implied` / `restored`; the
+/// caller applies them once after all sweeps.
+#[allow(clippy::too_many_arguments)]
+fn reconcile_source(
+    graph: &Graph,
+    delays: &DelayMatrix,
+    clock_period_ps: Picos,
+    u: NodeId,
+    solver: &mut IncrementalSolver,
+    map: &mut BTreeMap<u32, TimingArc>,
+    chain: &mut ChainScratch,
+    stats: &mut SparsifyStats,
+    implied: &mut Vec<usize>,
+    restored: &mut Vec<usize>,
+) {
+    sweep_source(graph, delays, clock_period_ps, u, chain, stats, |w, bound, emitted| {
+        match map.get_mut(&w.0) {
+            Some(arc) => {
+                let bound_changed = bound != arc.bound;
+                if bound_changed {
+                    solver.update_bound(arc.id, bound);
+                    arc.bound = bound;
+                }
+                // `update_bound` clears the solver-side implied flag on any
+                // change, so the solver agrees with `arc.implied` only when
+                // the bound did not move.
+                let solver_implied_now = arc.implied && !bound_changed;
+                if emitted {
+                    if solver_implied_now {
+                        restored.push(arc.id);
+                    }
+                    arc.implied = false;
+                } else {
+                    if !solver_implied_now {
+                        implied.push(arc.id);
+                    }
+                    arc.implied = true;
+                }
+            }
+            None if emitted => {
+                let id = solver.add_constraint(VarId(u.0), VarId(w.0), bound);
+                map.insert(w.0, TimingArc { id, bound, implied: false });
+            }
+            None => {}
+        }
+    });
 }
 
 fn map_solve_error(e: SolveError, max_stages: Option<u32>) -> ScheduleError {
@@ -324,32 +603,27 @@ fn solution_to_schedule(graph: &Graph, assignment: &[i64]) -> Schedule {
 
 /// A scheduler that persists the SDC LP across ISDC iterations.
 ///
-/// [`schedule_with_options`] rebuilds the difference system — all `O(n^2)`
-/// timing pairs included — and cold-solves it on every call. This engine
-/// builds the system once, then per iteration re-emits only the timing
-/// bounds of pairs in the delay matrix's [`DirtySet`] and re-solves through
-/// a warm-started [`IncrementalSolver`].
+/// [`schedule_with_options`] rebuilds the difference system and cold-solves
+/// it on every call. This engine builds the (sparsified) system once, then
+/// per iteration re-runs the emission sweep over only the delay matrix's
+/// dirty rows and re-solves through a warm-started [`IncrementalSolver`].
 ///
-/// Because Alg. 1 keeps delay updates monotonically non-increasing, those
-/// re-emitted bounds are relaxations, so the warm path applies; any
-/// non-monotone input (a pair that suddenly *needs* a constraint it never
-/// had, or a tightened bound) falls back to a from-scratch rebuild or cold
-/// solve. Either way the result is bit-identical to
+/// Because Alg. 1 keeps delay updates monotonically non-increasing, the
+/// re-emitted bounds are relaxations and promoted constraints are already
+/// satisfied by the old optimum, so the warm path applies end to end; any
+/// non-monotone input (a tightened bound, a promotion the old optimum
+/// violates) makes the solver fall back to its cold path on its own — there
+/// is no full-rebuild mode. Either way the result is bit-identical to
 /// [`schedule_with_options`] on the same matrix.
 #[derive(Clone, Debug)]
 pub struct IncrementalScheduler {
     options: ScheduleOptions,
-    n: usize,
     solver: IncrementalSolver,
-    timing_ids: Vec<usize>,
-    /// Currently-emitted bound per pair, `i8`-compressed (see
-    /// [`BuiltLp::bounds`]); the scans' fast reject.
-    bound_cache: Vec<i8>,
-    rebuilt: bool,
-    /// Set by [`IncrementalScheduler::retarget`] when the new period needs
-    /// timing constraints the system never emitted; the next
-    /// [`IncrementalScheduler::reschedule`] rebuilds before solving.
-    stale: bool,
+    /// Per source: sink index -> live timing constraint (see
+    /// [`BuiltLp::timing`]).
+    timing: Vec<BTreeMap<u32, TimingArc>>,
+    chain: ChainScratch,
+    stats: SparsifyStats,
 }
 
 impl IncrementalScheduler {
@@ -363,17 +637,15 @@ impl IncrementalScheduler {
         delays: &DelayMatrix,
         options: &ScheduleOptions,
     ) -> Result<Self, ScheduleError> {
-        let built = build_lp(graph, delays, options)?;
+        let built = build_lp(graph, delays, options, true)?;
         let solver = IncrementalSolver::new(built.sys, built.weights)
             .map_err(|e| map_solve_error(e, options.max_stages))?;
         Ok(Self {
             options: *options,
-            n: graph.len(),
             solver,
-            timing_ids: built.timing_ids,
-            bound_cache: built.bounds,
-            rebuilt: false,
-            stale: false,
+            timing: built.timing,
+            chain: built.chain,
+            stats: built.stats,
         })
     }
 
@@ -392,7 +664,6 @@ impl IncrementalScheduler {
         delays: &DelayMatrix,
         dirty: &DirtySet,
     ) -> Result<Schedule, ScheduleError> {
-        self.rebuilt = false;
         for v in graph.node_ids() {
             let d = delays.node_delay(v);
             if d > self.options.clock_period_ps {
@@ -403,72 +674,37 @@ impl IncrementalScheduler {
                 });
             }
         }
-        if self.stale {
-            // A retarget demanded constraints the system never emitted:
-            // rebuild below instead of patching bounds pair by pair.
-            self.rebuilt = true;
-        } else {
-            // The dirty set records every written entry as an exact pair,
-            // so only true writes are revisited (repeats are no-ops: the
-            // second visit sees the already-updated bound). The historical
-            // alternative — scanning the rows x cols product — re-derived
-            // bounds for quadratically many untouched pairs on
-            // window-shaped feedback.
-            let mut implied: Vec<usize> = Vec::new();
-            for (u, v) in dirty.pairs() {
-                let Some(d) = delays.get(u, v) else { continue };
-                let bound = timing_bound(d, self.options.clock_period_ps);
-                let at = u.index() * self.n + v.index();
-                let compressed = cache_bound(bound);
-                if compressed != BOUND_UNCACHED && compressed == self.bound_cache[at] {
-                    continue; // same ceil bucket as already emitted
-                }
-                let id = self.timing_ids[at];
-                if id != NO_CONSTRAINT {
-                    if bound != self.solver.bound(id) {
-                        // Relaxations stay warm; a tightened bound makes
-                        // the solver fall back to its cold path on its own.
-                        self.solver.update_bound(id, bound);
-                    }
-                    self.bound_cache[at] = compressed;
-                    if bound == 0 {
-                        // Relaxed all the way to "no split needed": the
-                        // constraint is now implied by dependency
-                        // transitivity (every timing pair is a connected
-                        // pair, and the operand-edge 0-bounds chain from u
-                        // to v), so its canonicalization edge can be
-                        // pruned.
-                        implied.push(id);
-                    }
-                } else if bound < 0 {
-                    // The pair never needed a timing constraint and now
-                    // does: a delay estimate *grew*, outside the monotone
-                    // contract. Rebuild the whole system from the matrix.
-                    self.rebuilt = true;
-                    break;
-                }
-            }
-            if !self.rebuilt {
-                self.solver.mark_implied(&implied);
-            }
+        // A sweep's decisions depend only on its source's delay row, so
+        // dirty *rows* are exactly the sweeps whose inputs changed; within
+        // a row the sweep re-derives every pair from the matrix, making
+        // repeated marks and row/col shapes equally cheap to honor.
+        let Self { options, solver, timing, chain, stats } = self;
+        let mut implied: Vec<usize> = Vec::new();
+        let mut restored: Vec<usize> = Vec::new();
+        for u in dirty.rows() {
+            reconcile_source(
+                graph,
+                delays,
+                options.clock_period_ps,
+                u,
+                solver,
+                &mut timing[u.index()],
+                chain,
+                stats,
+                &mut implied,
+                &mut restored,
+            );
         }
-        if self.rebuilt {
-            // One full rebuild covers both triggers (also clearing `stale`
-            // via the fresh engine); re-flag the cold signal `Self::new`
-            // resets.
-            *self = Self::new(graph, delays, &self.options)?;
-            self.rebuilt = true;
-        }
-        let solution =
-            self.solver.solve().map_err(|e| map_solve_error(e, self.options.max_stages))?;
+        solver.mark_implied(&implied);
+        solver.clear_implied(&restored);
+        let solution = solver.solve().map_err(|e| map_solve_error(e, options.max_stages))?;
         Ok(solution_to_schedule(graph, &solution.assignment))
     }
 
     /// Whether the most recent [`IncrementalScheduler::reschedule`] re-used
-    /// warm solver state end to end (false after any cold fallback or full
-    /// rebuild).
+    /// warm solver state end to end (false after any cold fallback).
     pub fn last_solve_was_warm(&self) -> bool {
-        !self.rebuilt && self.solver.last_solve_was_warm()
+        self.solver.last_solve_was_warm()
     }
 
     /// Drain counters of the most recent solve (see
@@ -477,6 +713,15 @@ impl IncrementalScheduler {
     /// retarget the batched drain keeps `dijkstras` far below `paths`.
     pub fn last_drain_stats(&self) -> isdc_sdc::DrainStats {
         self.solver.last_drain_stats()
+    }
+
+    /// Cumulative [`SparsifyStats`] — the initial build plus every
+    /// reconciliation sweep since. Monotone, so deltas export directly as
+    /// telemetry counters; right after [`IncrementalScheduler::new`] it is
+    /// exactly the build's composition (emitted + pruned = what the dense
+    /// LP would carry).
+    pub fn sparsify_stats(&self) -> SparsifyStats {
+        self.stats
     }
 
     /// Routes solves through the retained serial reference drain
@@ -495,58 +740,42 @@ impl IncrementalScheduler {
         self.solver.potentials()
     }
 
-    /// Re-targets the engine to a new clock period by re-emitting every
-    /// timing bound of `delays` (Eq. 2) at `clock_period_ps` — the
-    /// strongest cross-run reuse an [`IsdcSession`](crate::IsdcSession)
-    /// sweep has: the whole difference system, flow and potentials survive
-    /// the period change.
+    /// Re-targets the engine to a new clock period by re-running the
+    /// emission sweep for every source at `clock_period_ps` — the strongest
+    /// cross-run reuse an [`IsdcSession`](crate::IsdcSession) sweep has:
+    /// the whole difference system, flow and potentials survive the period
+    /// change.
     ///
     /// `delays` must be the matrix the engine's bounds currently encode
     /// (for a session, the naive matrix its initial solve ran against).
     /// Eq. 2's bound is monotone in the period, so moving to a *longer*
     /// period relaxes every bound and the next solve stays warm; a shorter
-    /// period tightens bounds (the next solve falls back cold) and may
-    /// demand constraints that were never emitted, which marks the engine
-    /// stale — the next [`IncrementalScheduler::reschedule`] rebuilds it
-    /// from scratch (after its usual feasibility check, so an infeasible
-    /// period surfaces as the ordinary error without consuming the
-    /// engine). Either way the subsequent schedule is bit-identical to a
-    /// fresh engine's.
+    /// period tightens bounds and promotes constraints the sweep used to
+    /// prune (new bucket representatives), either of which makes the next
+    /// solve fall back cold on its own. Either way the subsequent schedule
+    /// is bit-identical to a fresh engine's; an infeasible period surfaces
+    /// as [`IncrementalScheduler::reschedule`]'s usual feasibility error.
     pub fn retarget(&mut self, graph: &Graph, delays: &DelayMatrix, clock_period_ps: Picos) {
         self.options.clock_period_ps = clock_period_ps;
+        let Self { solver, timing, chain, stats, .. } = self;
         let mut implied: Vec<usize> = Vec::new();
-        'scan: for u in graph.node_ids() {
-            for v in graph.node_ids() {
-                let Some(d) = delays.get(u, v) else { continue };
-                let bound = timing_bound(d, clock_period_ps);
-                let at = u.index() * self.n + v.index();
-                let compressed = cache_bound(bound);
-                if compressed != BOUND_UNCACHED && compressed == self.bound_cache[at] {
-                    continue; // the new period lands in the same ceil bucket
-                }
-                let id = self.timing_ids[at];
-                if id != NO_CONSTRAINT {
-                    if bound != self.solver.bound(id) {
-                        self.solver.update_bound(id, bound);
-                    }
-                    self.bound_cache[at] = compressed;
-                    if bound == 0 {
-                        // Bound relaxed away entirely: implied by the
-                        // dependency chain from u to v (timing pairs are
-                        // connected pairs), so the canonicalization stops
-                        // paying for the tighter period's constraint
-                        // superset at this looser period.
-                        implied.push(id);
-                    }
-                } else if bound < 0 {
-                    self.stale = true;
-                    break 'scan;
-                }
-            }
+        let mut restored: Vec<usize> = Vec::new();
+        for u in graph.node_ids() {
+            reconcile_source(
+                graph,
+                delays,
+                clock_period_ps,
+                u,
+                solver,
+                &mut timing[u.index()],
+                chain,
+                stats,
+                &mut implied,
+                &mut restored,
+            );
         }
-        if !self.stale {
-            self.solver.mark_implied(&implied);
-        }
+        solver.mark_implied(&implied);
+        solver.clear_implied(&restored);
     }
 
     /// Seeds the engine's first solve from previously-exported potentials
@@ -575,6 +804,17 @@ mod tests {
         (g, [a, b, c, p, s])
     }
 
+    fn not_chain(len: usize) -> Graph {
+        let mut g = Graph::new("t");
+        let a = g.param("a", 8);
+        let mut prev = a;
+        for _ in 0..len {
+            prev = g.unary(OpKind::Not, prev).unwrap();
+        }
+        g.set_output(prev);
+        g
+    }
+
     #[test]
     fn everything_chains_when_timing_allows() {
         let (g, _) = mac_graph();
@@ -599,13 +839,7 @@ mod tests {
     fn long_paths_split_multiple_times() {
         // Chain of four 400ps ops at 1000ps: pairs chain (800), triples do
         // not (1200) — two ops per stage, two stages.
-        let mut g = Graph::new("t");
-        let a = g.param("a", 8);
-        let mut prev = a;
-        for _ in 0..4 {
-            prev = g.unary(OpKind::Not, prev).unwrap();
-        }
-        g.set_output(prev);
+        let g = not_chain(4);
         let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0]);
         let schedule = schedule_with_matrix(&g, &d, 1000.0).unwrap();
         assert_eq!(schedule.num_stages(), 2);
@@ -730,6 +964,112 @@ mod tests {
     }
 
     #[test]
+    fn timing_bound_is_exact_at_bucket_boundaries() {
+        // Exactly k*Tclk fits in k stages; one ulp past needs k+1.
+        assert_eq!(timing_bound(1000.0, 1000.0), 0);
+        assert_eq!(timing_bound(1999.999, 1000.0), -1);
+        assert_eq!(timing_bound(2000.0, 1000.0), -1);
+        assert_eq!(timing_bound(2000.0000001, 1000.0), -2);
+        assert_eq!(timing_bound(3000.0, 1000.0), -2);
+        // Fractional periods: 3 * 333.3 is not representable, but the
+        // comparison happens against the correctly-rounded product, so the
+        // bucket count is still the smallest k with fl(k * T) >= d.
+        let t = 333.3;
+        assert_eq!(timing_bound(3.0 * t, t), -2);
+        assert_eq!(timing_bound(3.0 * t + 0.001, t), -3);
+        // Large magnitudes, where the historical fixed 1e-9 epsilon fell
+        // below one ulp of the quotient and exact multiples drifted up a
+        // bucket.
+        let t = 1.0e12;
+        assert_eq!(timing_bound(3.0 * t, t), -2);
+        assert_eq!(timing_bound(3.0 * t + 1.0, t), -3);
+        assert_eq!(timing_bound(1000.0 * t, t), -999);
+    }
+
+    #[test]
+    fn timing_bound_is_monotone_near_boundaries() {
+        // The incremental engine's warm path relies on monotonicity: a
+        // smaller delay or longer period never tightens the bound.
+        let mut prev = 0;
+        for i in 0..4000 {
+            let d = f64::from(i);
+            let b = timing_bound(d, 100.0);
+            assert!(b <= prev, "bound tightened as delay shrank: {d}");
+            prev = b;
+            if d > 100.0 {
+                assert!(timing_bound(d, 100.5) >= b, "longer period tightened {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_buckets_collapse_to_representatives() {
+        // Five 400ps Nots at 900ps: along each source's chain the bound
+        // steps -1, -1, -2 — the repeated -1 dedupes against its bucket
+        // representative, so the sparse LP carries 6 of the dense 9.
+        let g = not_chain(5);
+        let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0, 400.0]);
+        let options = ScheduleOptions { clock_period_ps: 900.0, max_stages: None };
+        let engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
+        let stats = engine.sparsify_stats();
+        assert_eq!(stats.constraints_emitted, 6);
+        assert_eq!(stats.bucket_deduped, 3);
+        assert_eq!(stats.dominance_pruned, 0);
+        assert_eq!(stats.dense_constraints(), 9);
+        assert_eq!(
+            schedule_with_matrix(&g, &d, 900.0).unwrap(),
+            schedule_with_matrix_dense(&g, &d, 900.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn sparse_matches_dense_across_clocks_and_feedback() {
+        let (g, [_, _, _, p, s]) = mac_graph();
+        let mut d = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 700.0, 500.0]);
+        for clock in [1000.0, 1200.0, 700.1, 2500.0] {
+            assert_eq!(
+                schedule_with_matrix(&g, &d, clock).unwrap(),
+                schedule_with_matrix_dense(&g, &d, clock).unwrap(),
+                "sparse vs dense diverged at {clock}"
+            );
+        }
+        d.apply_subgraph_feedback(&[p, s], 900.0);
+        d.reformulate(&g);
+        assert_eq!(
+            schedule_with_matrix(&g, &d, 1000.0).unwrap(),
+            schedule_with_matrix_dense(&g, &d, 1000.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn retarget_promotes_new_bucket_representatives() {
+        // At 900ps the (u, u+1) pairs (800ps) need no constraint and the
+        // (u, u+3) pairs dedupe against (u, u+2)'s bucket; tightening to
+        // 700ps promotes pairs the sweep used to skip, and the promoted
+        // system must still match both fresh emissions bit for bit.
+        let g = not_chain(5);
+        let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0, 400.0]);
+        let options = ScheduleOptions { clock_period_ps: 900.0, max_stages: None };
+        let empty = crate::delay::DirtySet::new(g.len());
+        let mut engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
+        engine.reschedule(&g, &d, &empty).unwrap();
+        let before = engine.sparsify_stats();
+        engine.retarget(&g, &d, 700.0);
+        let got = engine.reschedule(&g, &d, &empty).unwrap();
+        assert_eq!(got, schedule_with_matrix(&g, &d, 700.0).unwrap());
+        assert_eq!(got, schedule_with_matrix_dense(&g, &d, 700.0).unwrap());
+        let after = engine.sparsify_stats();
+        assert!(
+            after.constraints_emitted > before.constraints_emitted,
+            "the tighter period must emit (promote) new representatives: {after:?}"
+        );
+        // And the promotions survive a round trip back to the build period.
+        engine.retarget(&g, &d, 900.0);
+        let back = engine.reschedule(&g, &d, &empty).unwrap();
+        assert_eq!(back, schedule_with_matrix(&g, &d, 900.0).unwrap());
+    }
+
+    #[test]
     fn incremental_scheduler_matches_from_scratch_across_relaxations() {
         // Chain of four 400ps ops at 1000ps, relaxed step by step; the
         // persistent engine must match a fresh solve bit-for-bit each time.
@@ -762,6 +1102,11 @@ mod tests {
             assert!(engine.last_solve_was_warm(), "relaxation at {feedback} must stay warm");
             let cold = schedule_with_matrix(&g, &d, 1000.0).unwrap();
             assert_eq!(warm, cold, "schedules diverged at feedback {feedback}");
+            assert_eq!(
+                warm,
+                schedule_with_matrix_dense(&g, &d, 1000.0).unwrap(),
+                "sparse diverged from dense at feedback {feedback}"
+            );
         }
     }
 
@@ -769,7 +1114,8 @@ mod tests {
     fn incremental_scheduler_rebuilds_on_non_monotone_delays() {
         // Build the engine against a fast matrix, then hand it a *slower*
         // one: a pair that never had a timing constraint now needs one, so
-        // the engine must rebuild cold — and still match from-scratch.
+        // the promotion violates the old optimum and the solve runs cold —
+        // and still matches from-scratch.
         let (g, _) = mac_graph();
         let fast = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 300.0]);
         let slow = DelayMatrix::initialize(&g, &[0.0, 0.0, 0.0, 400.0, 700.0]);
@@ -796,13 +1142,7 @@ mod tests {
         // potentials, seed a fresh engine at a looser clock (every timing
         // bound relaxes, so the old optimum stays feasible). The seeded
         // initial solve must be warm and bit-identical to a cold solve.
-        let mut g = Graph::new("t");
-        let a = g.param("a", 8);
-        let mut prev = a;
-        for _ in 0..4 {
-            prev = g.unary(OpKind::Not, prev).unwrap();
-        }
-        g.set_output(prev);
+        let g = not_chain(4);
         let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0]);
         let tight = ScheduleOptions { clock_period_ps: 1000.0, max_stages: None };
         let mut first = IncrementalScheduler::new(&g, &d, &tight).unwrap();
@@ -819,13 +1159,7 @@ mod tests {
 
     #[test]
     fn retargeting_periods_matches_fresh_engines_both_directions() {
-        let mut g = Graph::new("t");
-        let a = g.param("a", 8);
-        let mut prev = a;
-        for _ in 0..5 {
-            prev = g.unary(OpKind::Not, prev).unwrap();
-        }
-        g.set_output(prev);
+        let g = not_chain(5);
         let d = DelayMatrix::initialize(&g, &[0.0, 400.0, 400.0, 400.0, 400.0, 400.0]);
         let options = ScheduleOptions { clock_period_ps: 900.0, max_stages: None };
         let mut engine = IncrementalScheduler::new(&g, &d, &options).unwrap();
@@ -844,11 +1178,12 @@ mod tests {
         assert!(engine.last_solve_was_warm());
         assert_eq!(again, schedule_with_matrix(&g, &d, 2100.0).unwrap());
         // Descending below the build period: adjacent pairs (800ps) now
-        // need constraints that were never emitted at 900ps, so the engine
-        // goes stale and rebuilds — and still matches from-scratch.
+        // need constraints that were never emitted at 900ps; promoting them
+        // against the relaxed optimum (and tightening surviving bounds)
+        // drops the warm state — and still matches from-scratch.
         engine.retarget(&g, &d, 700.0);
         let tight = engine.reschedule(&g, &d, &empty).unwrap();
-        assert!(!engine.last_solve_was_warm(), "a stale rebuild cannot count as warm");
+        assert!(!engine.last_solve_was_warm(), "a tightening retarget cannot count as warm");
         assert_eq!(tight, schedule_with_matrix(&g, &d, 700.0).unwrap());
         assert_eq!(tight.num_stages(), 5, "one op per stage at 700ps");
         // Below the feasibility floor the retargeted engine reports the

@@ -29,7 +29,7 @@ use crate::mcf::{
     canonical_assignment, dot, ssp_drain, ssp_drain_serial, CanonGraph, DrainProfile, DrainStats,
     FlowNetwork, LpSolution, SolverScratch,
 };
-use crate::system::{DifferenceSystem, SolveError};
+use crate::system::{DifferenceSystem, SolveError, VarId};
 
 /// Persistent warm-solve state: the flow network, its potentials, any
 /// excess re-exposed by canceled flow on relaxed arcs, the
@@ -285,6 +285,64 @@ impl IncrementalSolver {
                 self.canon_stale = true;
             }
         }
+    }
+
+    /// Clears implication flags set by [`IncrementalSolver::mark_implied`],
+    /// restoring the constraints' primal canonicalization edges. Always
+    /// sound (the edges belong to real constraints of the system); used when
+    /// a constraint that was dominated stops being so — e.g. the sparsified
+    /// scheduler promotes a former bucket member back to representative
+    /// after the constraint that dominated it relaxed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn clear_implied(&mut self, ids: &[usize]) {
+        for &ci in ids {
+            assert!(ci < self.implied.len(), "constraint id {ci} out of range");
+            if self.implied[ci] {
+                self.implied[ci] = false;
+                self.canon_stale = true;
+            }
+        }
+    }
+
+    /// Appends a new constraint `x_u - x_v <= bound` to the system,
+    /// returning its id. The constraint set was historically frozen at
+    /// construction; sparsified emission needs late additions — a delay or
+    /// clock change can promote a pair that never had a constraint (its
+    /// bound used to be dominated by another pair's) into needing its own.
+    ///
+    /// Warm state survives the append exactly when the current optimum
+    /// `-pi` already satisfies the new bound: the new arc then carries zero
+    /// flow at nonnegative reduced cost, so dual feasibility is intact and
+    /// the next solve re-drains warm. (Monotone-feedback promotions always
+    /// pass this test: the promoted bound is implied-or-looser than the
+    /// chain the old optimum satisfied.) Otherwise the warm state is
+    /// dropped and the next solve runs cold — same contract as a
+    /// tightening through [`IncrementalSolver::update_bound`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_constraint(&mut self, u: VarId, v: VarId, bound: i64) -> usize {
+        let id = self.system.add_constraint(u, v, bound);
+        self.implied.push(false);
+        self.cached = None;
+        self.pending = true;
+        self.canon_stale = true;
+        if let Some(state) = &mut self.state {
+            // Arcs append in constraint order, so the `2 * id` arc-index
+            // mapping every warm structure relies on stays intact.
+            state.net.add_arc(u.index(), v.index(), bound);
+            if bound + state.pi[u.index()] - state.pi[v.index()] < 0 {
+                // The current optimum violates the new constraint: the
+                // fresh arc's reduced cost is negative, so the potentials
+                // are no longer dual-feasible.
+                self.state = None;
+            }
+        }
+        id
     }
 
     /// Changes a constraint's bound. A relaxation (`new_bound` larger) is
@@ -681,6 +739,90 @@ mod tests {
         solver.mark_implied(&[direct]);
         let got = solver.solve().unwrap();
         assert_eq!(got, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn satisfied_late_constraint_keeps_warm_state() {
+        // Append a constraint the current optimum already satisfies: the
+        // solver must stay warm and still match a from-scratch minimize of
+        // the extended system.
+        let (sys, weights, _) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        let before = solver.solve().unwrap();
+        let x = &before.assignment;
+        // A bound one looser than what the optimum already achieves.
+        let (u, v) = (VarId(0), VarId(3));
+        let slack_bound = x[0] - x[3] + 1;
+        let id = solver.add_constraint(u, v, slack_bound);
+        let warm = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm(), "a satisfied append must not drop warm state");
+        let mut reference = sys;
+        assert_eq!(reference.add_constraint(u, v, slack_bound), id);
+        assert_eq!(warm, minimize(&reference, &weights).unwrap());
+        // The new constraint behaves like any other from here on.
+        solver.update_bound(id, slack_bound + 1);
+        reference.set_bound(id, slack_bound + 1);
+        let again = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm());
+        assert_eq!(again, minimize(&reference, &weights).unwrap());
+    }
+
+    #[test]
+    fn violated_late_constraint_falls_back_cold() {
+        let (sys, weights, _) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        let before = solver.solve().unwrap();
+        let x = &before.assignment;
+        // A bound strictly tighter than the current optimum: the old
+        // potentials cannot be dual-feasible for the extended system.
+        let (u, v) = (VarId(1), VarId(4));
+        let tight_bound = x[1] - x[4] - 1;
+        solver.add_constraint(u, v, tight_bound);
+        let sol = solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm(), "a violated append must run cold");
+        let mut reference = sys;
+        reference.add_constraint(u, v, tight_bound);
+        assert_eq!(sol, minimize(&reference, &weights).unwrap());
+    }
+
+    #[test]
+    fn add_constraint_before_first_solve_just_extends_the_system() {
+        let (mut sys, weights, _) = chain_system();
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.add_constraint(VarId(0), VarId(4), -4);
+        sys.add_constraint(VarId(0), VarId(4), -4);
+        let sol = solver.solve().unwrap();
+        assert!(!solver.last_solve_was_warm());
+        assert_eq!(sol, minimize(&sys, &weights).unwrap());
+    }
+
+    #[test]
+    fn clear_implied_restores_the_canonical_edge() {
+        // Mark a constraint implied while it genuinely is, then relax the
+        // constraint that dominated it and clear the flag: every solve must
+        // stay bit-identical to a from-scratch minimize.
+        let mut sys = DifferenceSystem::new(3);
+        sys.add_constraint(VarId(0), VarId(1), 0);
+        sys.add_constraint(VarId(1), VarId(2), 0);
+        let dominator = sys.add_constraint(VarId(0), VarId(1), -2);
+        let member = sys.add_constraint(VarId(0), VarId(2), -2);
+        let weights = vec![-1, 0, 1];
+        let mut solver = IncrementalSolver::new(sys.clone(), weights.clone()).unwrap();
+        solver.solve().unwrap();
+        // `member` is implied: dominator (-2) plus the 1->2 zero-edge.
+        solver.mark_implied(&[member]);
+        let pruned = solver.solve().unwrap();
+        assert_eq!(pruned, minimize(&sys, &weights).unwrap());
+        // Relax the dominator: `member` must become a real constraint again.
+        solver.update_bound(dominator, 0);
+        sys.set_bound(dominator, 0);
+        solver.clear_implied(&[member]);
+        let restored = solver.solve().unwrap();
+        assert!(solver.last_solve_was_warm(), "the relaxation path stays warm");
+        assert_eq!(restored, minimize(&sys, &weights).unwrap());
+        // Clearing an unset flag is a no-op.
+        solver.clear_implied(&[member]);
+        assert_eq!(solver.solve().unwrap(), restored);
     }
 
     #[test]

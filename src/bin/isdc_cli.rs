@@ -249,7 +249,8 @@ fn sum_counters(
 }
 
 /// The `--profile` table: per-stage wall clock, share of the profiled
-/// total, stage invocations, then drain and cache summary lines.
+/// total, stage invocations, then drain, LP-sparsification and cache
+/// summary lines.
 fn print_profile(frames: &[&isdc::telemetry::MetricsFrame]) {
     use isdc::core::StageKind;
     let sums = sum_counters(frames);
@@ -276,6 +277,17 @@ fn print_profile(frames: &[&isdc::telemetry::MetricsFrame]) {
         get("drain/nodes_settled"),
         get("drain/flow_pushed")
     );
+    let (emitted, pruned) =
+        (get("lp/constraints_emitted"), get("lp/dominance_pruned") + get("lp/bucket_deduped"));
+    if emitted + pruned > 0 {
+        println!(
+            "  lp: {} pairs scanned, {emitted} constraints emitted, {pruned} pruned ({} dominance + {} bucket, {:.1}%)",
+            get("lp/pairs_scanned"),
+            get("lp/dominance_pruned"),
+            get("lp/bucket_deduped"),
+            pruned as f64 * 100.0 / (emitted + pruned) as f64
+        );
+    }
     let (hits, misses) = (get("cache/hits"), get("cache/misses"));
     if hits + misses > 0 {
         println!(

@@ -6,8 +6,8 @@
 
 use isdc::benchsuite::{random_dag, RandomDagConfig};
 use isdc::core::{
-    run_isdc, schedule_with_matrix, DelayMatrix, DirtySet, IncrementalScheduler, IsdcConfig,
-    ScheduleOptions,
+    run_isdc, schedule_with_matrix, schedule_with_matrix_dense, DelayMatrix, DirtySet,
+    IncrementalScheduler, IsdcConfig, ScheduleOptions,
 };
 use isdc::ir::NodeId;
 use isdc::synth::{OpDelayModel, SynthesisOracle};
@@ -81,6 +81,10 @@ proptest! {
             prop_assert_eq!(&inc, &full, "matrix diverged at step {}", i);
             let warm = engine.reschedule(&g, &inc, &dirty).unwrap();
             prop_assert_eq!(&warm, &cold, "schedule diverged at step {}", i);
+            // And the sparse emission (both fresh paths above) against the
+            // dense one-constraint-per-pair reference.
+            let dense = schedule_with_matrix_dense(&g, &full, CLOCK).unwrap();
+            prop_assert_eq!(&warm, &dense, "sparse diverged from dense at step {}", i);
         }
     }
 }

@@ -1,0 +1,105 @@
+//! LP sparsification identity: the dominance-pruned, bucket-deduped Eq. 2
+//! emission is a pure constraint-count optimization. Sparse and dense
+//! systems bound the same polyhedron, so `canonical_assignment` must land
+//! on the same optimal point — across the full Table I benchsuite, every
+//! `retarget` path, and randomized clock ladders on random DAGs.
+
+use isdc::benchsuite::{random_dag, RandomDagConfig};
+use isdc::core::{
+    schedule_with_matrix, schedule_with_matrix_dense, DelayMatrix, DirtySet, IncrementalScheduler,
+    ScheduleOptions,
+};
+use isdc::synth::OpDelayModel;
+use isdc::techlib::TechLibrary;
+use proptest::prelude::*;
+
+/// Every bundled design at its own clock: fresh sparse emission vs the
+/// dense one-constraint-per-pair reference, bit for bit.
+#[test]
+fn suite_sparse_matches_dense_at_design_clocks() {
+    let model = OpDelayModel::new(TechLibrary::sky130());
+    for b in isdc::benchsuite::suite() {
+        let d = DelayMatrix::initialize(&b.graph, &model.all_node_delays(&b.graph));
+        let sparse = schedule_with_matrix(&b.graph, &d, b.clock_period_ps).unwrap();
+        let dense = schedule_with_matrix_dense(&b.graph, &d, b.clock_period_ps).unwrap();
+        assert_eq!(sparse, dense, "{}: sparse vs dense diverged", b.name);
+    }
+}
+
+/// Every bundled design through a retarget ladder that relaxes, revisits
+/// and tightens the period: after each step the persistent (promoting /
+/// demoting) engine must match a fresh dense solve — including identical
+/// errors where the period is infeasible.
+#[test]
+fn suite_retargets_match_dense_every_step() {
+    let model = OpDelayModel::new(TechLibrary::sky130());
+    for b in isdc::benchsuite::suite() {
+        let d = DelayMatrix::initialize(&b.graph, &model.all_node_delays(&b.graph));
+        let options = ScheduleOptions { clock_period_ps: b.clock_period_ps, max_stages: None };
+        let empty = DirtySet::new(b.graph.len());
+        let mut engine = IncrementalScheduler::new(&b.graph, &d, &options).unwrap();
+        engine.reschedule(&b.graph, &d, &empty).unwrap();
+        for scale in [1.3, 2.0, 1.0, 0.85, 1.15] {
+            let clock = b.clock_period_ps * scale;
+            engine.retarget(&b.graph, &d, clock);
+            let got = engine.reschedule(&b.graph, &d, &empty);
+            let dense = schedule_with_matrix_dense(&b.graph, &d, clock);
+            assert_eq!(got, dense, "{}: diverged after retarget to {clock}ps", b.name);
+        }
+    }
+}
+
+/// The tentpole's measurable bar: crc32's Eq. 2 constraint count drops by
+/// at least 2x (the dense LP carries ~78k).
+#[test]
+fn crc32_constraint_count_is_at_least_halved() {
+    let model = OpDelayModel::new(TechLibrary::sky130());
+    let b = isdc::benchsuite::suite()
+        .into_iter()
+        .find(|b| b.name == "crc32")
+        .expect("crc32 in the suite");
+    let d = DelayMatrix::initialize(&b.graph, &model.all_node_delays(&b.graph));
+    let options = ScheduleOptions { clock_period_ps: b.clock_period_ps, max_stages: None };
+    let engine = IncrementalScheduler::new(&b.graph, &d, &options).unwrap();
+    let stats = engine.sparsify_stats();
+    assert!(
+        stats.dense_constraints() > 70_000,
+        "crc32's dense Eq. 2 emission should be ~78k constraints: {stats:?}"
+    );
+    assert!(
+        stats.pruning_ratio() >= 0.5,
+        "sparsification must cut the constraint count at least 2x: {stats:?}"
+    );
+    assert_eq!(stats.dense_constraints(), stats.constraints_emitted + stats.pruned());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs through randomized clock ladders (relaxing *and*
+    /// tightening): the engine's promote-on-retarget path must stay
+    /// bit-identical to the dense reference at every step.
+    #[test]
+    fn random_dag_retarget_ladders_match_dense(
+        (num_ops, num_params, seed) in (8usize..32, 2usize..5, any::<u64>()),
+        scales in prop::collection::vec(0.5f64..2.5, 1..6),
+    ) {
+        let config =
+            RandomDagConfig { num_ops, num_params, widths: vec![4, 8], with_muls: false };
+        let g = random_dag(&config, seed);
+        let model = OpDelayModel::new(TechLibrary::sky130());
+        let d = DelayMatrix::initialize(&g, &model.all_node_delays(&g));
+        let base = 2500.0;
+        let options = ScheduleOptions { clock_period_ps: base, max_stages: None };
+        let empty = DirtySet::new(g.len());
+        let mut engine = IncrementalScheduler::new(&g, &d, &options).expect("schedulable");
+        engine.reschedule(&g, &d, &empty).unwrap();
+        for &scale in &scales {
+            let clock = base * scale;
+            engine.retarget(&g, &d, clock);
+            let got = engine.reschedule(&g, &d, &empty);
+            let dense = schedule_with_matrix_dense(&g, &d, clock);
+            prop_assert_eq!(got, dense, "diverged at {}ps", clock);
+        }
+    }
+}
