@@ -199,6 +199,10 @@ pub struct JobError {
     pub message: String,
     /// Retries this shard spent before giving up.
     pub retries: u32,
+    /// The failing worker's flight-recorder tail, snapshotted right after
+    /// the final attempt: the last events (spans, notes, the `fault`
+    /// marker naming an injected site) before death, oldest first.
+    pub flight: Vec<isdc_telemetry::FlightEvent>,
 }
 
 impl fmt::Display for JobError {
@@ -507,6 +511,9 @@ fn run_shard_isolated<O: DelayOracle + ?Sized>(
                 kind,
                 message,
                 retries,
+                // Snapshot this worker's tail now, while it still shows
+                // the failing shard (rings are bounded and shared).
+                flight: isdc_telemetry::flight_tail_current(),
             });
         }
         retries += 1;
@@ -586,11 +593,11 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
             let (next, stop, job_failed, shards, slots) =
                 (&next, &stop, &job_failed, &shards, &slots);
             scope.spawn(move || {
-                if isdc_telemetry::enabled() {
-                    // Each worker gets its own named trace track, so the
-                    // Perfetto view shows one lane per pool thread.
-                    isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
-                }
+                // Each worker gets its own named track unconditionally:
+                // the Perfetto view shows one lane per pool thread when
+                // tracing is on, and the always-on flight recorder keeps a
+                // per-worker tail (attached to `JobError`s) even when off.
+                isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
                 loop {
                     if stop.load(Ordering::Relaxed) {
                         break;

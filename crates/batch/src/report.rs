@@ -29,6 +29,10 @@ pub struct BatchBenchDoc<'a> {
     /// `std::thread::available_parallelism()` on the measuring machine —
     /// scaling numbers are meaningless without it.
     pub hardware_threads: usize,
+    /// How many times each timed configuration was run; the document's
+    /// wall-clock numbers are the median run (`--repeat N`), so the gate's
+    /// floors are evaluated on medians rather than single noisy samples.
+    pub repeats: usize,
     /// Wall-clock of the serial session sweep baseline
     /// ([`crate::serial_reference`]), when measured — the bench always
     /// measures it; a lone CLI batch run has nothing to compare against and
@@ -63,6 +67,7 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
         doc.report.total_points()
     );
     let _ = writeln!(out, "  \"hardware_threads\": {},", doc.hardware_threads);
+    let _ = writeln!(out, "  \"repeats\": {},", doc.repeats);
     let _ = writeln!(out, "  \"bit_identical\": {},", doc.bit_identical);
     // Robustness attestation: both zero on a clean run (the bench gate
     // asserts it — a benchmark that survived only via retries, or dropped
@@ -234,6 +239,7 @@ mod tests {
             designs: 1,
             report: &report,
             hardware_threads: 4,
+            repeats: 1,
             serial_total: Some(Duration::from_nanos(2000)),
             cold_total: Some(Duration::from_nanos(8000)),
             scaling: &[
@@ -246,6 +252,7 @@ mod tests {
         for needle in [
             "\"bench\": \"batch\"",
             "\"hardware_threads\": 4",
+            "\"repeats\": 1",
             "\"bit_identical\": true",
             "\"jobs_failed\": 0, \"jobs_retried\": 0",
             "\"status\": \"ok\", \"retries\": 0",

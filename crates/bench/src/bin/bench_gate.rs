@@ -108,6 +108,9 @@ fn parse_value(p: &mut Parser<'_>) -> Result<Value, String> {
 
 /// One floor violation (or pass) line.
 struct Check {
+    /// Which `BENCH_*.json` the check came from — on failure, that
+    /// document is diffed against its `.baseline.json` for attribution.
+    bench: &'static str,
     label: String,
     floor: f64,
     actual: f64,
@@ -117,6 +120,52 @@ impl Check {
     fn ok(&self) -> bool {
         self.actual >= self.floor
     }
+}
+
+/// Flattens a document into the `path -> number` map
+/// [`isdc_telemetry::attribute`] diffs. Array elements that are objects
+/// with a `"name"` field use the name (not the index) as their path
+/// segment, so per-design rows stay aligned across reordered documents.
+fn flatten(value: &Value, path: &str, out: &mut BTreeMap<String, f64>) {
+    let join = |segment: &str| {
+        if path.is_empty() {
+            segment.to_string()
+        } else {
+            format!("{path}/{segment}")
+        }
+    };
+    match value {
+        Value::Number(x) => {
+            out.insert(path.to_string(), *x);
+        }
+        Value::Object(map) => {
+            for (key, child) in map {
+                flatten(child, &join(key), out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let segment = match item.text("name") {
+                    Some(name) => name.to_string(),
+                    None => i.to_string(),
+                };
+                flatten(item, &join(&segment), out);
+            }
+        }
+        Value::Bool(_) | Value::Text(_) => {}
+    }
+}
+
+/// The ranked regression attribution printed when a floor goes red:
+/// which metrics moved between the baseline and current document, by
+/// contribution to the wall-clock delta.
+fn attribution_report(baseline: &Value, current: &Value) -> String {
+    let mut old = BTreeMap::new();
+    let mut new = BTreeMap::new();
+    flatten(baseline, "", &mut old);
+    flatten(current, "", &mut new);
+    let (total, rows) = isdc_telemetry::attribute(&old, &new);
+    isdc_telemetry::render_attribution(total, &rows, 15)
 }
 
 fn geomean(values: &[f64]) -> f64 {
@@ -147,11 +196,13 @@ fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(
         return Err("solver doc has no per-design speedups".into());
     }
     checks.push(Check {
+        bench: "solver",
         label: format!("solver[{mode}] min warm speedup"),
         floor: floor_number(entry, "warm_speedup_min")?,
         actual: speedups.iter().copied().fold(f64::INFINITY, f64::min),
     });
     checks.push(Check {
+        bench: "solver",
         label: format!("solver[{mode}] geomean warm speedup"),
         floor: floor_number(entry, "warm_speedup_geomean")?,
         actual: geomean(&speedups),
@@ -164,6 +215,7 @@ fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(
         .find(|d| d.text("name") == Some("crc32"))
         .ok_or("solver doc lacks a crc32 design row")?;
     checks.push(Check {
+        bench: "solver",
         label: format!("solver[{mode}] crc32 LP pruning ratio"),
         floor: floor_number(entry, "pruning_ratio_min")?,
         actual: crc32.number("pruning_ratio").ok_or("crc32 row lacks `pruning_ratio`")?,
@@ -177,6 +229,7 @@ fn gate_solver(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<(
         return Err("solver doc has no drain speedups".into());
     }
     checks.push(Check {
+        bench: "solver",
         label: format!("solver[{mode}] min drain speedup (batched vs serial)"),
         floor: floor_number(entry, "drain_speedup_min")?,
         actual: drain_speedups.iter().copied().fold(f64::INFINITY, f64::min),
@@ -197,6 +250,7 @@ fn gate_cache(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
     let entry = floors_for(floors, "cache", mode)?;
     for key in ["warm_speedup_vs_uncached", "warm_speedup_vs_cold"] {
         checks.push(Check {
+            bench: "cache",
             label: format!("cache[{mode}] {key}"),
             floor: floor_number(entry, key)?,
             actual: doc.number(key).ok_or_else(|| format!("cache doc lacks `{key}`"))?,
@@ -210,6 +264,7 @@ fn gate_sweep(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
     let entry = floors_for(floors, "sweep", mode)?;
     for key in ["speedup_vs_cold", "speedup_vs_independent"] {
         checks.push(Check {
+            bench: "sweep",
             label: format!("sweep[{mode}] {key}"),
             floor: floor_number(entry, key)?,
             actual: doc.number(key).ok_or_else(|| format!("sweep doc lacks `{key}`"))?,
@@ -261,6 +316,7 @@ fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
         .and_then(|rows| rows.iter().find(|r| r.number("threads") == Some(max_threads)).cloned())
         .ok_or("batch doc lacks the max-threads scaling row")?;
     checks.push(Check {
+        bench: "batch",
         label: format!("batch[{mode}] speedup vs cold @ {max_threads} threads"),
         floor: floor_number(entry, "vs_cold_at_max_threads")?,
         actual: best.number("speedup_vs_cold").ok_or("batch scaling row lacks speedup_vs_cold")?,
@@ -272,6 +328,7 @@ fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
     let floor = floor_number(entry, "vs_serial_abs_floor")?
         .max(floor_number(entry, "vs_serial_per_expected_thread")? * expected_threads);
     checks.push(Check {
+        bench: "batch",
         label: format!(
             "batch[{mode}] speedup vs serial @ {max_threads} threads ({hardware} hw threads)"
         ),
@@ -330,6 +387,8 @@ fn main() -> ExitCode {
     ];
     let mut checks: Vec<Check> = Vec::new();
     let mut failures = 0usize;
+    let mut loaded: Vec<(&'static str, Value)> = Vec::new();
+    let mut red: Vec<&'static str> = Vec::new();
     for (name, gate) in benches {
         let path = dir.join(format!("BENCH_{name}.json"));
         if !path.exists() {
@@ -352,7 +411,9 @@ fn main() -> ExitCode {
                 if let Err(e) = gate(&doc, &floors, &mut checks) {
                     eprintln!("FAIL  {name}: {e}");
                     failures += 1;
+                    red.push(name);
                 }
+                loaded.push((name, doc));
             }
             Err(e) => {
                 eprintln!("FAIL  {name}: {e}");
@@ -366,6 +427,27 @@ fn main() -> ExitCode {
         } else {
             eprintln!("FAIL  {} = {:.2} below floor {:.2}", check.label, check.actual, check.floor);
             failures += 1;
+            red.push(check.bench);
+        }
+    }
+    // Regression attribution: every red bench whose baseline artifact is
+    // checked in (`BENCH_<name>.baseline.json`, e.g. copied from the last
+    // green run) gets its metric deltas ranked by wall-clock impact.
+    red.sort_unstable();
+    red.dedup();
+    for bench in red {
+        let Some((_, doc)) = loaded.iter().find(|(n, _)| *n == bench) else { continue };
+        let baseline_path = dir.join(format!("BENCH_{bench}.baseline.json"));
+        if !baseline_path.exists() {
+            eprintln!("note  {bench}: no {} to attribute against", baseline_path.display());
+            continue;
+        }
+        match load(&baseline_path) {
+            Ok(baseline) => {
+                eprintln!("{bench}: regression vs {}:", baseline_path.display());
+                eprint!("{}", attribution_report(&baseline, doc));
+            }
+            Err(e) => eprintln!("note  {bench}: {e}"),
         }
     }
     if failures > 0 {
@@ -374,5 +456,61 @@ fn main() -> ExitCode {
     } else {
         println!("bench_gate: all {} checks passed", checks.len());
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal-but-valid solver document for `gate_solver`.
+    fn doc(warm_ns: f64, speedup: f64) -> Value {
+        Value::parse(&format!(
+            r#"{{"mode": "quick",
+                 "designs": [
+                   {{"name": "crc32", "speedup": {speedup}, "pruning_ratio": 0.9,
+                     "warm_ns": {warm_ns}}},
+                   {{"name": "sha256", "speedup": 3.0, "warm_ns": 1000.0}}
+                 ],
+                 "drain": [{{"n": 64, "speedup": 2.0, "dijkstras_batched": 3, "paths": 9}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn flatten_keys_arrays_by_row_name() {
+        let mut flat = BTreeMap::new();
+        flatten(&doc(500.0, 4.0), "", &mut flat);
+        assert_eq!(flat.get("designs/crc32/warm_ns"), Some(&500.0));
+        assert_eq!(flat.get("designs/sha256/speedup"), Some(&3.0));
+        assert_eq!(flat.get("drain/0/paths"), Some(&9.0), "unnamed rows fall back to indices");
+    }
+
+    #[test]
+    fn deliberately_failed_floor_prints_ranked_attribution() {
+        let floors = Value::parse(
+            r#"{"solver": {"quick": {
+                "warm_speedup_min": 1000.0,
+                "warm_speedup_geomean": 1000.0,
+                "pruning_ratio_min": 0.5,
+                "drain_speedup_min": 1.0}}}"#,
+        )
+        .unwrap();
+        let current = doc(50_000.0, 4.0);
+        let mut checks = Vec::new();
+        gate_solver(&current, &floors, &mut checks).expect("structurally valid doc");
+        let red: Vec<&Check> = checks.iter().filter(|c| !c.ok()).collect();
+        assert!(!red.is_empty(), "the 1000x floor must fail");
+        assert!(red.iter().all(|c| c.bench == "solver"));
+
+        // The attribution the gate prints for that red bench: crc32's
+        // warm solve time grew 100x and must rank first, with its share
+        // of the wall-clock delta.
+        let baseline = doc(500.0, 40.0);
+        let report = attribution_report(&baseline, &current);
+        assert!(report.starts_with("attribution: total wall-clock delta"), "{report}");
+        let first_row = report.lines().nth(1).expect("at least one ranked row");
+        assert!(first_row.trim_start().starts_with("designs/crc32/warm_ns"), "{report}");
+        assert!(first_row.contains("of delta"), "{report}");
     }
 }

@@ -438,6 +438,10 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
             MetricValue::Counter(final_stats.inserts - run_stats_start.inserts),
         );
     }
+    let total_time = start.elapsed();
+    // Run reports use this as the wall-clock denominator (stage times
+    // exclude snapshotting and convergence bookkeeping).
+    metrics_frame.insert("run/total_ns", MetricValue::Counter(total_time.as_nanos() as u64));
     Ok(PipelineOutcome {
         result: IsdcResult {
             schedule: state.schedule().clone(),
@@ -446,7 +450,7 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
             cache_stats: cache.map(|c| c.stats()),
             stage_profile,
             metrics: metrics_frame,
-            total_time: start.elapsed(),
+            total_time,
         },
         initial_potentials,
         initial_engine,

@@ -32,11 +32,21 @@ fn push_str_value(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Allocating form of [`escape_json`], shared with the flight recorder's
+/// and run report's line renderers.
+pub(crate) fn escaped(s: &str) -> String {
+    let mut out = String::new();
+    escape_json(s, &mut out);
+    out
+}
+
 fn push_arg_value(out: &mut String, v: &ArgValue) {
     match v {
         ArgValue::U64(n) => out.push_str(&n.to_string()),
         ArgValue::I64(n) => out.push_str(&n.to_string()),
-        ArgValue::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        // Debug formatting keeps a trailing `.0` on integral floats so a
+        // re-read classifies them as floats again (still valid JSON).
+        ArgValue::F64(x) if x.is_finite() => out.push_str(&format!("{x:?}")),
         ArgValue::F64(_) => out.push_str("null"),
         ArgValue::Str(s) => push_str_value(out, s),
     }
@@ -131,8 +141,40 @@ pub fn render_chrome_trace(trace: &Trace) -> String {
     out
 }
 
-/// An event re-read from a JSONL trace file (names owned, arguments
-/// dropped — the checker only needs structure and timing).
+/// An argument value re-read from a JSONL trace file. JSON numbers do
+/// not carry their Rust source type, so integers are normalized: a
+/// number that fits `u64` parses as [`OwnedArg::U64`], a negative
+/// integer as [`OwnedArg::I64`], anything else as [`OwnedArg::F64`].
+/// Non-finite floats render as `null` and re-read as [`OwnedArg::Null`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedArg {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Fractional, exponent-form, or out-of-integer-range number.
+    F64(f64),
+    /// String argument.
+    Str(String),
+    /// JSON `null` (a non-finite float was rendered).
+    Null,
+}
+
+impl OwnedArg {
+    /// Classifies a JSON number from its raw text, mirroring how
+    /// [`render_jsonl`] prints the typed [`ArgValue`]s.
+    fn classify(raw: &str, value: f64) -> OwnedArg {
+        if let Ok(n) = raw.parse::<u64>() {
+            OwnedArg::U64(n)
+        } else if let Ok(n) = raw.parse::<i64>() {
+            OwnedArg::I64(n)
+        } else {
+            OwnedArg::F64(value)
+        }
+    }
+}
+
+/// An event re-read from a JSONL trace file (names and arguments owned).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OwnedEvent {
     /// Global sequence number.
@@ -145,6 +187,8 @@ pub struct OwnedEvent {
     pub name: String,
     /// Nanoseconds since the trace epoch.
     pub t_ns: u64,
+    /// Key/value arguments (empty when the line had none).
+    pub args: Vec<(String, OwnedArg)>,
 }
 
 // ---------------------------------------------------------------------
@@ -158,7 +202,9 @@ enum Json {
     // self-check); JSONL lines are all objects.
     Arr(#[allow(dead_code)] Vec<Json>),
     Str(String),
-    Num(f64),
+    // Numbers keep their raw text so argument values can be re-typed
+    // (u64 vs i64 vs f64) without precision loss.
+    Num(f64, String),
     // Booleans/nulls are parsed for completeness but nothing in the
     // trace schema reads their payload.
     Bool(#[allow(dead_code)] bool),
@@ -175,7 +221,7 @@ impl Json {
 
     fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            Json::Num(_, raw) => raw.parse::<u64>().ok(),
             _ => None,
         }
     }
@@ -351,7 +397,9 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+        text.parse::<f64>()
+            .map(|v| Json::Num(v, text.to_string()))
+            .map_err(|_| self.err("bad number"))
     }
 
     fn finish(&mut self) -> Result<(), String> {
@@ -411,6 +459,29 @@ pub fn parse_jsonl(text: &str) -> Result<(Vec<OwnedEvent>, Vec<String>), String>
                         .and_then(Json::as_u64)
                         .ok_or_else(|| format!("line {}: missing \"{key}\"", lineno + 1))
                 };
+                let mut args = Vec::new();
+                match value.get("args") {
+                    None => {}
+                    Some(Json::Obj(fields)) => {
+                        for (key, v) in fields {
+                            let arg = match v {
+                                Json::Str(s) => OwnedArg::Str(s.clone()),
+                                Json::Num(x, raw) => OwnedArg::classify(raw, *x),
+                                Json::Null => OwnedArg::Null,
+                                _ => {
+                                    return Err(format!(
+                                        "line {}: unsupported arg value for \"{key}\"",
+                                        lineno + 1
+                                    ))
+                                }
+                            };
+                            args.push((key.clone(), arg));
+                        }
+                    }
+                    Some(_) => {
+                        return Err(format!("line {}: \"args\" must be an object", lineno + 1))
+                    }
+                }
                 events.push(OwnedEvent {
                     seq: field("seq")?,
                     track: field("track")? as u32,
@@ -421,6 +492,7 @@ pub fn parse_jsonl(text: &str) -> Result<(Vec<OwnedEvent>, Vec<String>), String>
                         .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
                         .to_string(),
                     t_ns: field("t_ns")?,
+                    args,
                 });
             }
             other => {
@@ -483,6 +555,15 @@ mod tests {
         assert_eq!(events[0].kind, EventKind::Begin);
         assert_eq!(events[2].kind, EventKind::End);
         assert_eq!(events[1].t_ns, 1500);
+        assert_eq!(
+            events[0].args,
+            vec![
+                ("clock_ps".to_string(), OwnedArg::F64(2500.0)),
+                ("design".to_string(), OwnedArg::Str("crc\"32".to_string())),
+            ]
+        );
+        assert_eq!(events[1].args, vec![("n".to_string(), OwnedArg::U64(7))]);
+        assert!(events[2].args.is_empty());
         crate::validate_events(events.iter().map(|e| (e.track, e.kind, e.name.as_str(), e.t_ns)))
             .expect("round-tripped trace is well-formed");
     }
@@ -501,7 +582,7 @@ mod tests {
         let begin = &items[2];
         assert_eq!(begin.get("ph").and_then(Json::as_str), Some("B"));
         match begin.get("ts") {
-            Some(Json::Num(ts)) => assert!((ts - 1.0).abs() < 1e-9, "1000ns = 1.0us"),
+            Some(Json::Num(ts, _)) => assert!((ts - 1.0).abs() < 1e-9, "1000ns = 1.0us"),
             _ => panic!("ts missing"),
         }
         assert!(begin.get("args").is_some());

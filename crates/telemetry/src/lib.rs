@@ -12,10 +12,13 @@
 //! in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
 //!
 //! Tracing is globally off by default. When disabled, the span hot path
-//! is a single relaxed atomic load — no allocation, no lock, no clock
-//! read — so instrumented code pays nothing in production runs (the
-//! overhead-guard test in `tests/overhead.rs` enforces this). Enable
-//! with [`set_enabled`]; spans are scoped guards, so they cannot be left
+//! records nothing into the trace buffers — only a fixed-size entry into
+//! the always-on **flight recorder** (a bounded per-track ring of the
+//! most recent events, the post-mortem tail attached to batch
+//! `JobError`s) — no allocation, no unbounded growth, so instrumented
+//! code pays almost nothing in production runs (the overhead-guard test
+//! in `tests/overhead.rs` enforces the budget). Enable with
+//! [`set_enabled`]; spans are scoped guards, so they cannot be left
 //! unbalanced even on early return:
 //!
 //! ```
@@ -32,14 +35,21 @@
 
 mod check;
 mod export;
+mod recorder;
 mod registry;
+mod report;
 mod trace;
 
 pub use check::{validate_events, TraceError, TraceSummary};
-pub use export::{parse_jsonl, render_chrome_trace, render_jsonl, OwnedEvent};
-pub use registry::{
-    Counter, Gauge, Histogram, MetricKind, MetricValue, MetricsFrame, Registry, HISTOGRAM_BUCKETS,
+pub use export::{parse_jsonl, render_chrome_trace, render_jsonl, OwnedArg, OwnedEvent};
+pub use recorder::{
+    flight_fault, flight_tail, flight_tail_current, FlightArg, FlightEvent, FLIGHT_CAPACITY,
 };
+pub use registry::{
+    histogram_quantile, Counter, Gauge, Histogram, MetricKind, MetricValue, MetricsFrame, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use report::{attribute, render_attribution, AttributionRow, QuantileRow, RunReport, StageRow};
 pub use trace::{
     enabled, now_ns, reset, set_enabled, set_thread_track, span, span_f64, span_str, span_u64,
     take_trace, ArgValue, Event, EventKind, SpanGuard, Trace,

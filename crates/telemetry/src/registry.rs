@@ -307,6 +307,34 @@ impl MetricsFrame {
     }
 }
 
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a power-of-two bucketed
+/// histogram (see [`HISTOGRAM_BUCKETS`] for the bucket layout).
+///
+/// The estimate is the **lower bound** of the bucket containing the
+/// rank-`max(1, ⌈q·n⌉)` sample: `0` for the zero bucket, else
+/// `2^(k-1)` for bucket `k`.
+///
+/// **Error bound:** the true rank-`⌈q·n⌉` sample lies in the same
+/// bucket, i.e. in `[estimate, 2·estimate)` — the estimate never
+/// overshoots and undershoots by strictly less than 2×. When every
+/// sample is an exact power of two (a bucket boundary) the estimate is
+/// exact. Returns `None` for an empty histogram.
+pub fn histogram_quantile(buckets: &[u64], q: f64) -> Option<u64> {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+    let mut cum = 0u64;
+    for (k, &count) in buckets.iter().enumerate() {
+        cum += count;
+        if cum >= rank {
+            return Some(if k == 0 { 0 } else { 1u64 << (k - 1) });
+        }
+    }
+    None
+}
+
 /// A collection of named metric cells. Handle registration takes a
 /// short-lived lock; recording through handles is lock-free.
 #[derive(Default)]
@@ -433,6 +461,66 @@ mod tests {
         assert_eq!(fleet.totals()["points"], 6);
         assert_eq!(fleet.totals()["feasible"], 3);
         assert_eq!(fleet.total_of("points"), 6);
+    }
+
+    /// Exact rank-`⌈q·n⌉` quantile of a sample set, the reference the
+    /// bucketed estimator is compared against.
+    fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_bucket_boundaries() {
+        // Every sample is a power of two (a bucket boundary) — the
+        // lower-bound estimator is exact by construction. Duplicate some
+        // samples so bucket counts exceed one.
+        let mut samples: Vec<u64> = (0..20).map(|j| 1u64 << j).collect();
+        samples.extend([1u64, 8, 8, 1 << 19]);
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &s in &samples {
+            buckets[Histogram::bucket(s)] += 1;
+        }
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                histogram_quantile(&buckets, q),
+                Some(exact_quantile(&mut samples, q)),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound() {
+        let mut samples: Vec<u64> = vec![0, 3, 5, 6, 7, 100, 1000, 1001, 4095, 4096, 70000];
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for &s in &samples {
+            buckets[Histogram::bucket(s)] += 1;
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = histogram_quantile(&buckets, q).unwrap();
+            let exact = exact_quantile(&mut samples, q);
+            if exact == 0 {
+                assert_eq!(est, 0, "q = {q}");
+            } else {
+                assert!(est <= exact && exact < 2 * est, "q = {q}: est {est}, exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        assert_eq!(histogram_quantile(&[], 0.5), None);
+        assert_eq!(histogram_quantile(&vec![0u64; HISTOGRAM_BUCKETS], 0.5), None);
+        // All zeros: every quantile is the zero bucket.
+        let mut zeros = vec![0u64; HISTOGRAM_BUCKETS];
+        zeros[0] = 5;
+        assert_eq!(histogram_quantile(&zeros, 0.99), Some(0));
+        // Top bucket: values with bit length 64.
+        let mut top = vec![0u64; HISTOGRAM_BUCKETS];
+        top[64] = 1;
+        assert_eq!(histogram_quantile(&top, 0.5), Some(1u64 << 63));
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //!
 //! Design constraints, in priority order:
 //!
-//! 1. **Disabled cost ≈ zero.** [`span`] when tracing is off is one
-//!    relaxed atomic load and a `None` guard — no clock read, no lock,
-//!    no allocation. Instrumentation can therefore sit on warm paths
-//!    (per-iteration, per-solve) without a feature gate.
+//! 1. **Disabled cost ≈ zero.** [`span`] when tracing is off records
+//!    nothing into the trace buffers — only a fixed-size entry into the
+//!    always-on flight-recorder ring (`crate::recorder`): no allocation,
+//!    no unbounded growth. Instrumentation can therefore sit on warm
+//!    paths (per-iteration, per-solve) without a feature gate; the
+//!    allocation-counting overhead guard in `tests/overhead.rs` enforces
+//!    the budget.
 //! 2. **No unbalanced spans.** The only way to record a `Begin` is to
 //!    hold a [`SpanGuard`]; its `Drop` records the matching `End`, so
 //!    early returns and `?` propagation cannot leak an open span.
@@ -33,10 +36,15 @@ static BUFFERS: [Mutex<Vec<Event>>; SHARDS] = [const { Mutex::new(Vec::new()) };
 /// Registered track names; a track's id is its index here. Track 0 is
 /// pre-registered as "main" lazily on first use.
 static TRACKS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+/// Bumped whenever the track table is cleared ([`take_trace`]/[`reset`])
+/// so threads holding a cached track id re-register instead of recording
+/// onto a reassigned id.
+static TRACK_GEN: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// This thread's track id, or `u32::MAX` if not yet assigned.
-    static THREAD_TRACK: Cell<u32> = const { Cell::new(u32::MAX) };
+    /// This thread's `(track generation, track id)`, or `u32::MAX` if
+    /// not yet assigned. A stale generation invalidates the cached id.
+    static THREAD_TRACK: Cell<(u64, u32)> = const { Cell::new((0, u32::MAX)) };
 }
 
 /// A typed span/event argument value.
@@ -128,37 +136,43 @@ pub fn now_ns() -> u64 {
 /// spawn (`batch-worker-{i}`); unnamed threads get `thread-{id}` on
 /// their first recorded event.
 pub fn set_thread_track(name: impl Into<String>) -> u32 {
-    let id = register_track(name.into());
-    THREAD_TRACK.with(|t| t.set(id));
+    let (generation, id) = register_track(name.into());
+    THREAD_TRACK.with(|t| t.set((generation, id)));
     id
 }
 
-fn register_track(name: String) -> u32 {
+/// Registers `name`, returning `(generation, id)` read under the table
+/// lock so a concurrent clear cannot hand out an id from the wrong
+/// generation.
+fn register_track(name: String) -> (u64, u32) {
     let mut tracks = TRACKS.lock().unwrap();
+    let generation = TRACK_GEN.load(Ordering::Relaxed);
     if tracks.is_empty() {
         tracks.push("main".to_string());
     }
     if name == "main" {
-        return 0;
+        return (generation, 0);
     }
     if let Some(pos) = tracks.iter().position(|t| *t == name) {
-        return pos as u32;
+        return (generation, pos as u32);
     }
     tracks.push(name);
-    (tracks.len() - 1) as u32
+    (generation, (tracks.len() - 1) as u32)
 }
 
 /// The calling thread's track id, assigning a fresh one if needed.
-fn thread_track() -> u32 {
+pub(crate) fn current_track() -> u32 {
     THREAD_TRACK.with(|t| {
-        let id = t.get();
-        if id != u32::MAX {
+        let (generation, id) = t.get();
+        if id != u32::MAX && generation == TRACK_GEN.load(Ordering::Relaxed) {
             return id;
         }
-        // First event from an unnamed thread: the main thread (the one
-        // that touched telemetry first) claims track 0, others get a
+        // First event from an unnamed thread (or one whose cached id
+        // predates a track-table clear): the thread that touches
+        // telemetry first claims track 0 ("main"), others get a
         // synthesized name.
         let mut tracks = TRACKS.lock().unwrap();
+        let generation = TRACK_GEN.load(Ordering::Relaxed);
         let id = if tracks.is_empty() {
             tracks.push("main".to_string());
             0
@@ -168,7 +182,7 @@ fn thread_track() -> u32 {
             id as u32
         };
         drop(tracks);
-        t.set(id);
+        t.set((generation, id));
         id
     })
 }
@@ -180,21 +194,24 @@ fn record(kind: EventKind, name: &'static str, track: u32, args: Vec<(&'static s
     BUFFERS[shard].lock().unwrap().push(event);
 }
 
-/// A scoped span: records `Begin` on creation (when tracing is enabled)
-/// and the matching `End` on drop. When tracing is disabled the guard is
-/// inert and costs nothing.
+/// A scoped span: records `Begin` on creation and the matching `End` on
+/// drop. The flight recorder sees both regardless of the tracing switch;
+/// the full trace buffers only see them while tracing is enabled.
 #[must_use = "a span guard records its End when dropped; binding it to _ closes it immediately"]
 pub struct SpanGuard {
-    /// `Some((name, track))` iff a `Begin` was recorded.
-    live: Option<(&'static str, u32)>,
+    name: &'static str,
+    track: u32,
+    /// `true` iff a `Begin` was recorded into the full trace buffers.
+    live: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        crate::recorder::flight_record(self.track, EventKind::End, self.name, None);
         // Record the End even if tracing was disabled mid-span: an open
         // Begin with no End would fail trace validation.
-        if let Some((name, track)) = self.live.take() {
-            record(EventKind::End, name, track, Vec::new());
+        if self.live {
+            record(EventKind::End, self.name, self.track, Vec::new());
         }
     }
 }
@@ -202,44 +219,73 @@ impl Drop for SpanGuard {
 /// Opens a span named `name` on the calling thread's track.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    let track = current_track();
+    crate::recorder::flight_record(track, EventKind::Begin, name, None);
     if !enabled() {
-        return SpanGuard { live: None };
+        return SpanGuard { name, track, live: false };
     }
-    span_slow(name, Vec::new())
+    span_slow(name, track, Vec::new())
 }
 
 /// Opens a span with one `u64` argument.
 #[inline]
 pub fn span_u64(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
+    let track = current_track();
+    crate::recorder::flight_record(
+        track,
+        EventKind::Begin,
+        name,
+        Some(crate::FlightArg::U64(key, value)),
+    );
     if !enabled() {
-        return SpanGuard { live: None };
+        return SpanGuard { name, track, live: false };
     }
-    span_slow(name, vec![(key, ArgValue::U64(value))])
+    span_slow(name, track, vec![(key, ArgValue::U64(value))])
 }
 
 /// Opens a span with one `f64` argument.
 #[inline]
 pub fn span_f64(name: &'static str, key: &'static str, value: f64) -> SpanGuard {
+    let track = current_track();
+    crate::recorder::flight_record(
+        track,
+        EventKind::Begin,
+        name,
+        Some(crate::FlightArg::F64(key, value)),
+    );
     if !enabled() {
-        return SpanGuard { live: None };
+        return SpanGuard { name, track, live: false };
     }
-    span_slow(name, vec![(key, ArgValue::F64(value))])
+    span_slow(name, track, vec![(key, ArgValue::F64(value))])
 }
 
-/// Opens a span with one string argument.
+/// Opens a span with one string argument. The flight recorder keeps the
+/// span but drops the argument (its ring entries cannot own a string).
 #[inline]
 pub fn span_str(name: &'static str, key: &'static str, value: &str) -> SpanGuard {
+    let track = current_track();
+    crate::recorder::flight_record(track, EventKind::Begin, name, None);
     if !enabled() {
-        return SpanGuard { live: None };
+        return SpanGuard { name, track, live: false };
     }
-    span_slow(name, vec![(key, ArgValue::Str(value.to_string()))])
+    span_slow(name, track, vec![(key, ArgValue::Str(value.to_string()))])
 }
 
 #[cold]
-fn span_slow(name: &'static str, args: Vec<(&'static str, ArgValue)>) -> SpanGuard {
-    let track = thread_track();
+fn span_slow(name: &'static str, track: u32, args: Vec<(&'static str, ArgValue)>) -> SpanGuard {
     record(EventKind::Begin, name, track, args);
-    SpanGuard { live: Some((name, track)) }
+    SpanGuard { name, track, live: true }
+}
+
+/// The first scalar argument, converted for the flight recorder; string
+/// arguments are not representable there.
+fn flight_arg(args: &[(&'static str, ArgValue)]) -> Option<crate::FlightArg> {
+    args.iter().find_map(|(k, v)| match v {
+        ArgValue::U64(v) => Some(crate::FlightArg::U64(k, *v)),
+        ArgValue::I64(v) => Some(crate::FlightArg::I64(k, *v)),
+        ArgValue::F64(v) => Some(crate::FlightArg::F64(k, *v)),
+        ArgValue::Str(_) => None,
+    })
 }
 
 impl SpanGuard {
@@ -247,41 +293,57 @@ impl SpanGuard {
     /// instant event inside it (Chrome `ph: "i"`). Useful for values
     /// only known after the span opened (e.g. drain counters).
     pub fn note(&self, name: &'static str, args: Vec<(&'static str, ArgValue)>) {
-        if let Some((_, track)) = self.live {
-            record(EventKind::Instant, name, track, args);
+        crate::recorder::flight_record(self.track, EventKind::Instant, name, flight_arg(&args));
+        if self.live {
+            record(EventKind::Instant, name, self.track, args);
         }
     }
 }
 
 /// Drains all buffered events (sorted by global sequence number) and the
-/// track-name table. Buffered events are removed; track registrations
-/// persist so long-lived threads keep their names across drains.
+/// track-name table. Buffered events are removed and the track table is
+/// cleared (its snapshot lives on in the returned [`Trace`]), so
+/// back-to-back in-process runs do not accumulate stale
+/// `batch-worker-*`/`thread-*` tracks; long-lived threads re-register
+/// lazily on their next event.
 pub fn take_trace() -> Trace {
     let mut events = Vec::new();
     for shard in &BUFFERS {
         events.append(&mut shard.lock().unwrap());
     }
     events.sort_by_key(|e| e.seq);
-    let tracks = TRACKS.lock().unwrap().clone();
+    let tracks = {
+        let mut table = TRACKS.lock().unwrap();
+        TRACK_GEN.fetch_add(1, Ordering::Relaxed);
+        std::mem::take(&mut *table)
+    };
+    crate::recorder::flight_clear();
     Trace { events, tracks }
 }
 
-/// Clears all buffered events without returning them. Track
-/// registrations and the epoch persist.
+/// Clears all buffered events without returning them, along with the
+/// track table and the flight-recorder rings. The epoch persists.
 pub fn reset() {
     for shard in &BUFFERS {
         shard.lock().unwrap().clear();
     }
+    {
+        let mut table = TRACKS.lock().unwrap();
+        TRACK_GEN.fetch_add(1, Ordering::Relaxed);
+        table.clear();
+    }
+    crate::recorder::flight_clear();
 }
+
+/// The collector is global, so tests that enable tracing, drain it, or
+/// inspect flight rings must not interleave; this lock serializes them
+/// across the crate's unit tests.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The collector is global, so tests that enable tracing must not
-    /// interleave; this lock serializes them (also used by integration
-    /// tests via the public API contract: enable → run → take → disable).
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn disabled_span_records_nothing() {

@@ -9,15 +9,29 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Both tests toggle the global enabled flag; running them in parallel
+/// would flip it out from under the measured loop.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    /// Per-thread allocation count: the zero-alloc assertion must not
+    /// trip on allocations made concurrently by other threads (the
+    /// libtest harness thread prints results while tests run).
+    static THREAD_ALLOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // try_with: TLS may be mid-destruction on thread exit.
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -30,11 +44,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    THREAD_ALLOCATIONS.with(|c| c.get())
 }
 
 #[test]
 fn disabled_spans_allocate_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     isdc_telemetry::set_enabled(false);
     // Warm up any lazy statics outside the measured window.
     {
@@ -66,6 +81,7 @@ fn disabled_spans_allocate_nothing() {
 fn enabled_span_cost_is_bounded_and_buffers_drain() {
     // Not a benchmark — a sanity bound that the enabled path works at
     // volume from several threads without losing events.
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
     isdc_telemetry::set_enabled(true);
     const PER_THREAD: u64 = 1_000;
     std::thread::scope(|scope| {

@@ -20,7 +20,10 @@
 //!
 //! Run with: `cargo run --release --example batch_sweep`
 //! (`ISDC_BATCH_QUICK=1` shrinks grids, iterations and thread counts for
-//! CI.)
+//! CI.) Pass `-- --repeat N` (or set `ISDC_BATCH_REPEAT=N`) to run every
+//! timed configuration N times and report the median run — the document
+//! records `repeats`, so gate floors are evaluated on medians instead of
+//! single noisy samples.
 
 use isdc_batch::{
     render_batch_json, run_batch, serial_reference, BatchBenchDoc, BatchDesign, BatchOptions,
@@ -48,8 +51,36 @@ fn assert_bit_identical(batch: &BatchReport, serial: &BatchReport, threads: usiz
     }
 }
 
+/// `--repeat N` argument, falling back to `ISDC_BATCH_REPEAT`, default 1.
+fn parse_repeats() -> usize {
+    let mut args = std::env::args().skip(1);
+    let mut repeats: Option<usize> = None;
+    while let Some(a) = args.next() {
+        if a == "--repeat" {
+            repeats = args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    repeats
+        .or_else(|| std::env::var("ISDC_BATCH_REPEAT").ok().and_then(|v| v.parse().ok()))
+        .map_or(1, |n: usize| n.max(1))
+}
+
+/// Runs a timed configuration `repeats` times and keeps the run with the
+/// median wall-clock (upper median for even N), so the reported document
+/// is an actual measured run, internally consistent — not a blend.
+fn median_run<E>(
+    repeats: usize,
+    mut run: impl FnMut() -> Result<BatchReport, E>,
+) -> Result<BatchReport, E> {
+    let mut reports: Vec<BatchReport> = (0..repeats).map(|_| run()).collect::<Result<_, _>>()?;
+    reports.sort_by_key(|r| r.elapsed);
+    let mid = reports.len() / 2;
+    Ok(reports.swap_remove(mid))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var_os("ISDC_BATCH_QUICK").is_some();
+    let repeats = parse_repeats();
     let suite = isdc_benchsuite::suite();
     let points = if quick { 4 } else { 10 };
     let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
@@ -78,45 +109,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let total_points: usize = jobs.iter().map(Job::planned_points).sum();
     println!(
-        "{} designs x {points} periods = {total_points} runs ({}, {hardware} hardware threads)",
+        "{} designs x {points} periods = {total_points} runs ({}, {hardware} hardware threads, \
+         median of {repeats})",
         designs.len(),
         if quick { "quick" } else { "full" },
     );
 
     // Serial session sweep: the baseline every speedup is measured against
     // and every schedule is compared against.
-    let serial = serial_reference(&designs, &jobs, &model, &oracle)?;
+    let serial = median_run(repeats, || serial_reference(&designs, &jobs, &model, &oracle))?;
     println!("serial session sweep: {:.2?}", serial.elapsed);
 
     // Independent cold runs (`incremental: false`, no cache, no session):
     // the paper-faithful reference semantics, for the long-lever speedup.
-    let cold_start = std::time::Instant::now();
-    for ((design, job), serial_job) in designs.iter().zip(&jobs).zip(&serial.jobs) {
-        let isdc_batch::JobKind::Sweep { periods } = &job.kind else { unreachable!() };
-        let cold_points = isdc_core::sweep_clock_period_cold(
-            &design.graph,
-            &model,
-            &oracle,
-            &design.base,
-            periods,
-        )?;
-        for (c, s) in cold_points.iter().zip(&serial_job.points) {
-            assert_eq!(
-                c.schedule, s.schedule,
-                "{} at {}ps: serial session diverged from the cold reference",
-                design.name, c.clock_period_ps
-            );
+    let mut cold_samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let cold_start = std::time::Instant::now();
+        for ((design, job), serial_job) in designs.iter().zip(&jobs).zip(&serial.jobs) {
+            let isdc_batch::JobKind::Sweep { periods } = &job.kind else { unreachable!() };
+            let cold_points = isdc_core::sweep_clock_period_cold(
+                &design.graph,
+                &model,
+                &oracle,
+                &design.base,
+                periods,
+            )?;
+            for (c, s) in cold_points.iter().zip(&serial_job.points) {
+                assert_eq!(
+                    c.schedule, s.schedule,
+                    "{} at {}ps: serial session diverged from the cold reference",
+                    design.name, c.clock_period_ps
+                );
+            }
         }
+        cold_samples.push(cold_start.elapsed());
     }
-    let cold_total = cold_start.elapsed();
+    cold_samples.sort();
+    let cold_total = cold_samples[cold_samples.len() / 2];
     println!("independent cold runs: {cold_total:.2?}");
 
     let mut scaling: Vec<ScalingRow> = Vec::new();
     let mut last: Option<BatchReport> = None;
     for &threads in thread_counts {
-        let cache = Arc::new(DelayCache::new());
-        let options = BatchOptions { threads, shard_points: 0, ..Default::default() };
-        let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache)?;
+        let report = median_run(repeats, || {
+            // Every repeat starts from its own cold shared cache, like the
+            // thread counts themselves, so repeats measure the same thing.
+            let cache = Arc::new(DelayCache::new());
+            let options = BatchOptions { threads, shard_points: 0, ..Default::default() };
+            run_batch(&designs, &jobs, &options, &model, &oracle, &cache)
+        })?;
         // Execution failures surface per job since the fault-tolerance
         // rework; a bench run tolerates none (and the rendered document's
         // jobs_failed/jobs_retried fields attest it to the gate).
@@ -155,6 +196,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         designs: designs.len(),
         report: &report,
         hardware_threads: hardware,
+        repeats,
         serial_total: Some(serial.elapsed),
         cold_total: Some(cold_total),
         scaling: &scaling,

@@ -5,6 +5,8 @@
 //! isdc-cli schedule  <design.ir> [options]          schedule (baseline or ISDC)
 //! isdc-cli sweep     <design.ir> [options]          clock-period sweep via IsdcSession
 //! isdc-cli batch     [options]                      parallel multi-design batch (isdc-batch)
+//! isdc-cli report    <design.ir> [sweep opts]       sweep + structured run report (text/JSON)
+//! isdc-cli report    --baseline <old.json> <new.json>   rank metric deltas by wall-clock impact
 //! isdc-cli aiger     <design.ir> [-o out.aag]       lower to gates, export AIGER
 //! isdc-cli bench     [--emit <name> [-o out.ir]]    list / export bundled benchmarks
 //! isdc-cli trace check <trace.jsonl>                validate an exported JSONL trace
@@ -44,7 +46,13 @@
 //!   --max-retries <n>     retry transient shard failures up to n times
 //!                         (deterministic backoff; default 0)
 //!   --cache-file <file>   load/save the fleet-wide cache snapshot
-//!   --out <file>          write the batch report as BENCH_batch-style JSON
+//!   --out <file>          write the batch report as BENCH_batch-style JSON;
+//!                         failed jobs also dump their workers' flight-recorder
+//!                         tails to <out>.flight.jsonl
+//!
+//! report options: the sweep design/grid flags (--bench/--from/--to/--points,
+//!   --iterations/--subgraphs/--scoring/--shape) plus --out <file> for the
+//!   JSON artifact, or --baseline <old.json> <new.json> to diff two artifacts
 //!
 //! telemetry options (schedule / sweep / batch):
 //!   --trace <file>        capture a hierarchical span trace and write it on exit
@@ -139,6 +147,7 @@ fn main() -> ExitCode {
         Some("schedule") => cmd_schedule(&args[1..]).map_err(CliError::from),
         Some("sweep") => cmd_sweep(&args[1..]).map_err(CliError::from),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("report") => cmd_report(&args[1..]).map_err(CliError::from),
         Some("aiger") => cmd_aiger(&args[1..]).map_err(CliError::from),
         Some("bench") => cmd_bench(&args[1..]).map_err(CliError::from),
         Some("trace") => cmd_trace(&args[1..]).map_err(CliError::from),
@@ -157,7 +166,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: isdc-cli <show|schedule|sweep|batch|aiger|bench|trace> [args]  \
+const USAGE: &str = "usage: isdc-cli <show|schedule|sweep|batch|report|aiger|bench|trace> [args]  \
      (see --help in source header)";
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -231,77 +240,12 @@ impl TelemetryOpts {
     }
 }
 
-/// Sums the counters of many per-run frames key-by-key (frames from
-/// *different* runs share key names, so summing — not the registry's
-/// max-join, which is for sharded scopes — is the right aggregate here).
-fn sum_counters(
-    frames: &[&isdc::telemetry::MetricsFrame],
-) -> std::collections::BTreeMap<String, u64> {
-    let mut sums = std::collections::BTreeMap::new();
-    for frame in frames {
-        for (name, value) in &frame.metrics {
-            if let Some(v) = value.as_counter() {
-                *sums.entry(name.clone()).or_insert(0) += v;
-            }
-        }
-    }
-    sums
-}
-
-/// The `--profile` table: per-stage wall clock, share of the profiled
-/// total, stage invocations, then drain, LP-sparsification and cache
-/// summary lines.
+/// The `--profile` table, shared with `isdc-cli report`: per-stage wall
+/// clock, drain, LP-sparsification, cache, and quantile lines, all
+/// rendered by [`isdc::telemetry::RunReport`].
 fn print_profile(frames: &[&isdc::telemetry::MetricsFrame]) {
-    use isdc::core::StageKind;
-    let sums = sum_counters(frames);
-    let get = |key: &str| sums.get(key).copied().unwrap_or(0);
-    let total_ns: u64 = StageKind::ALL.iter().map(|s| get(&format!("stage/{}/ns", s.name()))).sum();
-    println!("profile ({} runs):", frames.len());
-    println!("  stage       |    calls |       time | % total");
-    for stage in StageKind::ALL {
-        let ns = get(&format!("stage/{}/ns", stage.name()));
-        let calls = get(&format!("stage/{}/calls", stage.name()));
-        println!(
-            "  {:<11} | {:>8} | {:>8.2}ms | {:>6.1}%",
-            stage.name(),
-            calls,
-            ns as f64 / 1e6,
-            if total_ns == 0 { 0.0 } else { ns as f64 * 100.0 / total_ns as f64 }
-        );
-    }
-    println!("  total       | {:>8} | {:>8.2}ms | 100.0%", "", total_ns as f64 / 1e6);
-    println!(
-        "  drain: {} dijkstras, {} paths, {} nodes settled, {} flow units",
-        get("drain/dijkstras"),
-        get("drain/paths"),
-        get("drain/nodes_settled"),
-        get("drain/flow_pushed")
-    );
-    let (emitted, pruned) =
-        (get("lp/constraints_emitted"), get("lp/dominance_pruned") + get("lp/bucket_deduped"));
-    if emitted + pruned > 0 {
-        println!(
-            "  lp: {} pairs scanned, {emitted} constraints emitted, {pruned} pruned ({} dominance + {} bucket, {:.1}%)",
-            get("lp/pairs_scanned"),
-            get("lp/dominance_pruned"),
-            get("lp/bucket_deduped"),
-            pruned as f64 * 100.0 / (emitted + pruned) as f64
-        );
-    }
-    let (hits, misses) = (get("cache/hits"), get("cache/misses"));
-    if hits + misses > 0 {
-        println!(
-            "  cache: {hits} hits / {} lookups ({:.1}%), {} inserts",
-            hits + misses,
-            hits as f64 * 100.0 / (hits + misses) as f64,
-            get("cache/inserts")
-        );
-    }
-    println!(
-        "  run: {} iterations, {} subgraphs evaluated",
-        get("run/iterations"),
-        get("run/subgraphs_evaluated")
-    );
+    let report = isdc::telemetry::RunReport::from_frames(frames.iter().copied());
+    print!("{}", report.render_text());
 }
 
 /// `trace check <file.jsonl>` — parse an exported JSONL trace and run the
@@ -495,26 +439,31 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    // Design: a .ir file, or a bundled benchmark via --bench.
-    let (g, default_clock, name) = match flag_value(args, "--bench") {
+/// Resolves the design a sweep-shaped command (`sweep`, `report`) runs
+/// over: a `.ir` file, or a bundled benchmark via `--bench`.
+fn load_sweep_design(args: &[String], command: &str) -> Result<(Graph, f64, String), String> {
+    match flag_value(args, "--bench") {
         Some(bench_name) => {
             let suite = isdc::benchsuite::suite();
             let b = suite
                 .into_iter()
                 .find(|b| b.name == bench_name)
                 .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
-            (b.graph, b.clock_period_ps, b.name.to_string())
+            Ok((b.graph, b.clock_period_ps, b.name.to_string()))
         }
         None => {
             let path = args
                 .first()
                 .filter(|a| !a.starts_with("--"))
-                .ok_or("sweep requires a .ir file or --bench <name>")?;
+                .ok_or(format!("{command} requires a .ir file or --bench <name>"))?;
             let g = load_graph(path)?;
-            (g, 2500.0, path.clone())
+            Ok((g, 2500.0, path.clone()))
         }
-    };
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (g, default_clock, name) = load_sweep_design(args, "sweep")?;
     let from: f64 = flag_value(args, "--from")
         .map(|v| v.parse().map_err(|_| format!("bad --from `{v}`")))
         .transpose()?
@@ -598,6 +547,162 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if let Some(out) = flag_value(args, "--out") {
         let json = render_sweep_json(&name, g.len(), "cli", &sweep, &[]);
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// A JSON value flattened for attribution: objects and arrays become
+/// `path/to/key -> number` entries; non-numeric leaves are dropped. An
+/// object's `"name"` string is surfaced to the enclosing array so rows
+/// like the report's `stages` entries keep a stable path
+/// (`stages/solve/ns`) even when their order changes between runs.
+#[derive(Default)]
+struct FlatValue {
+    number: Option<f64>,
+    name: Option<String>,
+    entries: Vec<(String, f64)>,
+}
+
+fn flatten_value(p: &mut isdc::cache::json::Parser) -> Result<FlatValue, String> {
+    let mut flat = FlatValue::default();
+    match p.peek() {
+        Some(b'{') => {
+            p.expect(b'{')?;
+            if p.peek_close(b'}') {
+                return Ok(flat);
+            }
+            loop {
+                let key = p.string()?;
+                p.expect(b':')?;
+                if key == "name" && p.peek() == Some(b'"') {
+                    flat.name = Some(p.string()?);
+                } else {
+                    let child = flatten_value(p)?;
+                    if let Some(v) = child.number {
+                        flat.entries.push((key.clone(), v));
+                    }
+                    for (sub, v) in child.entries {
+                        flat.entries.push((format!("{key}/{sub}"), v));
+                    }
+                }
+                if !p.comma_or_close(b'}')? {
+                    break;
+                }
+            }
+        }
+        Some(b'[') => {
+            p.expect(b'[')?;
+            if p.peek_close(b']') {
+                return Ok(flat);
+            }
+            let mut index = 0usize;
+            loop {
+                let child = flatten_value(p)?;
+                let segment = child.name.unwrap_or_else(|| index.to_string());
+                if let Some(v) = child.number {
+                    flat.entries.push((segment.clone(), v));
+                }
+                for (sub, v) in child.entries {
+                    flat.entries.push((format!("{segment}/{sub}"), v));
+                }
+                index += 1;
+                if !p.comma_or_close(b']')? {
+                    break;
+                }
+            }
+        }
+        Some(b'"') => {
+            p.string()?;
+        }
+        Some(b't') | Some(b'f') => {
+            p.boolean()?;
+        }
+        Some(b'n') => p.null()?,
+        Some(_) => flat.number = Some(p.number()?),
+        None => return Err("unexpected end of input".to_string()),
+    }
+    Ok(flat)
+}
+
+/// Reads a report / BENCH JSON artifact into the flat `key -> number`
+/// map [`isdc::telemetry::attribute`] diffs.
+fn flatten_json_file(path: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut parser = isdc::cache::json::Parser::new(&text);
+    let flat = flatten_value(&mut parser).map_err(|e| format!("{path}: {e}"))?;
+    if flat.entries.is_empty() {
+        return Err(format!("{path}: no numeric metrics found"));
+    }
+    // `isdc report` artifacts carry the full metric set under "counters";
+    // everything else in them ("stages", "quantiles", "total_ns") is a
+    // derived view that would only duplicate attribution rows.
+    if flat.entries.iter().any(|(k, _)| k.starts_with("counters/")) {
+        return Ok(flat
+            .entries
+            .into_iter()
+            .filter_map(|(k, v)| k.strip_prefix("counters/").map(|k| (k.to_string(), v)))
+            .collect());
+    }
+    Ok(flat.entries.into_iter().collect())
+}
+
+/// `report --baseline <old.json> <new.json>` diffs two report/BENCH
+/// artifacts and ranks the deltas by contribution to the wall-clock
+/// delta. `report (<design.ir>|--bench <name>) [sweep opts] [--out f]`
+/// runs a sweep and emits the structured run report (text; JSON with
+/// `--out`).
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    if let Some(pos) = args.iter().position(|a| a == "--baseline") {
+        let (Some(old_path), Some(new_path)) = (args.get(pos + 1), args.get(pos + 2)) else {
+            return Err("usage: isdc-cli report --baseline <old.json> <new.json>".to_string());
+        };
+        let old = flatten_json_file(old_path)?;
+        let new = flatten_json_file(new_path)?;
+        let (total, rows) = isdc::telemetry::attribute(&old, &new);
+        println!("baseline: {old_path}");
+        println!("current:  {new_path}");
+        print!("{}", isdc::telemetry::render_attribution(total, &rows, 20));
+        return Ok(());
+    }
+
+    let (g, default_clock, name) = load_sweep_design(args, "report")?;
+    let from: f64 = flag_value(args, "--from")
+        .map(|v| v.parse().map_err(|_| format!("bad --from `{v}`")))
+        .transpose()?
+        .unwrap_or(default_clock);
+    let to: f64 = flag_value(args, "--to")
+        .map(|v| v.parse().map_err(|_| format!("bad --to `{v}`")))
+        .transpose()?
+        .unwrap_or(from * 2.0);
+    let points: usize = flag_value(args, "--points")
+        .map(|v| v.parse().map_err(|_| format!("bad --points `{v}`")))
+        .transpose()?
+        .unwrap_or(10);
+    if points == 0 || to < from {
+        return Err("report needs --points >= 1 and --to >= --from".to_string());
+    }
+    let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let base = IsdcConfig {
+        subgraphs_per_iteration: subgraphs,
+        max_iterations: iterations,
+        scoring,
+        shape,
+        ..IsdcConfig::paper_defaults(from)
+    };
+    let mut session = IsdcSession::new(&g, &model, &oracle);
+    let periods = linear_grid(from, to, points);
+    let sweep = sweep_clock_period(&mut session, &base, &periods).map_err(|e| e.to_string())?;
+
+    let report = isdc::telemetry::RunReport::from_frames(sweep.iter().map(|p| &p.metrics));
+    println!("{name}: {} nodes, {} points, {from}ps..{to}ps", g.len(), points);
+    print!("{}", report.render_text());
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(out, report.render_json()).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
     Ok(())
@@ -757,6 +862,12 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         }
         if let JobStatus::Failed(error) = &job.status {
             println!("{:<28} |   -> {error}", "");
+            // The failing worker's flight-recorder tail: the last few
+            // events before death, recorded even with tracing off.
+            let skip = error.flight.len().saturating_sub(6);
+            for event in error.flight.iter().skip(skip) {
+                println!("{:<28} |      flight: {event}", "");
+            }
         }
     }
 
@@ -771,6 +882,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
             designs: designs.len(),
             report: &report,
             hardware_threads: std::thread::available_parallelism().map_or(1, usize::from),
+            repeats: 1,
             serial_total: None,
             cold_total: None,
             scaling: &[ScalingRow { threads: report.threads, total: report.elapsed }],
@@ -778,6 +890,30 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         };
         std::fs::write(out, render_batch_json(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
+        // Post-mortem artifact: every failed job's flight tail, one JSONL
+        // header line per job followed by its worker's event lines.
+        let failures: Vec<&isdc::batch::JobError> =
+            report.jobs.iter().filter_map(|j| j.status.error()).collect();
+        if !failures.is_empty() {
+            let mut dump = String::new();
+            for error in &failures {
+                dump.push_str(&format!(
+                    "{{\"kind\":\"job\",\"job\":{},\"shard\":{},\"design\":\"{}\",\"error\":\"{}\"}}\n",
+                    error.job,
+                    error.shard,
+                    isdc::cache::json::escape(&error.design),
+                    isdc::cache::json::escape(&error.message),
+                ));
+                for event in &error.flight {
+                    event.render_jsonl_line(&mut dump);
+                    dump.push('\n');
+                }
+            }
+            let flight_path = format!("{out}.flight.jsonl");
+            std::fs::write(&flight_path, dump)
+                .map_err(|e| format!("writing {flight_path}: {e}"))?;
+            println!("wrote {flight_path} ({} failed job tail(s))", failures.len());
+        }
     }
     // Artifacts above are written even on failure — a partial keep-going
     // report is still useful — but the exit code says what happened.

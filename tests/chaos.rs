@@ -250,6 +250,41 @@ fn retry_budget_is_spent_then_reported() {
     );
 }
 
+/// A failing job's error carries its worker's flight-recorder tail, and
+/// the tail names the fault site — the post-mortem the CLI prints and
+/// dumps to `<out>.flight.jsonl`. The recorder is always on, so this
+/// holds with tracing disabled (the default here).
+#[test]
+fn failed_jobs_carry_a_flight_tail_naming_the_fault_site() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    for (site, kind) in [("oracle/eval", FaultKind::Panic), ("solver/drain", FaultKind::Error)] {
+        faults::install(FaultPlan::new().with(site, 0, kind));
+        let report = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+        faults::clear();
+        let error = report.first_error().expect("the hit-0 arm must fire and fail a job");
+        assert!(!error.flight.is_empty(), "{site}: the error must carry a flight tail");
+        let fault_mark = error
+            .flight
+            .iter()
+            .find(|e| e.name == "fault")
+            .unwrap_or_else(|| panic!("{site}: no fault mark in the tail: {:?}", error.flight));
+        assert_eq!(
+            fault_mark.arg,
+            Some(isdc::telemetry::FlightArg::Str("site", site)),
+            "{site}: the fault mark names its site"
+        );
+        // The surrounding events are the worker's real recent history:
+        // they come from the worker's own track, in sequence order.
+        let track = fault_mark.track;
+        assert!(error.flight.iter().all(|e| e.track == track), "{site}: one track per tail");
+        assert!(
+            error.flight.windows(2).all(|w| w[0].seq < w[1].seq),
+            "{site}: tail is in sequence order"
+        );
+    }
+}
+
 /// Fault-free runs attest zero across every robustness counter — the same
 /// invariant the bench gate enforces on `BENCH_batch.json`.
 #[test]

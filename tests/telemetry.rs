@@ -128,6 +128,56 @@ fn batch_workers_trace_onto_distinct_tracks() {
     }
 }
 
+/// Regression test for stale thread-track caches: `take_trace()` clears
+/// the registered track table, so a second traced run must re-register
+/// its workers from scratch — each `batch-worker-*` name appears exactly
+/// once in the new table, and no event lands on a track id left over
+/// from the first run.
+#[test]
+fn take_trace_clears_worker_tracks_between_runs() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (designs, jobs) = small_batch(2);
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+
+    let traced_batch = || {
+        telemetry::set_enabled(true);
+        let cache = Arc::new(DelayCache::new());
+        let options = BatchOptions { threads: 2, shard_points: 1, ..Default::default() };
+        run_batch(&designs, &jobs, &options, &model, &oracle, &cache).expect("batch");
+        telemetry::set_enabled(false);
+        telemetry::take_trace()
+    };
+
+    telemetry::reset();
+    let first = traced_batch();
+    let second = traced_batch();
+    for (which, trace) in [("first", &first), ("second", &second)] {
+        trace.validate().unwrap_or_else(|e| panic!("{which} trace must be well-formed: {e:?}"));
+        let mut workers: Vec<&String> =
+            trace.tracks.iter().filter(|t| t.starts_with("batch-worker-")).collect();
+        assert!(!workers.is_empty(), "{which}: batch workers must register tracks");
+        let registered = workers.len();
+        workers.sort();
+        workers.dedup();
+        assert_eq!(
+            workers.len(),
+            registered,
+            "{which}: each worker name registers exactly once — a duplicate means a \
+             worker kept a stale cached track id across take_trace: {:?}",
+            trace.tracks
+        );
+        // Every event's track id resolves inside this trace's own table.
+        let max_track = trace.events.iter().map(|e| e.track).max().expect("events");
+        assert!(
+            (max_track as usize) < trace.tracks.len(),
+            "{which}: event on unregistered track {max_track} of {:?}",
+            trace.tracks
+        );
+    }
+}
+
 #[test]
 fn fleet_totals_are_bit_identical_across_thread_counts() {
     // Deterministic leaves only: iteration counts, stage invocations and
