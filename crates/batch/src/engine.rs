@@ -54,9 +54,33 @@
 //! so the report stays deterministic, and unaffected jobs remain
 //! bit-identical to the serial reference because the shared assets are
 //! pure accelerators.
+//!
+//! # Deadlines and stalls
+//!
+//! Three budgets bound a batch's wall clock, all built on `isdc_cancel`
+//! cooperative tokens (one relaxed atomic load per checkpoint when no
+//! budget is armed):
+//!
+//! - **per-job** [`Job::deadline_ms`], clocked from the job's first shard
+//!   claim;
+//! - **fleet** [`BatchOptions::fleet_deadline`], clocked from the
+//!   [`run_batch`] call — expiry cancels in-flight shards and abandons the
+//!   queue;
+//! - the **stall watchdog** [`BatchOptions::stall_timeout`], which cancels
+//!   a worker whose flight-recorder heartbeat goes silent mid-shard (e.g.
+//!   a `stall` chaos fault or a hung oracle).
+//!
+//! A tripped budget is **terminal, never retried** — the affected job
+//! reports [`JobStatus::TimedOut`] with its elapsed time, completed-point
+//! count, and the cancelled worker's flight tail. Cancellation is
+//! clean-cut: every point completed before the cut is bit-identical to the
+//! uncancelled run's prefix, the shared cache and session state stay
+//! consistent (warm state is never poisoned), and sibling jobs are
+//! unaffected.
 
 use crate::spec::{Job, JobKind};
 use isdc_cache::{CacheStats, DelayCache};
+use isdc_cancel::CancelToken;
 use isdc_core::{
     min_feasible_period, sweep_clock_period, IsdcConfig, IsdcSession, ScheduleError, SweepPoint,
 };
@@ -66,7 +90,7 @@ use isdc_techlib::Picos;
 use isdc_telemetry::{ArgValue, MetricValue, MetricsFrame};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -121,6 +145,18 @@ pub struct BatchOptions {
     /// 64ms) with no wall-clock randomness, so chaos runs replay
     /// identically.
     pub max_retries: u32,
+    /// Fleet-level wall-clock budget for the whole batch, measured from
+    /// the [`run_batch`] call. When it expires, in-flight shards are
+    /// cancelled at their next checkpoint and queued shards are abandoned;
+    /// every job the budget cut short reports [`JobStatus::TimedOut`].
+    /// `None` = unbounded.
+    pub fleet_deadline: Option<Duration>,
+    /// Stall watchdog: a worker whose flight-recorder heartbeat goes
+    /// silent on an in-flight shard for longer than this is cancelled, and
+    /// its shard times out. Polled at `stall_timeout / 4` (min 2ms), so
+    /// detection lands within ~1.25× the timeout. `None` disables the
+    /// watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl BatchOptions {
@@ -235,6 +271,26 @@ pub enum JobStatus {
     /// its other shards ran would depend on thread timing — and the error
     /// pinpoints job, shard and cause.
     Failed(JobError),
+    /// A deadline tripped — the job's own [`Job::deadline_ms`], the fleet
+    /// budget ([`BatchOptions::fleet_deadline`]) or the stall watchdog.
+    /// Terminal and **never retried**: a spent budget does not replenish.
+    /// Points are withheld like any other non-Ok status; the fields record
+    /// what the cut left behind.
+    TimedOut {
+        /// Wall-clock the job's shards spent before the cut, in
+        /// milliseconds.
+        elapsed_ms: u64,
+        /// Sweep points / probes that completed across the job's shards
+        /// before cancellation landed (each one bit-identical to the
+        /// uncancelled run's corresponding point — cancellation is
+        /// clean-cut).
+        points_completed: usize,
+        /// The cancelled worker's flight-recorder tail (like
+        /// [`JobError::flight`]): the last spans and notes before the cut,
+        /// e.g. the stall site in a chaos run. Empty when the job never
+        /// started (the fleet budget expired first).
+        flight: Vec<isdc_telemetry::FlightEvent>,
+    },
     /// The queue aborted ([`FailPolicy::Abort`]) before the job could
     /// finish; any partial points are withheld.
     Skipped,
@@ -397,6 +453,12 @@ impl BatchReport {
         self.jobs.iter().filter(|j| matches!(j.status, JobStatus::Failed(_))).count()
     }
 
+    /// Jobs cut short by a per-job deadline, the fleet budget, or the
+    /// stall watchdog.
+    pub fn jobs_timed_out(&self) -> usize {
+        self.jobs.iter().filter(|j| matches!(j.status, JobStatus::TimedOut { .. })).count()
+    }
+
     /// Jobs that needed at least one transient-failure retry (including
     /// jobs that then succeeded).
     pub fn jobs_retried(&self) -> usize {
@@ -445,11 +507,22 @@ struct ShardOutput {
     retries: u32,
 }
 
+/// A cancelled shard: a deadline or the watchdog cut it short. The points
+/// it completed before the cut are counted but withheld (clean-cut: they
+/// were bit-identical to the uncancelled prefix, but a partial job stays
+/// partial).
+struct ShardTimeout {
+    elapsed: Duration,
+    points_completed: usize,
+    flight: Vec<isdc_telemetry::FlightEvent>,
+}
+
 /// A slot's terminal state: what the worker that drew the shard left
 /// behind for the stitcher.
 enum ShardOutcome {
     Ok(ShardOutput),
     Failed(JobError),
+    TimedOut(ShardTimeout),
     /// The owning job had already failed terminally, so the shard was
     /// drawn and dropped without running.
     Skipped,
@@ -472,6 +545,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs one shard behind a panic boundary, retrying transient failures
 /// (panics and injected faults) up to `max_retries` times with
 /// deterministic exponential backoff. Never panics, never poisons.
+///
+/// When `token` is set it is installed for the shard's whole run, so every
+/// cancellation checkpoint underneath — pipeline stages, iteration tops,
+/// the oracle loop, the solver drain — polls it. A tripped deadline
+/// surfaces as [`ShardOutcome::TimedOut`], **before** the transient check:
+/// a spent budget is terminal, never retried.
 fn run_shard_isolated<O: DelayOracle + ?Sized>(
     shard: &ShardJob,
     design: &BatchDesign,
@@ -479,18 +558,40 @@ fn run_shard_isolated<O: DelayOracle + ?Sized>(
     oracle: &O,
     cache: &Arc<DelayCache>,
     max_retries: u32,
+    token: Option<&CancelToken>,
 ) -> ShardOutcome {
+    let _scope = token.map(CancelToken::install);
+    let shard_start = Instant::now();
+    let timed_out = |points_completed: usize| {
+        ShardOutcome::TimedOut(ShardTimeout {
+            elapsed: shard_start.elapsed(),
+            points_completed,
+            // Snapshot this worker's tail now: it still shows the last
+            // spans before the cut (for a chaos stall, the stall site).
+            flight: isdc_telemetry::flight_tail_current(),
+        })
+    };
     let mut retries = 0u32;
     loop {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
+            isdc_faults::fire("batch/shard-stall");
             isdc_faults::fire("batch/shard");
             run_shard(shard, design, model, oracle, Arc::clone(cache))
         }));
         let (kind, message) = match attempt {
             Ok(Ok(mut out)) => {
+                // A sweep only comes back short when cancellation cut it
+                // (infeasible periods record as infeasible *points*), so a
+                // truncated prefix is a deterministic deadline signal.
+                if let JobKind::Sweep { periods } = &shard.kind {
+                    if out.points.len() < periods.len() {
+                        return timed_out(out.points.len());
+                    }
+                }
                 out.retries = retries;
                 return ShardOutcome::Ok(out);
             }
+            Ok(Err(ScheduleError::DeadlineExceeded)) => return timed_out(0),
             Ok(Err(error)) => {
                 let message = error.to_string();
                 (JobErrorKind::Schedule(error), message)
@@ -557,9 +658,10 @@ fn run_shard<O: DelayOracle + ?Sized>(
 ///
 /// Execution failures do **not** fail the call: each job carries its
 /// [`JobStatus`], and [`BatchReport::first_error`] /
-/// [`BatchReport::jobs_failed`] summarize them. The fleet frame gains
-/// three batch-level counters — `fault/injected`, `job/retries`,
-/// `job/failed` — all zero on a clean run.
+/// [`BatchReport::jobs_failed`] / [`BatchReport::jobs_timed_out`]
+/// summarize them. The fleet frame gains six batch-level counters —
+/// `fault/injected`, `job/retries`, `job/failed`, `job/timed_out`,
+/// `cancel/deadline`, `cancel/watchdog` — all zero on a clean run.
 ///
 /// # Errors
 ///
@@ -580,26 +682,44 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
     let stats_before = cache.stats();
     let injected_before = isdc_faults::injected_count();
     let start = Instant::now();
+    let fleet_deadline_at = options.fleet_deadline.map(|budget| start + budget);
 
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
+    // Raised when a worker observed the fleet budget expired; distinguishes
+    // abandoned shards that should report TimedOut from abort Skips.
+    let fleet_expired = AtomicBool::new(false);
     // One flag per job: once a job fails terminally, its queued shards are
     // dropped (drawn and marked Skipped) instead of executed — their
     // points would be withheld anyway.
     let job_failed: Vec<AtomicBool> = jobs.iter().map(|_| AtomicBool::new(false)).collect();
+    // A job's deadline clock starts at its *first shard claim*, so queue
+    // wait behind other jobs never eats a job's own budget.
+    let job_started: Vec<Mutex<Option<Instant>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     let slots: Vec<Mutex<Option<ShardOutcome>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+    // Per-worker watchdog slots: the in-flight shard's cancel token, the
+    // worker's flight track, and the shard-claim timestamp.
+    let watch: Vec<Mutex<Option<(CancelToken, u32, u64)>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
+    let workers_done = AtomicUsize::new(0);
+    let watchdog_cancels = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for wi in 0..threads {
-            let (next, stop, job_failed, shards, slots) =
-                (&next, &stop, &job_failed, &shards, &slots);
+            let (next, stop, fleet_expired, job_failed, job_started, shards, slots, watch) =
+                (&next, &stop, &fleet_expired, &job_failed, &job_started, &shards, &slots, &watch);
+            let workers_done = &workers_done;
             scope.spawn(move || {
                 // Each worker gets its own named track unconditionally:
                 // the Perfetto view shows one lane per pool thread when
                 // tracing is on, and the always-on flight recorder keeps a
                 // per-worker tail (attached to `JobError`s) even when off.
-                isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
+                let track = isdc_telemetry::set_thread_track(format!("batch-worker-{wi}"));
                 loop {
                     if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if fleet_deadline_at.is_some_and(|at| Instant::now() >= at) {
+                        fleet_expired.store(true, Ordering::Relaxed);
                         break;
                     }
                     let at = next.fetch_add(1, Ordering::Relaxed);
@@ -615,16 +735,43 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
                                 ("design", ArgValue::Str(designs[shard.design].name.clone())),
                             ],
                         );
-                        run_shard_isolated(
+                        // The shard's budget: the job's own deadline
+                        // tightened by the fleet budget. A deadline-free
+                        // token still exists when only the watchdog is
+                        // armed, so a stalled shard can be cancelled.
+                        let job_deadline_at = jobs[shard.job].deadline_ms.map(|ms| {
+                            let mut started =
+                                job_started[shard.job].lock().unwrap_or_else(|e| e.into_inner());
+                            *started.get_or_insert_with(Instant::now) + Duration::from_millis(ms)
+                        });
+                        let deadline_at = match (job_deadline_at, fleet_deadline_at) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        let token = match deadline_at {
+                            Some(at) => Some(CancelToken::with_deadline_at(at)),
+                            None if options.stall_timeout.is_some() => Some(CancelToken::new()),
+                            None => None,
+                        };
+                        if options.stall_timeout.is_some() {
+                            if let Some(token) = &token {
+                                *watch[wi].lock().unwrap_or_else(|e| e.into_inner()) =
+                                    Some((token.clone(), track, isdc_telemetry::now_ns()));
+                            }
+                        }
+                        let outcome = run_shard_isolated(
                             shard,
                             &designs[shard.design],
                             model,
                             oracle,
                             cache,
                             options.max_retries,
-                        )
+                            token.as_ref(),
+                        );
+                        *watch[wi].lock().unwrap_or_else(|e| e.into_inner()) = None;
+                        outcome
                     };
-                    if matches!(outcome, ShardOutcome::Failed(_)) {
+                    if matches!(outcome, ShardOutcome::Failed(_) | ShardOutcome::TimedOut(_)) {
                         job_failed[shard.job].store(true, Ordering::Relaxed);
                         if options.fail_policy == FailPolicy::Abort {
                             stop.store(true, Ordering::Relaxed);
@@ -634,6 +781,38 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
                     // assignment, so a poisoned slot still holds either
                     // `None` or a complete outcome — never a torn value.
                     *slots[at].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                }
+                workers_done.fetch_add(1, Ordering::Release);
+            });
+        }
+        // The stall watchdog: scans every in-flight shard's heartbeat (the
+        // worker's flight-recorder tail — every span begin/end bumps it)
+        // and cancels tokens that have gone silent too long. It only ever
+        // *cancels*; the worker itself reports the TimedOut outcome, so
+        // the watchdog can never tear a slot.
+        if let Some(stall) = options.stall_timeout {
+            let (watch, workers_done, watchdog_cancels) =
+                (&watch, &workers_done, &watchdog_cancels);
+            scope.spawn(move || {
+                isdc_telemetry::set_thread_track("batch-watchdog");
+                let poll = (stall / 4).max(Duration::from_millis(2));
+                let stall_ns = stall.as_nanos() as u64;
+                while workers_done.load(Ordering::Acquire) < threads {
+                    std::thread::sleep(poll);
+                    for slot in watch {
+                        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        let Some((token, track, claimed_ns)) = guard.as_ref() else { continue };
+                        let last_beat = isdc_telemetry::flight_tail(*track)
+                            .last()
+                            .map_or(*claimed_ns, |ev| ev.t_ns.max(*claimed_ns));
+                        if isdc_telemetry::now_ns().saturating_sub(last_beat) > stall_ns {
+                            token.cancel();
+                            watchdog_cancels.fetch_add(1, Ordering::Relaxed);
+                            // Clear the slot so each stall is counted (and
+                            // cancelled) exactly once.
+                            *guard = None;
+                        }
+                    }
                 }
             });
         }
@@ -655,6 +834,7 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
         })
         .collect();
     let mut abandoned = vec![false; jobs.len()];
+    let mut shards_cancelled = 0u64;
     for (shard, slot) in shards.iter().zip(slots) {
         let outcome = slot.into_inner().unwrap_or_else(|e| e.into_inner());
         let result = &mut results[shard.job];
@@ -673,19 +853,49 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
                     result.status = JobStatus::Failed(error);
                 }
             }
+            Some(ShardOutcome::TimedOut(cut)) => {
+                result.shards += 1;
+                result.elapsed += cut.elapsed;
+                shards_cancelled += 1;
+                if result.status.is_ok() {
+                    // elapsed_ms is filled in below, once every sibling
+                    // shard's elapsed has been stitched in.
+                    result.status = JobStatus::TimedOut {
+                        elapsed_ms: 0,
+                        points_completed: cut.points_completed,
+                        flight: cut.flight,
+                    };
+                }
+            }
             Some(ShardOutcome::Skipped) => {}
             None => {
-                debug_assert!(stop.load(Ordering::Relaxed), "only an abort abandons shards");
+                debug_assert!(
+                    stop.load(Ordering::Relaxed) || fleet_expired.load(Ordering::Relaxed),
+                    "only an abort or the fleet budget abandons shards"
+                );
                 abandoned[shard.job] = true;
             }
         }
     }
     // A job the abort cut short (some shard never drawn) is Skipped, and
     // any partial points are withheld: which shards did run before the
-    // abort landed depends on thread timing.
+    // abort landed depends on thread timing. When the fleet budget expired
+    // instead, the cut-short job is TimedOut — not Skipped — so the report
+    // says *why* it has no points.
+    let fleet_expired = fleet_expired.load(Ordering::Relaxed);
     for (result, abandoned) in results.iter_mut().zip(abandoned) {
         if abandoned && result.status.is_ok() {
-            result.status = JobStatus::Skipped;
+            result.status = if fleet_expired {
+                JobStatus::TimedOut { elapsed_ms: 0, points_completed: 0, flight: Vec::new() }
+            } else {
+                JobStatus::Skipped
+            };
+        }
+        if let JobStatus::TimedOut { elapsed_ms, points_completed, .. } = &mut result.status {
+            // Sibling shards that did complete count toward the job's
+            // completed points before the points themselves are withheld.
+            *points_completed += result.points.len();
+            *elapsed_ms = result.elapsed.as_millis() as u64;
         }
         if !result.status.is_ok() {
             result.points.clear();
@@ -706,6 +916,21 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
     metrics.insert("job/retries", MetricValue::Counter(retries));
     let failed = results.iter().filter(|r| matches!(r.status, JobStatus::Failed(_))).count();
     metrics.insert("job/failed", MetricValue::Counter(failed as u64));
+    let timed_out =
+        results.iter().filter(|r| matches!(r.status, JobStatus::TimedOut { .. })).count();
+    metrics.insert("job/timed_out", MetricValue::Counter(timed_out as u64));
+    // `cancel/deadline` counts shards cut by cancellation (deadline, fleet
+    // budget, or watchdog); `cancel/watchdog` counts the subset the stall
+    // watchdog cancelled. Both zero on a clean run.
+    metrics.insert("cancel/deadline", MetricValue::Counter(shards_cancelled));
+    metrics
+        .insert("cancel/watchdog", MetricValue::Counter(watchdog_cancels.load(Ordering::Relaxed)));
+    // The shared cache keeps its own registry (it outlives any one run's
+    // frame), so its eviction count is exported into the fleet frame here.
+    metrics.insert(
+        "cache/evictions",
+        MetricValue::Counter(stats_after.evictions - stats_before.evictions),
+    );
     Ok(BatchReport {
         jobs: results,
         threads,
@@ -715,6 +940,7 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
             hits: stats_after.hits - stats_before.hits,
             misses: stats_after.misses - stats_before.misses,
             inserts: stats_after.inserts - stats_before.inserts,
+            evictions: stats_after.evictions - stats_before.evictions,
         },
         metrics,
     })
@@ -724,7 +950,8 @@ pub fn run_batch<O: DelayOracle + ?Sized>(
 /// stated against: every job runs whole (no sharding) in its own fresh
 /// session over its own **private** cache — exactly the PR 3 workflow of
 /// calling [`isdc_core::sweep_clock_period`] per design. Used by the bench
-/// and the bit-identity tests.
+/// and the bit-identity tests. Deadlines are ignored: the reference
+/// defines *what the full results are*, so it always runs to completion.
 ///
 /// # Errors
 ///

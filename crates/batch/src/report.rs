@@ -69,14 +69,15 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
     let _ = writeln!(out, "  \"hardware_threads\": {},", doc.hardware_threads);
     let _ = writeln!(out, "  \"repeats\": {},", doc.repeats);
     let _ = writeln!(out, "  \"bit_identical\": {},", doc.bit_identical);
-    // Robustness attestation: both zero on a clean run (the bench gate
-    // asserts it — a benchmark that survived only via retries, or dropped
-    // jobs, is not a valid measurement).
+    // Robustness attestation: all zero on a clean run (the bench gate
+    // asserts it — a benchmark that survived only via retries, dropped
+    // jobs, or deadline cuts is not a valid measurement).
     let _ = writeln!(
         out,
-        "  \"jobs_failed\": {}, \"jobs_retried\": {},",
+        "  \"jobs_failed\": {}, \"jobs_retried\": {}, \"jobs_timed_out\": {},",
         doc.report.jobs_failed(),
-        doc.report.jobs_retried()
+        doc.report.jobs_retried(),
+        doc.report.jobs_timed_out()
     );
     if let Some(serial) = doc.serial_total {
         let _ = writeln!(out, "  \"serial_total_ns\": {},", serial.as_nanos());
@@ -116,11 +117,13 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
     }
     let _ = writeln!(
         out,
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries_inserted\": {}}},",
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"entries_inserted\": {}, \"evictions\": {}}},",
         doc.report.cache.hits,
         doc.report.cache.misses,
         doc.report.cache_hit_rate(),
-        doc.report.cache.inserts
+        doc.report.cache.inserts,
+        doc.report.cache.evictions
     );
     // Fleet totals, summed out of the batch's merged metrics frame. Only
     // leaves that are unique across the metric namespace are meaningful
@@ -149,6 +152,7 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
         let status = match &job.status {
             JobStatus::Ok => "ok",
             JobStatus::Failed(_) => "failed",
+            JobStatus::TimedOut { .. } => "timed_out",
             JobStatus::Skipped => "skipped",
         };
         let _ = write!(
@@ -166,6 +170,12 @@ pub fn render_batch_json(doc: &BatchBenchDoc<'_>) -> String {
         );
         if let JobStatus::Failed(error) = &job.status {
             let _ = write!(out, ", \"error\": \"{}\"", escape(&error.to_string()));
+        }
+        if let JobStatus::TimedOut { elapsed_ms, points_completed, .. } = &job.status {
+            let _ = write!(
+                out,
+                ", \"timed_out_after_ms\": {elapsed_ms}, \"points_completed\": {points_completed}"
+            );
         }
         if let Some(min) = job.min_period_ps {
             let _ = write!(out, ", \"min_period_ps\": {min:?}");
@@ -254,7 +264,8 @@ mod tests {
             "\"hardware_threads\": 4",
             "\"repeats\": 1",
             "\"bit_identical\": true",
-            "\"jobs_failed\": 0, \"jobs_retried\": 0",
+            "\"jobs_failed\": 0, \"jobs_retried\": 0, \"jobs_timed_out\": 0",
+            "\"evictions\": 0",
             "\"status\": \"ok\", \"retries\": 0",
             "\"serial_total_ns\": 2000",
             "\"speedup_vs_serial\": 4.00",

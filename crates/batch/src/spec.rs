@@ -57,17 +57,34 @@ pub struct Job {
     pub design: String,
     /// The work to run.
     pub kind: JobKind,
+    /// Per-job wall-clock budget in milliseconds, measured from the job's
+    /// first shard claim. When it trips, the job reports
+    /// `JobStatus::TimedOut` (terminal — never retried) and its points are
+    /// withheld like any other non-Ok status. `None` = unbounded. Spec key:
+    /// `deadline_ms`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Job {
     /// A sweep job over an explicit period list.
     pub fn sweep(design: impl Into<String>, periods: Vec<Picos>) -> Self {
-        Self { design: design.into(), kind: JobKind::Sweep { periods } }
+        Self { design: design.into(), kind: JobKind::Sweep { periods }, deadline_ms: None }
     }
 
     /// A minimum-feasible-period search job.
     pub fn min_period(design: impl Into<String>, lo: Picos, hi: Picos, tol_ps: Picos) -> Self {
-        Self { design: design.into(), kind: JobKind::MinPeriod { lo, hi, tol_ps } }
+        Self {
+            design: design.into(),
+            kind: JobKind::MinPeriod { lo, hi, tol_ps },
+            deadline_ms: None,
+        }
+    }
+
+    /// Builder: sets the per-job deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// Number of session runs the job performs up front (probes of a search
@@ -89,6 +106,9 @@ pub fn render_jobs(jobs: &[Job]) -> String {
             out.push_str(",\n");
         }
         let _ = write!(out, "  {{\"design\":\"{}\",", escape(&job.design));
+        if let Some(ms) = job.deadline_ms {
+            let _ = write!(out, "\"deadline_ms\":{ms},");
+        }
         match &job.kind {
             JobKind::Sweep { periods } => {
                 out.push_str("\"type\":\"sweep\",\"periods\":[");
@@ -152,6 +172,7 @@ fn parse_job(p: &mut Parser<'_>) -> Result<Job, String> {
     let mut periods: Option<Vec<Picos>> = None;
     let (mut from, mut to, mut points) = (None, None, None);
     let (mut lo, mut hi, mut tol) = (None, None, None);
+    let mut deadline_ms: Option<u64> = None;
     p.expect(b'{')?;
     loop {
         let key = p.string()?;
@@ -178,6 +199,13 @@ fn parse_job(p: &mut Parser<'_>) -> Result<Job, String> {
             "lo" => lo = Some(p.number()?),
             "hi" => hi = Some(p.number()?),
             "tol" => tol = Some(p.number()?),
+            "deadline_ms" => {
+                let ms = p.number()?;
+                if !(ms.is_finite() && ms >= 0.0) {
+                    return Err("deadline_ms must be a nonnegative number".to_string());
+                }
+                deadline_ms = Some(ms as u64);
+            }
             _ => p.skip_value()?,
         }
         if !p.comma_or_close(b'}')? {
@@ -217,7 +245,7 @@ fn parse_job(p: &mut Parser<'_>) -> Result<Job, String> {
         }
         Some(other) => return Err(format!("job `{design}`: unknown type `{other}`")),
     };
-    Ok(Job { design, kind })
+    Ok(Job { design, kind, deadline_ms })
 }
 
 #[cfg(test)]
@@ -229,9 +257,23 @@ mod tests {
         let jobs = vec![
             Job::sweep("crc32", vec![2500.0, 3000.0, 1.0 / 3.0]),
             Job::min_period("sha256", 1.0, 5000.0, 10.0),
+            Job::sweep("rrot", vec![2500.0]).with_deadline_ms(750),
         ];
         let parsed = parse_jobs(&render_jobs(&jobs)).unwrap();
         assert_eq!(parsed, jobs, "render/parse must roundtrip bit-identically");
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_validates() {
+        let jobs = parse_jobs(
+            r#"{"jobs":[{"design":"d","type":"sweep","periods":[1500],"deadline_ms":250}]}"#,
+        )
+        .unwrap();
+        assert_eq!(jobs[0].deadline_ms, Some(250));
+        assert!(parse_jobs(
+            r#"{"jobs":[{"design":"d","type":"sweep","periods":[1500],"deadline_ms":-1}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -100,7 +100,8 @@ fn emit_cache_json(_c: &mut Criterion) {
          \"subgraphs\": {},\n  \"unit\": \"ns per 16-window batch evaluation\",\n  \
          \"uncached_ns\": {},\n  \"cold_ns\": {},\n  \"warm_ns\": {},\n  \
          \"warm_speedup_vs_uncached\": {:.2},\n  \"warm_speedup_vs_cold\": {:.2},\n  \
-         \"cold_overhead_vs_uncached\": {:.3},\n  \"entries\": {},\n  \"hits\": {}\n}}\n",
+         \"cold_overhead_vs_uncached\": {:.3},\n  \"entries\": {},\n  \"hits\": {},\n  \
+         \"cache_evictions\": {}\n}}\n",
         if quick { "quick" } else { "full" },
         subgraphs.len(),
         uncached_ns,
@@ -111,6 +112,7 @@ fn emit_cache_json(_c: &mut Criterion) {
         cold_ns as f64 / uncached_ns.max(1) as f64,
         warm_oracle.cache().len(),
         stats.hits,
+        stats.evictions,
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cache.json");
     match std::fs::write(&out, &json) {

@@ -302,7 +302,7 @@ fn gate_batch(doc: &Value, floors: &Value, checks: &mut Vec<Check>) -> Result<()
     // Robustness attestation: a bench that dropped jobs, or only survived
     // via the retry machinery, is not a valid measurement. The fields are
     // required — their absence means the document predates them.
-    for key in ["jobs_failed", "jobs_retried"] {
+    for key in ["jobs_failed", "jobs_retried", "jobs_timed_out"] {
         match doc.number(key) {
             None => return Err(format!("batch doc lacks `{key}`")),
             Some(n) if n != 0.0 => return Err(format!("batch doc attests {key} = {n}, want 0")),

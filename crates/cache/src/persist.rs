@@ -377,7 +377,8 @@ impl DelayCache {
                 return Err(format!("injected error fault at snapshot/write ({})", path.display()));
             }
             Some(FaultKind::Panic) => panic!("injected panic fault at snapshot/write"),
-            None => {}
+            // A stall sleeps inside the hook and surfaces as None.
+            Some(FaultKind::Stall) | None => {}
         }
         let mut tmp_name = path.as_os_str().to_os_string();
         tmp_name.push(".tmp");

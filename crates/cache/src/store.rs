@@ -2,7 +2,7 @@
 
 use crate::fingerprint::Fingerprint;
 use isdc_telemetry::{Counter, MetricsFrame, Registry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Poison-tolerant read lock. Every mutation under these locks is a
@@ -44,6 +44,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries written (excluding snapshot loads).
     pub inserts: u64,
+    /// Entries dropped by the capacity bound (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -103,6 +105,75 @@ fn potentials_order(a: &[i64], b: &[i64]) -> std::cmp::Ordering {
     a.len().cmp(&b.len()).then_with(|| a.cmp(b))
 }
 
+/// One cached entry plus its segmented-LRU bookkeeping. The `stamp`
+/// matches at most one recency-queue element, so stale queue elements
+/// (from promotions, re-inserts, or replacements) are detected lazily and
+/// skipped — no O(n) queue surgery on the warm path.
+#[derive(Debug)]
+struct Slot {
+    entry: CachedDelay,
+    stamp: u64,
+    protected: bool,
+}
+
+/// One lock's worth of the cache: the entry map plus, for bounded caches,
+/// the two segmented-LRU recency queues (probation for entries seen once,
+/// protected for entries hit at least once after insertion). Queue
+/// elements are `(key, stamp)` pairs, front = least recently used.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u128, Slot>,
+    probation: VecDeque<(u128, u64)>,
+    protected: VecDeque<(u128, u64)>,
+    /// Live slots with `protected == true` (queues may hold stale extras).
+    protected_len: usize,
+    /// Monotonic recency clock; bumped on every queue push.
+    stamp: u64,
+}
+
+impl Shard {
+    fn push_probation(&mut self, key: u128) -> u64 {
+        self.stamp += 1;
+        self.probation.push_back((key, self.stamp));
+        self.stamp
+    }
+
+    fn push_protected(&mut self, key: u128) -> u64 {
+        self.stamp += 1;
+        self.protected.push_back((key, self.stamp));
+        self.stamp
+    }
+
+    /// Pops the least-recently-used *valid* key of `queue` (skipping stale
+    /// stamps), or `None` when the queue holds no live entry.
+    fn pop_lru(queue: &mut VecDeque<(u128, u64)>, map: &HashMap<u128, Slot>) -> Option<u128> {
+        while let Some((key, stamp)) = queue.pop_front() {
+            if map.get(&key).is_some_and(|slot| slot.stamp == stamp) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Evicts LRU entries until at most `capacity` remain: probation
+    /// first (entries never re-referenced), then protected. Deterministic
+    /// for a deterministic operation sequence — the victim is a pure
+    /// function of the shard's history.
+    fn evict_to(&mut self, capacity: usize, evictions: &Counter) {
+        while self.map.len() > capacity {
+            let victim = Self::pop_lru(&mut self.probation, &self.map)
+                .or_else(|| Self::pop_lru(&mut self.protected, &self.map));
+            let Some(victim) = victim else { return };
+            if let Some(slot) = self.map.remove(&victim) {
+                if slot.protected {
+                    self.protected_len -= 1;
+                }
+                evictions.incr();
+            }
+        }
+    }
+}
+
 /// A sharded, thread-safe map from structural fingerprints to delay reports.
 ///
 /// Shard count is fixed at construction; a fingerprint's shard is chosen
@@ -115,18 +186,38 @@ fn potentials_order(a: &[i64], b: &[i64]) -> std::cmp::Ordering {
 /// [`StoredPotentials`] per design fingerprint (one entry per clock period,
 /// sorted ascending). It is deliberately unsharded: sweeps write one vector
 /// per *run*, not per evaluation.
+///
+/// # Bounded caches
+///
+/// [`DelayCache::with_capacity`] bounds the entry count with per-shard
+/// **segmented LRU** eviction: new entries enter a probation segment and
+/// graduate to a protected segment on their first hit; eviction drains
+/// probation LRU-first, then protected. Eviction is *semantically
+/// invisible* — entries are immutable oracle results, so an evicted key
+/// merely becomes a future miss that recomputes the identical value.
+/// Hit rates change; **returned delays never do** (the capacity-bound
+/// tests enforce bit-identity against an unbounded run). The
+/// `cache/evictions` counter reports the drop count. Bounded lookups take
+/// the shard's write lock (hits move queue entries); unbounded caches
+/// keep the read-lock fast path.
 #[derive(Debug)]
 pub struct DelayCache {
-    shards: Box<[RwLock<HashMap<u128, CachedDelay>>]>,
+    shards: Box<[RwLock<Shard>]>,
     mask: usize,
+    /// Per-shard entry bound; `usize::MAX` when unbounded.
+    shard_capacity: usize,
+    /// Protected-segment bound within a shard (≈ 4/5 of the shard
+    /// capacity), so probation always retains room for new blood.
+    protected_capacity: usize,
     potentials: RwLock<HashMap<u128, Vec<StoredPotentials>>>,
-    /// The cache's telemetry registry. The hit/miss/insert counters
-    /// below are handles into it; [`DelayCache::stats`] and
+    /// The cache's telemetry registry. The hit/miss/insert/eviction
+    /// counters below are handles into it; [`DelayCache::stats`] and
     /// [`DelayCache::metrics`] are two views over the same cells.
     registry: Registry,
     hits: Counter,
     misses: Counter,
     inserts: Counter,
+    evictions: Counter,
 }
 
 impl Default for DelayCache {
@@ -147,32 +238,105 @@ impl DelayCache {
     ///
     /// Panics if `shards` is 0.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_capacity(shards, 0)
+    }
+
+    /// An entry-bounded cache with the default shard count. `capacity` is
+    /// the total entry budget, divided evenly across shards (rounded up to
+    /// a whole entry per shard); `0` means unbounded. See the type docs
+    /// for the segmented-LRU eviction semantics.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_shards_and_capacity(16, capacity)
+    }
+
+    /// A cache with both knobs explicit; `capacity == 0` means unbounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn with_shards_and_capacity(shards: usize, capacity: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         let count = shards.next_power_of_two();
+        let shard_capacity =
+            if capacity == 0 { usize::MAX } else { capacity.div_ceil(count).max(1) };
+        let protected_capacity =
+            if shard_capacity == usize::MAX { usize::MAX } else { (shard_capacity * 4 / 5).max(1) };
         let registry = Registry::new();
-        let (hits, misses, inserts) = (
+        let (hits, misses, inserts, evictions) = (
             registry.counter("cache/hits"),
             registry.counter("cache/misses"),
             registry.counter("cache/inserts"),
+            registry.counter("cache/evictions"),
         );
         Self {
-            shards: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..count).map(|_| RwLock::new(Shard::default())).collect(),
             mask: count - 1,
+            shard_capacity,
+            protected_capacity,
             potentials: RwLock::new(HashMap::new()),
             registry,
             hits,
             misses,
             inserts,
+            evictions,
         }
     }
 
-    fn shard(&self, fp: Fingerprint) -> &RwLock<HashMap<u128, CachedDelay>> {
+    /// Whether a capacity bound is set.
+    pub fn bounded(&self) -> bool {
+        self.shard_capacity != usize::MAX
+    }
+
+    /// The total entry capacity, or `None` when unbounded. Reported as the
+    /// per-shard budget times the shard count (construction rounds the
+    /// requested capacity up to a whole entry per shard).
+    pub fn capacity(&self) -> Option<usize> {
+        self.bounded().then(|| self.shard_capacity * self.shards.len())
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &RwLock<Shard> {
         &self.shards[(fp.0 as usize) & self.mask]
     }
 
-    /// Looks up a fingerprint, counting a hit or miss.
+    /// Looks up a fingerprint, counting a hit or miss. On a bounded cache
+    /// a hit also *promotes* the entry (probation → protected, or to the
+    /// protected segment's MRU position).
     pub fn get(&self, fp: Fingerprint) -> Option<CachedDelay> {
-        let found = read_shard(self.shard(fp)).get(&fp.0).cloned();
+        let found = if self.bounded() {
+            let mut guard = write_shard(self.shard(fp));
+            // Reborrow through the guard once so field borrows can split.
+            let shard: &mut Shard = &mut guard;
+            match shard.map.get(&fp.0) {
+                Some(slot) => {
+                    let entry = slot.entry.clone();
+                    let was_protected = slot.protected;
+                    let stamp = shard.push_protected(fp.0);
+                    let slot = shard.map.get_mut(&fp.0).expect("slot just read");
+                    slot.stamp = stamp;
+                    slot.protected = true;
+                    if !was_protected {
+                        shard.protected_len += 1;
+                    }
+                    // Keep the protected segment under its bound by
+                    // demoting its LRU back to probation (as MRU — it was
+                    // referenced more recently than probation's tail).
+                    while shard.protected_len > self.protected_capacity {
+                        let Some(demoted) = Shard::pop_lru(&mut shard.protected, &shard.map) else {
+                            break;
+                        };
+                        let stamp = shard.push_probation(demoted);
+                        let slot = shard.map.get_mut(&demoted).expect("demoted slot is live");
+                        slot.stamp = stamp;
+                        slot.protected = false;
+                        shard.protected_len -= 1;
+                    }
+                    Some(entry)
+                }
+                None => None,
+            }
+        } else {
+            read_shard(self.shard(fp)).map.get(&fp.0).map(|slot| slot.entry.clone())
+        };
         match found {
             Some(entry) => {
                 self.hits.incr();
@@ -185,23 +349,39 @@ impl DelayCache {
         }
     }
 
+    /// Inserts `entry` as a probation slot (replacing any previous slot for
+    /// the key) and evicts down to the capacity bound.
+    fn insert_slot(&self, fp: Fingerprint, entry: CachedDelay) {
+        let mut shard = write_shard(self.shard(fp));
+        let stamp = shard.push_probation(fp.0);
+        if let Some(old) = shard.map.insert(fp.0, Slot { entry, stamp, protected: false }) {
+            if old.protected {
+                shard.protected_len -= 1;
+            }
+        }
+        if self.bounded() {
+            shard.evict_to(self.shard_capacity, &self.evictions);
+        }
+    }
+
     /// Inserts (or replaces) an entry, counting an insert.
     pub fn insert(&self, fp: Fingerprint, entry: CachedDelay) {
         // The fault hook fires *before* the lock is taken: an injected
         // panic here loses only this one insert, never shard consistency.
         isdc_faults::fire("cache/insert");
         self.inserts.incr();
-        write_shard(self.shard(fp)).insert(fp.0, entry);
+        self.insert_slot(fp, entry);
     }
 
-    /// Inserts without touching the counters (snapshot loading).
+    /// Inserts without touching the insert counter (snapshot loading).
+    /// Evictions still count — a bounded cache stays bounded under load.
     pub(crate) fn insert_silent(&self, fp: Fingerprint, entry: CachedDelay) {
-        write_shard(self.shard(fp)).insert(fp.0, entry);
+        self.insert_slot(fp, entry);
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| read_shard(s).len()).sum()
+        self.shards.iter().map(|s| read_shard(s).map.len()).sum()
     }
 
     /// True if nothing is cached.
@@ -212,19 +392,24 @@ impl DelayCache {
     /// A consistent snapshot of the counters — a [`CacheStats`]-shaped
     /// view over the telemetry registry cells.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits.get(), misses: self.misses.get(), inserts: self.inserts.get() }
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
+        }
     }
 
     /// The same counters as a mergeable telemetry frame
-    /// (`cache/hits`, `cache/misses`, `cache/inserts`).
+    /// (`cache/hits`, `cache/misses`, `cache/inserts`, `cache/evictions`).
     pub fn metrics(&self) -> MetricsFrame {
         self.registry.snapshot()
     }
 
-    /// Drops all entries, keeping the counters.
+    /// Drops all entries (and their recency history), keeping the counters.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            write_shard(s).clear();
+            *write_shard(s) = Shard::default();
         }
     }
 
@@ -292,16 +477,22 @@ impl DelayCache {
     pub fn merge(&self, other: &DelayCache) -> usize {
         let mut changed = 0;
         for (fp, theirs) in other.entries() {
-            let shard = self.shard(fp);
-            let mut map = write_shard(shard);
-            match map.entry(fp.0) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(theirs);
+            let mut guard = write_shard(self.shard(fp));
+            let shard: &mut Shard = &mut guard;
+            match shard.map.get_mut(&fp.0) {
+                None => {
+                    let stamp = shard.push_probation(fp.0);
+                    shard.map.insert(fp.0, Slot { entry: theirs, stamp, protected: false });
+                    if self.bounded() {
+                        shard.evict_to(self.shard_capacity, &self.evictions);
+                    }
                     changed += 1;
                 }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    if entry_order(&theirs, slot.get()).is_lt() {
-                        slot.insert(theirs);
+                Some(slot) => {
+                    // A conflict replaces the value in place; the slot
+                    // keeps its recency position.
+                    if entry_order(&theirs, &slot.entry).is_lt() {
+                        slot.entry = theirs;
                         changed += 1;
                     }
                 }
@@ -329,7 +520,11 @@ impl DelayCache {
             .shards
             .iter()
             .flat_map(|s| {
-                read_shard(s).iter().map(|(&k, v)| (Fingerprint(k), v.clone())).collect::<Vec<_>>()
+                read_shard(s)
+                    .map
+                    .iter()
+                    .map(|(&k, slot)| (Fingerprint(k), slot.entry.clone()))
+                    .collect::<Vec<_>>()
             })
             .collect();
         out.sort_by_key(|&(fp, _)| fp);
@@ -450,6 +645,93 @@ mod tests {
         // And merges never bump the insert counter (the `get` probes above
         // legitimately counted hits).
         assert_eq!(a2.stats().inserts, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_probation_first() {
+        // 1 shard so the eviction order is exactly the global LRU order.
+        let cache = DelayCache::with_shards_and_capacity(1, 3);
+        assert_eq!(cache.capacity(), Some(3));
+        cache.insert(fp(1), entry(1.0));
+        cache.insert(fp(2), entry(2.0));
+        cache.insert(fp(3), entry(3.0));
+        assert!(cache.get(fp(1)).is_some(), "promote 1 to protected");
+        cache.insert(fp(4), entry(4.0)); // over capacity: evict LRU probation = 2
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(fp(2)).is_none(), "LRU probation entry was evicted");
+        assert!(cache.get(fp(1)).is_some(), "protected entry survived");
+        assert!(cache.get(fp(3)).is_some());
+        assert!(cache.get(fp(4)).is_some());
+    }
+
+    #[test]
+    fn eviction_never_changes_a_returned_delay() {
+        // The bit-identity contract at the unit level: every get that hits
+        // returns exactly what the (re-)insert stored, bounded or not.
+        let bounded = DelayCache::with_shards_and_capacity(1, 4);
+        let unbounded = DelayCache::with_shards(1);
+        let keys = [3u128, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4];
+        for (cache, log) in [(&bounded, true), (&unbounded, false)] {
+            let mut returned = Vec::new();
+            for &k in &keys {
+                match cache.get(fp(k)) {
+                    Some(e) => returned.push((k, e.delay_ps)),
+                    None => {
+                        cache.insert(fp(k), entry(k as f64));
+                        returned.push((k, k as f64));
+                    }
+                }
+            }
+            for (k, d) in returned {
+                assert_eq!(d, k as f64, "returned delay must match the oracle value");
+            }
+            if log {
+                assert!(cache.stats().evictions > 0, "the bounded run must actually evict");
+                assert!(cache.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_is_deterministic_for_a_fixed_op_sequence() {
+        let run = || {
+            let cache = DelayCache::with_shards_and_capacity(2, 4);
+            for round in 0..3u128 {
+                for k in 0..10u128 {
+                    if cache.get(fp(k)).is_none() {
+                        cache.insert(fp(k), entry((k + round) as f64));
+                    }
+                }
+            }
+            (cache.entries(), cache.stats())
+        };
+        assert_eq!(run(), run(), "same ops, same survivors, same counters");
+    }
+
+    #[test]
+    fn bounded_merge_respects_capacity() {
+        let src = DelayCache::new();
+        for k in 0..20u128 {
+            src.insert(fp(k), entry(k as f64));
+        }
+        let dst = DelayCache::with_shards_and_capacity(1, 5);
+        dst.merge(&src);
+        assert_eq!(dst.len(), 5, "merge must not blow the bound");
+        assert_eq!(dst.stats().evictions, 15);
+        assert_eq!(dst.stats().inserts, 0, "merge still bypasses the insert counter");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = DelayCache::new();
+        assert!(!cache.bounded());
+        assert_eq!(cache.capacity(), None);
+        for k in 0..1000u128 {
+            cache.insert(fp(k), entry(k as f64));
+        }
+        assert_eq!(cache.len(), 1000);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct IsdcConfig {
     /// and saved after it, so delay data survives across runs and sweeps.
     /// Ignored unless [`IsdcConfig::cache`] is set.
     pub cache_file: Option<PathBuf>,
+    /// Entry-capacity bound for the delay cache this run creates when
+    /// [`IsdcConfig::cache`] is set (segmented-LRU eviction — see
+    /// [`isdc_cache::DelayCache::with_capacity`]). `0` = unbounded.
+    /// Ignored when the caller supplies its own cache (sessions, batch).
+    pub cache_capacity: usize,
     /// Solve each iteration's LP incrementally ([`IncrementalScheduler`]):
     /// the difference system persists across iterations, only dirty timing
     /// pairs are re-emitted, and the min-cost-flow re-solve is warm-started
@@ -98,6 +103,7 @@ impl IsdcConfig {
             convergence_patience: 2,
             cache: false,
             cache_file: None,
+            cache_capacity: 0,
             incremental: true,
             iteration_metrics: true,
         }
@@ -294,7 +300,7 @@ pub fn run_isdc<O: DelayOracle + ?Sized>(
         return run_pipeline(graph, model, oracle, config, None, RunSeed::default())
             .map(|o| o.result);
     }
-    let cache = Arc::new(DelayCache::new());
+    let cache = Arc::new(DelayCache::with_capacity(config.cache_capacity));
     if let Some(path) = &config.cache_file {
         // Best-effort: a missing, stale or foreign-oracle snapshot only
         // costs misses. The oracle tag check inside `load` prevents
@@ -372,6 +378,12 @@ pub(crate) fn run_pipeline<O: DelayOracle + ?Sized>(
     let mut stable_for = 0usize;
     let mut prev_bits = state.schedule().register_bits(graph);
     for iteration in 1..=config.max_iterations {
+        // Per-iteration cancellation poll (one relaxed load disarmed) and
+        // the matching chaos hook. Completed iterations stay in `history`;
+        // the caller's error path discards only the in-flight run.
+        isdc_cancel::checkpoint().map_err(|_| ScheduleError::DeadlineExceeded)?;
+        isdc_faults::trip("pipeline/iteration")
+            .map_err(|fault| ScheduleError::Injected { site: fault.site })?;
         // Opened unconditionally: iterations whose *quality metrics* are
         // skipped (`iteration_metrics: false`) still get full span
         // coverage — only the oracle_metrics child span is absent.

@@ -35,7 +35,7 @@ use crate::scheduler::{
 use crate::subgraph::{extract_subgraphs, Subgraph};
 use isdc_ir::{Graph, NodeId};
 use isdc_sdc::DrainStats;
-use isdc_synth::{evaluate_parallel, DelayOracle, DelayReport, OpDelayModel};
+use isdc_synth::{evaluate_parallel_cancellable, DelayOracle, DelayReport, OpDelayModel};
 use isdc_telemetry::{Counter, Histogram, MetricsFrame, Registry};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -247,6 +247,11 @@ pub fn run_stage<O: DelayOracle + ?Sized, S: Stage<O>>(
     state: &mut PipelineState<'_, O>,
     input: S::In,
 ) -> Result<(S::Out, Duration), ScheduleError> {
+    // Stage-boundary cancellation poll: one relaxed load when no deadline
+    // is armed. Bailing between stages leaves the run's state objects
+    // untouched since the last completed stage, so the caller's normal
+    // error path (discard the run, keep the session) stays clean-cut.
+    isdc_cancel::checkpoint().map_err(|_| ScheduleError::DeadlineExceeded)?;
     let _span = isdc_telemetry::span(S::KIND.span_name());
     let start = Instant::now();
     let out = stage.run(state, input)?;
@@ -516,8 +521,13 @@ impl<O: DelayOracle + ?Sized> Stage<O> for Evaluate {
     ) -> Result<Self::Out, ScheduleError> {
         let node_sets: Vec<Vec<NodeId>> = input.iter().map(|s| s.nodes.clone()).collect();
         state.metrics.subgraphs_evaluated.add(node_sets.len() as u64);
-        let reports =
-            evaluate_parallel(state.oracle, state.graph, &node_sets, state.config.threads);
+        let reports = evaluate_parallel_cancellable(
+            state.oracle,
+            state.graph,
+            &node_sets,
+            state.config.threads,
+        )
+        .map_err(|_| ScheduleError::DeadlineExceeded)?;
         Ok((input, reports))
     }
 }

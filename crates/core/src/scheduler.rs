@@ -76,6 +76,12 @@ pub enum ScheduleError {
         /// The injection site that fired (e.g. `solver/drain`).
         site: &'static str,
     },
+    /// An installed `isdc_cancel` deadline or token tripped mid-run. The
+    /// run unwound through its normal error paths: warm solver state is
+    /// discarded (never poisoned), session/cache stay consistent, and any
+    /// already-completed sweep points are kept. *Terminal* — the batch
+    /// engine never retries it.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ScheduleError {
@@ -93,6 +99,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Injected { site } => {
                 write!(f, "injected fault at {site}")
             }
+            ScheduleError::DeadlineExceeded => {
+                f.write_str("deadline exceeded (run cancelled cleanly)")
+            }
         }
     }
 }
@@ -101,7 +110,10 @@ impl std::error::Error for ScheduleError {}
 
 impl From<SolveError> for ScheduleError {
     fn from(e: SolveError) -> Self {
-        ScheduleError::Solver(e)
+        match e {
+            SolveError::Cancelled => ScheduleError::DeadlineExceeded,
+            e => ScheduleError::Solver(e),
+        }
     }
 }
 
@@ -575,6 +587,7 @@ fn reconcile_source(
 
 fn map_solve_error(e: SolveError, max_stages: Option<u32>) -> ScheduleError {
     match (&e, max_stages) {
+        (SolveError::Cancelled, _) => ScheduleError::DeadlineExceeded,
         (SolveError::Infeasible { .. }, Some(max_stages)) => {
             ScheduleError::LatencyUnachievable { max_stages }
         }

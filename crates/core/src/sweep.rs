@@ -183,6 +183,14 @@ fn is_infeasibility(e: &ScheduleError) -> bool {
 /// observational). Pass a `base` with `iteration_metrics: false` to skip
 /// them everywhere.
 ///
+/// # Cancellation
+///
+/// A deadline tripping mid-sweep is **clean-cut**, not fatal: the sweep
+/// returns the already-completed points, bit-identical to the uncancelled
+/// run's prefix (the session absorbs nothing from the abandoned run, and
+/// its caches are pure accelerators). Callers detect truncation by
+/// comparing `points.len()` against `periods.len()`.
+///
 /// # Errors
 ///
 /// Propagates solver failures that do not signal infeasibility.
@@ -202,6 +210,7 @@ pub fn sweep_clock_period<O: DelayOracle + ?Sized>(
         match session.run(&config) {
             Ok(run) => points.push(SweepPoint::from_session_run(&run)),
             Err(e) if is_infeasibility(&e) => points.push(SweepPoint::infeasible(clock)),
+            Err(ScheduleError::DeadlineExceeded) => return Ok(points),
             Err(e) => return Err(e),
         }
     }

@@ -18,13 +18,15 @@
 //! A *site* is a `&'static str` name at an instrumented point; the bundled
 //! hooks are listed in [`SITES`]:
 //!
-//! | site             | location                              | effect of a fault |
-//! |------------------|---------------------------------------|-------------------|
-//! | `oracle/eval`    | `CachingOracle::evaluate`             | panic             |
-//! | `cache/insert`   | `DelayCache::insert`                  | panic             |
-//! | `snapshot/write` | `DelayCache::save`                    | torn write / error / panic |
-//! | `solver/drain`   | the pipeline's Solve stage            | error / panic     |
-//! | `batch/shard`    | the batch worker, before a shard runs | panic             |
+//! | site                 | location                              | effect of a fault |
+//! |----------------------|---------------------------------------|-------------------|
+//! | `oracle/eval`        | `CachingOracle::evaluate`             | panic             |
+//! | `cache/insert`       | `DelayCache::insert`                  | panic             |
+//! | `snapshot/write`     | `DelayCache::save`                    | torn write / error / panic |
+//! | `solver/drain`       | the pipeline's Solve stage            | error / panic     |
+//! | `batch/shard`        | the batch worker, before a shard runs | panic             |
+//! | `pipeline/iteration` | `run_pipeline`, top of each iteration | error / panic     |
+//! | `batch/shard-stall`  | the batch worker, before a shard runs | stall (sleep)     |
 //!
 //! # Determinism
 //!
@@ -75,6 +77,14 @@ pub enum FaultKind {
     /// meaningful at write sites; elsewhere it behaves like
     /// [`FaultKind::Error`].
     TruncateWrite,
+    /// Stall the calling thread at the site for [`stall_ms`] milliseconds
+    /// (exercises deadlines and the batch stall watchdog). The stall
+    /// happens *inside* the hook — every wrapper then proceeds normally
+    /// ([`check`] reports `None`, [`fire`] returns, [`trip`] is `Ok`) —
+    /// and it ends early if the thread's `isdc_cancel` token trips.
+    /// Deliberately excluded from [`FaultPlan::seeded`] so seed-sweep
+    /// chaos invariants (every fired fault fails a job) keep holding.
+    Stall,
 }
 
 impl fmt::Display for FaultKind {
@@ -83,6 +93,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Error => "error",
             FaultKind::TruncateWrite => "truncate-write",
+            FaultKind::Stall => "stall",
         })
     }
 }
@@ -109,8 +120,15 @@ pub struct FaultPlan {
 /// The catalog of sites the workspace hooks (see the crate docs table).
 /// Seed sweeps iterate this; new hooks must be added here so chaos tests
 /// cover them.
-pub const SITES: &[&str] =
-    &["oracle/eval", "cache/insert", "snapshot/write", "solver/drain", "batch/shard"];
+pub const SITES: &[&str] = &[
+    "oracle/eval",
+    "cache/insert",
+    "snapshot/write",
+    "solver/drain",
+    "batch/shard",
+    "pipeline/iteration",
+    "batch/shard-stall",
+];
 
 impl FaultPlan {
     /// An empty plan (installing it still counts hits, but never fires).
@@ -168,6 +186,20 @@ struct Installed {
 /// installed. Everything else lives behind the mutex.
 static ARMED: AtomicBool = AtomicBool::new(false);
 static STATE: Mutex<Option<Installed>> = Mutex::new(None);
+
+/// How long a fired [`FaultKind::Stall`] sleeps, in milliseconds.
+static STALL_MS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(250);
+
+/// Sets the duration of injected stalls. Tests tune this so a stall
+/// reliably overruns a deadline without inflating suite wall-time.
+pub fn set_stall_ms(ms: u64) {
+    STALL_MS.store(ms, Ordering::SeqCst);
+}
+
+/// The configured injected-stall duration in milliseconds (default 250).
+pub fn stall_ms() -> u64 {
+    STALL_MS.load(Ordering::Relaxed)
+}
 
 fn state_lock() -> std::sync::MutexGuard<'static, Option<Installed>> {
     // A panicking fault *inside* a hook caller can poison this lock while
@@ -234,6 +266,17 @@ fn check_slow(site: &'static str) -> Option<FaultKind> {
     // post-mortem dump names the exact fault site even when the panic
     // unwinds through layers that lose the message.
     isdc_telemetry::flight_fault(site);
+    if fired == FaultKind::Stall {
+        // The stall happens here so every wrapper (`check`/`fire`/`trip`)
+        // observes it identically, then proceeds as if nothing fired.
+        // Sliced sleep: an `isdc_cancel` cancellation (deadline, watchdog)
+        // cuts the stall short instead of holding the thread hostage.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(stall_ms());
+        while std::time::Instant::now() < deadline && !isdc_cancel::cancelled() {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        return None;
+    }
     Some(fired)
 }
 
@@ -368,6 +411,34 @@ mod tests {
             sites_seen.insert(a.arms[0].site.clone());
         }
         assert_eq!(sites_seen.len(), SITES.len(), "64 seeds must cover every site");
+    }
+
+    #[test]
+    fn stall_delays_then_proceeds_as_if_unfired() {
+        let _g = serial();
+        set_stall_ms(40);
+        install(FaultPlan::new().with("batch/shard-stall", 0, FaultKind::Stall));
+        let t = std::time::Instant::now();
+        fire("batch/shard-stall"); // must NOT panic: stall is transparent
+        assert!(t.elapsed() >= std::time::Duration::from_millis(40), "hook must stall");
+        assert_eq!(injected_count(), 1, "the stall still counts as injected");
+        assert!(trip("batch/shard-stall").is_ok(), "arm fired once; later hits pass");
+        clear();
+        set_stall_ms(250);
+    }
+
+    #[test]
+    fn cancellation_cuts_a_stall_short() {
+        let _g = serial();
+        set_stall_ms(60_000);
+        install(FaultPlan::new().with("batch/shard-stall", 0, FaultKind::Stall));
+        let token = isdc_cancel::CancelToken::with_deadline(std::time::Duration::from_millis(30));
+        let _scope = token.install();
+        let t = std::time::Instant::now();
+        fire("batch/shard-stall");
+        assert!(t.elapsed() < std::time::Duration::from_secs(30), "deadline must end the stall");
+        clear();
+        set_stall_ms(250);
     }
 
     #[test]

@@ -369,6 +369,10 @@ pub(crate) fn ssp_drain(
     // Deferred unsettled-node potential share (see the doc comment).
     let mut offset: i64 = 0;
     while supply > 0 {
+        // Per-phase cancellation poll: one relaxed load when disarmed. The
+        // caller discards partial drain state on the error, so bailing
+        // between phases never leaks a half-applied potential update.
+        isdc_cancel::checkpoint().map_err(|_| SolveError::Cancelled)?;
         let supply_before = supply;
         // One multi-source Dijkstra pass over reduced costs. The deferred
         // offset shifts every node's potential equally, so raw `pi` values
@@ -544,6 +548,7 @@ fn drain_single_source(
     let mut sources: Vec<usize> = (0..n).filter(|&v| excess[v] > 0).collect();
     let mut offset: i64 = 0;
     while let Some(&source) = sources.last() {
+        isdc_cancel::checkpoint().map_err(|_| SolveError::Cancelled)?;
         if excess[source] <= 0 {
             sources.pop();
             continue;
@@ -633,6 +638,7 @@ pub(crate) fn ssp_drain_serial(
     let mut sources: Vec<usize> = (0..n).filter(|&v| excess[v] > 0).collect();
     while let Some(source) = sources.pop() {
         while excess[source] > 0 {
+            isdc_cancel::checkpoint().map_err(|_| SolveError::Cancelled)?;
             // Dijkstra on reduced costs from `source`, stopping at the
             // nearest deficit.
             let (dist, settled, parent_arc, target) = net.dijkstra_to_deficit(source, pi, excess);

@@ -53,6 +53,10 @@ pub enum SolveError {
         /// The nonzero weight sum.
         weight_sum: i64,
     },
+    /// The solve was cancelled by an installed `isdc_cancel` deadline or
+    /// token before completing. Partial drain state is discarded by the
+    /// caller, so this never poisons warm solver state.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -65,6 +69,7 @@ impl fmt::Display for SolveError {
             SolveError::UnbalancedObjective { weight_sum } => {
                 write!(f, "objective weights sum to {weight_sum}, expected 0")
             }
+            SolveError::Cancelled => f.write_str("solve cancelled (deadline exceeded)"),
         }
     }
 }

@@ -256,6 +256,59 @@ pub fn evaluate_parallel<O: DelayOracle + ?Sized>(
     reports.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
+/// [`evaluate_parallel`] with a cooperative cancellation poll before each
+/// subgraph evaluation. The calling thread's installed
+/// [`isdc_cancel::CancelToken`] (if any) is re-installed inside each worker
+/// so a deadline cuts the whole evaluation short; completed reports are
+/// discarded (the caller re-evaluates after rerun — the oracle is pure, so
+/// a redo is bit-identical).
+///
+/// With no token installed the per-subgraph poll is one relaxed atomic
+/// load, and behavior is identical to [`evaluate_parallel`].
+///
+/// # Errors
+///
+/// Returns [`isdc_cancel::Cancelled`] when the installed token trips
+/// before every subgraph finishes.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a worker thread panics.
+pub fn evaluate_parallel_cancellable<O: DelayOracle + ?Sized>(
+    oracle: &O,
+    graph: &Graph,
+    subgraphs: &[Vec<NodeId>],
+    threads: usize,
+) -> Result<Vec<DelayReport>, isdc_cancel::Cancelled> {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || subgraphs.len() <= 1 {
+        let mut reports = Vec::with_capacity(subgraphs.len());
+        for members in subgraphs {
+            isdc_cancel::checkpoint()?;
+            reports.push(oracle.evaluate(graph, members));
+        }
+        return Ok(reports);
+    }
+    let token = isdc_cancel::current();
+    let mut reports: Vec<Option<DelayReport>> = vec![None; subgraphs.len()];
+    let chunk = subgraphs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot_chunk, work_chunk) in reports.chunks_mut(chunk).zip(subgraphs.chunks(chunk)) {
+            let token = token.clone();
+            scope.spawn(move || {
+                let _scope = token.as_ref().map(|t| t.install());
+                for (slot, members) in slot_chunk.iter_mut().zip(work_chunk) {
+                    if isdc_cancel::checkpoint().is_err() {
+                        return;
+                    }
+                    *slot = Some(oracle.evaluate(graph, members));
+                }
+            });
+        }
+    });
+    reports.into_iter().map(|r| r.ok_or(isdc_cancel::Cancelled)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

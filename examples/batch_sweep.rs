@@ -160,9 +160,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })?;
         // Execution failures surface per job since the fault-tolerance
         // rework; a bench run tolerates none (and the rendered document's
-        // jobs_failed/jobs_retried fields attest it to the gate).
+        // jobs_failed/jobs_retried/jobs_timed_out fields attest it to the
+        // gate).
         assert!(report.all_ok(), "batch @ {threads} threads had failed jobs");
         assert_eq!(report.jobs_retried(), 0, "a bench must not need retries");
+        assert_eq!(report.jobs_timed_out(), 0, "no deadlines are armed, nothing may time out");
         assert_bit_identical(&report, &serial, threads);
         println!(
             "batch @ {threads} threads: {:.2?} ({:.2}x vs serial, {:.1}x vs cold, {} shards, \

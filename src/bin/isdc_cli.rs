@@ -22,6 +22,8 @@
 //!   --cache-file <file>   persist the cache snapshot across runs (implies --cache)
 //!   --cold-solver         rebuild and cold-solve the LP every iteration
 //!                         (default: incremental warm-started re-solves)
+//!   --deadline <ms>       wall-clock budget; an exceeded run exits 4
+//!   --cache-capacity <n>  bound the delay cache to n entries (LRU eviction)
 //!   --dot <file>          write the staged pipeline as Graphviz DOT
 //!
 //! sweep options (in addition to --iterations/--subgraphs/--scoring/--shape):
@@ -32,6 +34,9 @@
 //!   --min-period          also binary-search the minimum feasible period
 //!   --tol <ps>            search resolution for --min-period (default 10)
 //!   --cache-file <file>   load/save the session snapshot (delays + potentials)
+//!   --deadline <ms>       wall-clock budget; a cut-short sweep still prints
+//!                         and saves its completed prefix, then exits 4
+//!   --cache-capacity <n>  bound the session delay cache to n entries
 //!   --out <file>          write the sweep records as BENCH_sweep-style JSON
 //!
 //! batch options (in addition to --iterations/--subgraphs/--scoring/--shape):
@@ -45,6 +50,11 @@
 //!                         every other job and report per-job status
 //!   --max-retries <n>     retry transient shard failures up to n times
 //!                         (deterministic backoff; default 0)
+//!   --deadline <ms>       per-job wall-clock budget for every job (jobs in
+//!                         the spec may also set "deadline_ms" individually)
+//!   --fleet-deadline <ms> wall-clock budget for the whole batch
+//!   --stall-timeout <ms>  cancel a worker whose heartbeat goes silent
+//!   --cache-capacity <n>  bound the fleet cache to n entries (LRU eviction)
 //!   --cache-file <file>   load/save the fleet-wide cache snapshot
 //!   --out <file>          write the batch report as BENCH_batch-style JSON;
 //!                         failed jobs also dump their workers' flight-recorder
@@ -67,13 +77,16 @@
 //! independent runs in both cases; only the time changes.
 //!
 //! Chaos reproduction: set `ISDC_FAULT_PLAN=site:hit:kind` (kind `panic`,
-//! `error`, or `truncate`; sites in `isdc::faults::SITES`) to arm one
-//! deterministic fault before the command runs — e.g.
+//! `error`, `truncate`, or `stall`; sites in `isdc::faults::SITES`) to arm
+//! one deterministic fault before the command runs — e.g.
 //! `ISDC_FAULT_PLAN=batch/shard:0:panic isdc-cli batch --keep-going ...`.
 //!
 //! Exit codes: 0 success; 2 usage, spec, or I/O errors; 3 one or more
 //! batch jobs failed (the report still prints, and `--out`/`--cache-file`
-//! artifacts are still written — see README § Robustness). A corrupt
+//! artifacts are still written — see README § Robustness); 4 a deadline
+//! cut the run short (`--deadline`/`--fleet-deadline`/`--stall-timeout` or
+//! per-job `deadline_ms` — artifacts are still written and completed
+//! results are bit-identical to an unbounded run's prefix). A corrupt
 //! cache snapshot never fails a run: it is quarantined to `<file>.corrupt`
 //! and the run cold-starts with a warning.
 
@@ -93,6 +106,11 @@ use std::process::ExitCode;
 const EXIT_SPEC: u8 = 2;
 /// Exit code when batch jobs failed but the run itself completed.
 const EXIT_JOBS_FAILED: u8 = 3;
+/// Exit code when a deadline (`--deadline`, `--fleet-deadline`, per-job
+/// `deadline_ms`, or the stall watchdog) cut the run short. Takes
+/// precedence over [`EXIT_JOBS_FAILED`]: a timeout means the budget was
+/// too small, not that the work was bad.
+const EXIT_DEADLINE: u8 = 4;
 
 /// A CLI failure: the message to print and the exit code to die with.
 /// `From<String>` classifies plain errors as spec/IO ([`EXIT_SPEC`]), so
@@ -129,7 +147,10 @@ fn install_fault_plan_from_env() -> Result<(), String> {
         "panic" => isdc::faults::FaultKind::Panic,
         "error" => isdc::faults::FaultKind::Error,
         "truncate" => isdc::faults::FaultKind::TruncateWrite,
-        other => return Err(format!("ISDC_FAULT_PLAN kind `{other}`: want panic|error|truncate")),
+        "stall" => isdc::faults::FaultKind::Stall,
+        other => {
+            return Err(format!("ISDC_FAULT_PLAN kind `{other}`: want panic|error|truncate|stall"))
+        }
     };
     isdc::faults::install(isdc::faults::FaultPlan::new().with(site, hit, kind));
     eprintln!("fault injection armed: {site} hit {hit} -> {kind:?}");
@@ -144,8 +165,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("show") => cmd_show(&args[1..]).map_err(CliError::from),
-        Some("schedule") => cmd_schedule(&args[1..]).map_err(CliError::from),
-        Some("sweep") => cmd_sweep(&args[1..]).map_err(CliError::from),
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("report") => cmd_report(&args[1..]).map_err(CliError::from),
         Some("aiger") => cmd_aiger(&args[1..]).map_err(CliError::from),
@@ -176,6 +197,36 @@ fn load_graph(path: &str) -> Result<Graph, String> {
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Parses a millisecond-duration flag (`--deadline`, `--fleet-deadline`,
+/// `--stall-timeout`).
+fn flag_ms(args: &[String], flag: &str) -> Result<Option<std::time::Duration>, String> {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| format!("bad {flag} `{v}`"))
+        })
+        .transpose()
+}
+
+/// Parses `--cache-capacity <entries>` (0 = unbounded, the default).
+fn flag_cache_capacity(args: &[String]) -> Result<usize, String> {
+    Ok(flag_value(args, "--cache-capacity")
+        .map(|v| v.parse().map_err(|_| format!("bad --cache-capacity `{v}`")))
+        .transpose()?
+        .unwrap_or(0))
+}
+
+/// Classifies a scheduling failure for the exit code: a tripped deadline
+/// is [`EXIT_DEADLINE`], everything else is a spec/run error.
+fn schedule_error(e: isdc::core::ScheduleError) -> CliError {
+    let code = match e {
+        isdc::core::ScheduleError::DeadlineExceeded => EXIT_DEADLINE,
+        _ => EXIT_SPEC,
+    };
+    CliError { code, message: e.to_string() }
 }
 
 /// On-disk trace encodings (`--trace-format`).
@@ -331,8 +382,8 @@ fn parse_loop_opts(
     Ok((iterations, subgraphs, scoring, shape))
 }
 
-fn cmd_schedule(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("schedule requires a .ir file")?;
+fn cmd_schedule(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| "schedule requires a .ir file".to_string())?;
     let g = load_graph(path)?;
     let clock: f64 = flag_value(args, "--clock")
         .map(|v| v.parse().map_err(|_| format!("bad --clock `{v}`")))
@@ -341,10 +392,17 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let feedback = args.iter().any(|a| a == "--feedback");
     let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
     let telemetry = TelemetryOpts::parse(args)?;
+    // Arm the wall-clock budget before any scheduling work: every
+    // checkpoint underneath (stage entry, iteration top, oracle loop,
+    // solver drain) polls it; without the flag checks stay one disarmed
+    // atomic load.
+    let deadline_scope =
+        flag_ms(args, "--deadline")?.map(|d| isdc::cancel::CancelToken::with_deadline(d).install());
     let session_span = isdc::telemetry::span_str("session", "design", path);
 
     let cache_file = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     let cache = args.iter().any(|a| a == "--cache") || cache_file.is_some();
+    let cache_capacity = flag_cache_capacity(args)?;
     if cache && !feedback {
         eprintln!("note: --cache/--cache-file only apply with --feedback; ignoring");
     }
@@ -364,10 +422,11 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
             convergence_patience: 2,
             cache,
             cache_file,
+            cache_capacity,
             incremental,
             iteration_metrics: true,
         };
-        let result = run_isdc(&g, &model, &oracle, &config).map_err(|e| e.to_string())?;
+        let result = run_isdc(&g, &model, &oracle, &config).map_err(schedule_error)?;
         if telemetry.profile {
             print_profile(&[&result.metrics]);
         }
@@ -420,10 +479,11 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
         if telemetry.profile {
             eprintln!("note: --profile reports the ISDC pipeline; pass --feedback to profile");
         }
-        let (schedule, _) = run_sdc(&g, &model, clock).map_err(|e| e.to_string())?;
+        let (schedule, _) = run_sdc(&g, &model, clock).map_err(schedule_error)?;
         (schedule, "sdc")
     };
     drop(session_span);
+    drop(deadline_scope);
     telemetry.finish()?;
 
     println!("scheduler:     {label}");
@@ -462,7 +522,7 @@ fn load_sweep_design(args: &[String], command: &str) -> Result<(Graph, f64, Stri
     }
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let (g, default_clock, name) = load_sweep_design(args, "sweep")?;
     let from: f64 = flag_value(args, "--from")
         .map(|v| v.parse().map_err(|_| format!("bad --from `{v}`")))
@@ -477,7 +537,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10);
     if points == 0 || to < from {
-        return Err("sweep needs --points >= 1 and --to >= --from".to_string());
+        return Err("sweep needs --points >= 1 and --to >= --from".to_string().into());
     }
     let (iterations, subgraphs, scoring, shape) = parse_loop_opts(args)?;
     let tol: f64 = flag_value(args, "--tol")
@@ -485,6 +545,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10.0);
     let telemetry = TelemetryOpts::parse(args)?;
+    // Armed before the session starts; a cut-short sweep keeps its
+    // completed prefix (bit-identical to an unbounded run's first points),
+    // saves artifacts, and exits with EXIT_DEADLINE.
+    let deadline_scope =
+        flag_ms(args, "--deadline")?.map(|d| isdc::cancel::CancelToken::with_deadline(d).install());
     let session_span = isdc::telemetry::span_str("session", "design", &name);
 
     let lib = TechLibrary::sky130();
@@ -497,14 +562,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         shape,
         ..IsdcConfig::paper_defaults(from)
     };
-    let mut session = IsdcSession::new(&g, &model, &oracle);
+    let cache =
+        std::sync::Arc::new(isdc::cache::DelayCache::with_capacity(flag_cache_capacity(args)?));
+    let mut session = IsdcSession::with_cache(&g, &model, &oracle, cache);
     let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     if let Some(path) = &snapshot {
         report_snapshot_load(session.load_snapshot_resilient(path), path);
     }
 
     let periods = linear_grid(from, to, points);
-    let sweep = sweep_clock_period(&mut session, &base, &periods).map_err(|e| e.to_string())?;
+    let sweep = sweep_clock_period(&mut session, &base, &periods).map_err(schedule_error)?;
+    let mut timed_out = sweep.len() < periods.len();
     if telemetry.profile {
         let frames: Vec<&isdc::telemetry::MetricsFrame> =
             sweep.iter().map(|p| &p.metrics).collect();
@@ -526,20 +594,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         );
     }
 
-    if args.iter().any(|a| a == "--min-period") {
-        let search =
-            min_feasible_period(&mut session, &base, 1.0, to, tol).map_err(|e| e.to_string())?;
-        match search.min_period_ps {
-            Some(p) => println!(
-                "minimum feasible period: {p:.0}ps (+-{tol}ps, {} probes)",
-                search.probes.len()
-            ),
-            None => println!("no feasible period at or below {to}ps"),
+    if args.iter().any(|a| a == "--min-period") && !timed_out {
+        match min_feasible_period(&mut session, &base, 1.0, to, tol) {
+            Ok(search) => match search.min_period_ps {
+                Some(p) => println!(
+                    "minimum feasible period: {p:.0}ps (+-{tol}ps, {} probes)",
+                    search.probes.len()
+                ),
+                None => println!("no feasible period at or below {to}ps"),
+            },
+            Err(isdc::core::ScheduleError::DeadlineExceeded) => timed_out = true,
+            Err(e) => return Err(e.to_string().into()),
         }
     }
     drop(session_span);
+    drop(deadline_scope);
     telemetry.finish()?;
 
+    // Artifacts are written even when the deadline cut the sweep short:
+    // the session and cache are still consistent (clean-cut cancellation),
+    // and the snapshot only carries completed work.
     if let Some(path) = &snapshot {
         session.save_snapshot(path).map_err(|e| e.to_string())?;
         println!("saved session snapshot (delays + potentials) to {}", path.display());
@@ -548,6 +622,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let json = render_sweep_json(&name, g.len(), "cli", &sweep, &[]);
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
+    }
+    if timed_out {
+        return Err(CliError {
+            code: EXIT_DEADLINE,
+            message: format!(
+                "deadline exceeded: {}/{} sweep points completed (completed prefix printed \
+                 and saved)",
+                sweep.len(),
+                periods.len()
+            ),
+        });
     }
     Ok(())
 }
@@ -802,20 +887,42 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         .map(|v| v.parse().map_err(|_| format!("bad --max-retries `{v}`")))
         .transpose()?
         .unwrap_or(0);
+    let fleet_deadline = flag_ms(args, "--fleet-deadline")?;
+    let stall_timeout = flag_ms(args, "--stall-timeout")?;
+    // `--deadline` is the per-job budget applied to every job; jobs whose
+    // spec carries its own `deadline_ms` keep the tighter of the two.
+    let job_deadline_ms = flag_ms(args, "--deadline")?.map(|d| d.as_millis() as u64);
+    let jobs: Vec<Job> = match job_deadline_ms {
+        Some(ms) => jobs
+            .into_iter()
+            .map(|j| {
+                let ms = j.deadline_ms.map_or(ms, |own| own.min(ms));
+                j.with_deadline_ms(ms)
+            })
+            .collect(),
+        None => jobs,
+    };
     let telemetry = TelemetryOpts::parse(args)?;
     let session_span = isdc::telemetry::span_u64("session", "jobs", jobs.len() as u64);
 
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
-    let cache = Arc::new(DelayCache::new());
+    let cache = Arc::new(DelayCache::with_capacity(flag_cache_capacity(args)?));
     let snapshot = flag_value(args, "--cache-file").map(std::path::PathBuf::from);
     if let Some(path) = &snapshot {
         use isdc::synth::DelayOracle as _;
         report_snapshot_load(cache.load_resilient(path, oracle.name()), path);
     }
 
-    let options = BatchOptions { threads, shard_points, fail_policy, max_retries };
+    let options = BatchOptions {
+        threads,
+        shard_points,
+        fail_policy,
+        max_retries,
+        fleet_deadline,
+        stall_timeout,
+    };
     let report =
         run_batch(&designs, &jobs, &options, &model, &oracle, &cache).map_err(|e| e.to_string())?;
     drop(session_span);
@@ -845,6 +952,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         let status = match &job.status {
             JobStatus::Ok => "ok",
             JobStatus::Failed(_) => "FAILED",
+            JobStatus::TimedOut { .. } => "TIMEOUT",
             JobStatus::Skipped => "skipped",
         };
         println!(
@@ -869,6 +977,17 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
                 println!("{:<28} |      flight: {event}", "");
             }
         }
+        if let JobStatus::TimedOut { elapsed_ms, points_completed, flight } = &job.status {
+            println!(
+                "{:<28} |   -> deadline exceeded after {elapsed_ms}ms \
+                 ({points_completed} point(s) completed, withheld)",
+                ""
+            );
+            let skip = flight.len().saturating_sub(6);
+            for event in flight.iter().skip(skip) {
+                println!("{:<28} |      flight: {event}", "");
+            }
+        }
     }
 
     if let Some(path) = &snapshot {
@@ -890,33 +1009,64 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
         };
         std::fs::write(out, render_batch_json(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
-        // Post-mortem artifact: every failed job's flight tail, one JSONL
-        // header line per job followed by its worker's event lines.
-        let failures: Vec<&isdc::batch::JobError> =
-            report.jobs.iter().filter_map(|j| j.status.error()).collect();
-        if !failures.is_empty() {
-            let mut dump = String::new();
-            for error in &failures {
-                dump.push_str(&format!(
-                    "{{\"kind\":\"job\",\"job\":{},\"shard\":{},\"design\":\"{}\",\"error\":\"{}\"}}\n",
-                    error.job,
-                    error.shard,
-                    isdc::cache::json::escape(&error.design),
-                    isdc::cache::json::escape(&error.message),
-                ));
-                for event in &error.flight {
-                    event.render_jsonl_line(&mut dump);
-                    dump.push('\n');
-                }
+        // Post-mortem artifact: every failed or timed-out job's flight
+        // tail, one JSONL header line per job followed by its worker's
+        // event lines.
+        let mut dump = String::new();
+        let mut tails = 0usize;
+        for (ji, job) in report.jobs.iter().enumerate() {
+            let (header, flight) = match &job.status {
+                JobStatus::Failed(error) => (
+                    format!(
+                        "{{\"kind\":\"job\",\"job\":{},\"shard\":{},\"design\":\"{}\",\
+                         \"error\":\"{}\"}}\n",
+                        error.job,
+                        error.shard,
+                        isdc::cache::json::escape(&error.design),
+                        isdc::cache::json::escape(&error.message),
+                    ),
+                    &error.flight,
+                ),
+                JobStatus::TimedOut { elapsed_ms, points_completed, flight } => (
+                    format!(
+                        "{{\"kind\":\"job\",\"job\":{ji},\"design\":\"{}\",\
+                         \"timed_out_after_ms\":{elapsed_ms},\
+                         \"points_completed\":{points_completed}}}\n",
+                        isdc::cache::json::escape(&job.job.design),
+                    ),
+                    flight,
+                ),
+                JobStatus::Ok | JobStatus::Skipped => continue,
+            };
+            tails += 1;
+            dump.push_str(&header);
+            for event in flight {
+                event.render_jsonl_line(&mut dump);
+                dump.push('\n');
             }
+        }
+        if tails > 0 {
             let flight_path = format!("{out}.flight.jsonl");
             std::fs::write(&flight_path, dump)
                 .map_err(|e| format!("writing {flight_path}: {e}"))?;
-            println!("wrote {flight_path} ({} failed job tail(s))", failures.len());
+            println!("wrote {flight_path} ({tails} failed/timed-out job tail(s))");
         }
     }
     // Artifacts above are written even on failure — a partial keep-going
-    // report is still useful — but the exit code says what happened.
+    // report is still useful — but the exit code says what happened. A
+    // deadline cut takes precedence: exit 4 means "the budget ran out",
+    // which callers handle differently from "the work was bad" (exit 3).
+    let timed_out = report.jobs_timed_out();
+    if timed_out > 0 {
+        let completed = report.jobs.iter().filter(|j| j.status.is_ok()).count();
+        return Err(CliError {
+            code: EXIT_DEADLINE,
+            message: format!(
+                "{timed_out} job(s) timed out, {completed} completed (status table above; \
+                 artifacts written)"
+            ),
+        });
+    }
     if !report.all_ok() {
         let failed = report.jobs_failed();
         let skipped = report.jobs.iter().filter(|j| matches!(j.status, JobStatus::Skipped)).count();

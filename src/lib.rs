@@ -22,6 +22,8 @@
 //!   JSONL/Chrome trace export (see README § Observability);
 //! - [`faults`] — deterministic fault injection for chaos testing (see
 //!   README § Robustness);
+//! - [`cancel`] — cooperative cancellation tokens and deadlines (one
+//!   relaxed atomic load per checkpoint when disarmed);
 //! - [`benchsuite`] — the 17 evaluation benchmarks and sweep generators.
 //!
 //! # Examples
@@ -59,6 +61,7 @@
 pub use isdc_batch as batch;
 pub use isdc_benchsuite as benchsuite;
 pub use isdc_cache as cache;
+pub use isdc_cancel as cancel;
 pub use isdc_core as core;
 pub use isdc_faults as faults;
 pub use isdc_ir as ir;

@@ -15,17 +15,22 @@ use isdc::batch::{
     run_batch, BatchDesign, BatchOptions, BatchReport, FailPolicy, Job, JobErrorKind, JobStatus,
 };
 use isdc::cache::{CachedDelay, DelayCache, Fingerprint, SnapshotLoad};
-use isdc::core::{linear_grid, IsdcConfig, ScheduleError};
+use isdc::core::{linear_grid, sweep_clock_period, IsdcConfig, IsdcSession, ScheduleError};
 use isdc::faults::{self, FaultKind, FaultPlan};
-use isdc::synth::{OpDelayModel, SynthesisOracle};
+use isdc::synth::{DelayOracle, DelayReport, OpDelayModel, SynthesisOracle};
 use isdc::techlib::TechLibrary;
 use proptest::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, Once};
+use std::time::Duration;
 
 /// The sites a batch run actually exercises (`snapshot/write` is covered
-/// separately — batches only touch it through explicit save calls).
-const BATCH_SITES: &[&str] = &["oracle/eval", "cache/insert", "solver/drain", "batch/shard"];
+/// separately — batches only touch it through explicit save calls;
+/// `batch/shard-stall` only fires the dedicated `Stall` kind, exercised by
+/// the deadline tests below).
+const BATCH_SITES: &[&str] =
+    &["oracle/eval", "cache/insert", "solver/drain", "pipeline/iteration", "batch/shard"];
 
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -90,12 +95,22 @@ fn run(
     fail_policy: FailPolicy,
     max_retries: u32,
 ) -> BatchReport {
+    let options = BatchOptions {
+        threads,
+        shard_points: 1,
+        fail_policy,
+        max_retries,
+        ..BatchOptions::default()
+    };
+    run_opts(designs, jobs, &options)
+}
+
+fn run_opts(designs: &[BatchDesign], jobs: &[Job], options: &BatchOptions) -> BatchReport {
     let lib = TechLibrary::sky130();
     let model = OpDelayModel::new(lib.clone());
     let oracle = SynthesisOracle::new(lib);
     let cache = Arc::new(DelayCache::new());
-    let options = BatchOptions { threads, shard_points: 1, fail_policy, max_retries };
-    run_batch(designs, jobs, &options, &model, &oracle, &cache)
+    run_batch(designs, jobs, options, &model, &oracle, &cache)
         .expect("only planning errors fail the call, and the fixture plans cleanly")
 }
 
@@ -162,6 +177,9 @@ fn any_single_fault_fails_at_most_one_job_and_nothing_else() {
                                 result.points.is_empty() && result.min_period_ps.is_none(),
                                 "{context}: failed jobs withhold their points"
                             );
+                        }
+                        JobStatus::TimedOut { .. } => {
+                            panic!("{context}: no deadlines are armed, nothing may time out")
                         }
                         JobStatus::Skipped => {
                             panic!("{context}: keep-going must never skip a job")
@@ -361,6 +379,295 @@ fn snapshot_write_faults_quarantine_and_cold_start() {
     }
 }
 
+/// Deadline chaos: a `stall` fault wedges job 0's first shard far past its
+/// per-job `deadline_ms`. The deadline token cuts the stall short, the job
+/// reports terminal `TimedOut` (the retry budget must not re-run it) with
+/// a flight tail naming the stall site, and every sibling job stays
+/// bit-identical to the fault-free baseline under keep-going.
+#[test]
+fn stalled_job_times_out_and_siblings_stay_bit_identical() {
+    let _g = chaos_guard();
+    let (designs, mut jobs) = fixture();
+    faults::clear();
+    let baseline = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+    jobs[0].deadline_ms = Some(250);
+    let saved_stall = faults::stall_ms();
+    faults::set_stall_ms(60_000);
+    faults::install(FaultPlan::new().with("batch/shard-stall", 0, FaultKind::Stall));
+    let report = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 3);
+    faults::clear();
+    faults::set_stall_ms(saved_stall);
+    let JobStatus::TimedOut { elapsed_ms, points_completed, flight } = &report.jobs[0].status
+    else {
+        panic!("the stalled job must time out, got {:?}", report.jobs[0].status);
+    };
+    assert!(*elapsed_ms >= 100, "the 250ms deadline cut the stall, got {elapsed_ms}ms");
+    assert_eq!(*points_completed, 0, "the stall hit the job's first shard");
+    assert!(report.jobs[0].points.is_empty(), "timed-out jobs withhold partial points");
+    assert_eq!(report.jobs[0].retries, 0, "a timeout is terminal — the budget was 3");
+    let mark = flight
+        .iter()
+        .find(|e| e.name == "fault")
+        .unwrap_or_else(|| panic!("no stall mark in the tail: {flight:?}"));
+    assert_eq!(
+        mark.arg,
+        Some(isdc::telemetry::FlightArg::Str("site", "batch/shard-stall")),
+        "the flight tail names the stall site"
+    );
+    assert_eq!(report.jobs_timed_out(), 1);
+    assert_eq!(counter(&report, "job/timed_out"), 1);
+    assert!(counter(&report, "cancel/deadline") >= 1, "the cut shard is counted");
+    assert_eq!(counter(&report, "job/failed"), 0, "a timeout is not a failure");
+    for (result, reference) in report.jobs.iter().zip(&baseline.jobs).skip(1) {
+        assert_job_identical(result, reference, "sibling of the stalled job");
+    }
+}
+
+/// The same stalled job under `FailPolicy::Abort`: the timeout stops the
+/// queue and every later job is Skipped with its points withheld, exactly
+/// like a failure would under abort.
+#[test]
+fn abort_policy_stops_the_queue_on_a_timeout() {
+    let _g = chaos_guard();
+    let (designs, mut jobs) = fixture();
+    jobs[0].deadline_ms = Some(250);
+    let saved_stall = faults::stall_ms();
+    faults::set_stall_ms(60_000);
+    faults::install(FaultPlan::new().with("batch/shard-stall", 0, FaultKind::Stall));
+    let report = run(&designs, &jobs, 1, FailPolicy::Abort, 0);
+    faults::clear();
+    faults::set_stall_ms(saved_stall);
+    assert!(
+        matches!(report.jobs[0].status, JobStatus::TimedOut { .. }),
+        "the stalled job must time out, got {:?}",
+        report.jobs[0].status
+    );
+    assert_eq!(report.jobs_timed_out(), 1, "abort stops the queue — the rest are Skipped");
+    for job in &report.jobs[1..] {
+        assert_eq!(job.status, JobStatus::Skipped);
+        assert!(job.points.is_empty() && job.min_period_ps.is_none());
+    }
+}
+
+/// The stall watchdog: no deadline is armed, but the stalled worker stops
+/// heartbeating, so the watchdog cancels its token after `stall_timeout`
+/// of flight-recorder silence. The stalled job lands as TimedOut and the
+/// siblings stay bit-identical.
+#[test]
+fn stall_watchdog_cancels_a_silent_worker() {
+    let _g = chaos_guard();
+    let (designs, jobs) = fixture();
+    faults::clear();
+    let baseline = run(&designs, &jobs, 1, FailPolicy::KeepGoing, 0);
+    let saved_stall = faults::stall_ms();
+    faults::set_stall_ms(60_000);
+    faults::install(FaultPlan::new().with("batch/shard-stall", 0, FaultKind::Stall));
+    let options = BatchOptions {
+        threads: 1,
+        shard_points: 1,
+        fail_policy: FailPolicy::KeepGoing,
+        max_retries: 0,
+        fleet_deadline: None,
+        stall_timeout: Some(Duration::from_millis(300)),
+    };
+    let report = run_opts(&designs, &jobs, &options);
+    faults::clear();
+    faults::set_stall_ms(saved_stall);
+    assert!(
+        matches!(report.jobs[0].status, JobStatus::TimedOut { .. }),
+        "the watchdog must cut the stalled job, got {:?}",
+        report.jobs[0].status
+    );
+    assert_eq!(counter(&report, "cancel/watchdog"), 1, "one token cancelled, counted once");
+    for (result, reference) in report.jobs.iter().zip(&baseline.jobs).skip(1) {
+        assert_job_identical(result, reference, "sibling of the watchdogged job");
+    }
+}
+
+/// A 1ms fleet budget: every job lands as TimedOut — claimed shards are
+/// cut at their first checkpoint, unclaimed ones are abandoned with the
+/// budget named as the reason — and no job is misreported as Skipped.
+#[test]
+fn fleet_budget_times_out_the_whole_queue() {
+    let _g = chaos_guard();
+    faults::clear();
+    let (designs, jobs) = fixture();
+    let options = BatchOptions {
+        threads: 2,
+        shard_points: 1,
+        fail_policy: FailPolicy::KeepGoing,
+        max_retries: 0,
+        fleet_deadline: Some(Duration::from_millis(1)),
+        stall_timeout: None,
+    };
+    let report = run_opts(&designs, &jobs, &options);
+    assert_eq!(
+        report.jobs_timed_out(),
+        report.jobs.len(),
+        "{:?}",
+        report.jobs.iter().map(|j| &j.status).collect::<Vec<_>>()
+    );
+    assert_eq!(counter(&report, "job/timed_out"), report.jobs.len() as u64);
+    assert!(report.jobs.iter().all(|j| j.points.is_empty()), "partial points are withheld");
+}
+
+/// A delegating oracle that cancels `token` on its `after`-th evaluation,
+/// turning wall-clock cancellation into a deterministic event.
+struct CancelAfter<'a> {
+    inner: &'a SynthesisOracle,
+    calls: AtomicU64,
+    after: u64,
+    token: isdc::cancel::CancelToken,
+}
+
+impl DelayOracle for CancelAfter<'_> {
+    fn evaluate(&self, graph: &isdc::ir::Graph, members: &[isdc::ir::NodeId]) -> DelayReport {
+        if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+            self.token.cancel();
+        }
+        self.inner.evaluate(graph, members)
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Clean-cut cancellation end to end: a sweep cancelled mid-flight returns
+/// a bit-identical prefix of the uncancelled run, the cancelled session's
+/// warm state is not poisoned (rerunning on it reproduces the full sweep),
+/// its snapshot is safe to save, and a fresh session over that snapshot
+/// file completes the same sweep bit-identically.
+#[test]
+fn cancelled_sweep_reruns_over_the_same_snapshot_bit_identically() {
+    let _g = chaos_guard();
+    faults::clear();
+    let (designs, _) = fixture();
+    let design = &designs[0];
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let clock = design.base.clock_period_ps;
+    let periods = linear_grid(clock, clock * 1.6, 3);
+    // iteration_metrics is last-point-only in a sweep, which would make the
+    // one-point probe below see more oracle calls than the full run's first
+    // point; turn it off so call counts line up exactly.
+    let mut base = design.base.clone();
+    base.iteration_metrics = false;
+
+    // The reference: an uncancelled sweep on a fresh session.
+    let mut reference_session = IsdcSession::new(&design.graph, &model, &oracle);
+    let reference =
+        sweep_clock_period(&mut reference_session, &base, &periods).expect("the fixture sweeps");
+    assert_eq!(reference.len(), periods.len());
+
+    // How many oracle misses the first point costs — the cancelled run
+    // cancels on the next one, i.e. somewhere inside point 2.
+    let probe = CancelAfter {
+        inner: &oracle,
+        calls: AtomicU64::new(0),
+        after: u64::MAX,
+        token: isdc::cancel::CancelToken::new(),
+    };
+    let mut probe_session = IsdcSession::new(&design.graph, &model, &probe);
+    sweep_clock_period(&mut probe_session, &base, &periods[..1])
+        .expect("the probe point sweeps cleanly");
+    let first_point_calls = probe.calls.load(Ordering::Relaxed);
+    sweep_clock_period(&mut probe_session, &base, &periods[1..2])
+        .expect("the probe tail sweeps cleanly");
+    assert!(first_point_calls > 0, "the first point must consult the oracle");
+    assert!(
+        probe.calls.load(Ordering::Relaxed) > first_point_calls,
+        "fixture sanity: point 2 must miss the session cache at least once"
+    );
+
+    // The cancelled run: the token trips inside point 2; the sweep returns
+    // the completed prefix (point 1 only), bit-identical to the reference.
+    let token = isdc::cancel::CancelToken::new();
+    let wrapper = CancelAfter {
+        inner: &oracle,
+        calls: AtomicU64::new(0),
+        after: first_point_calls + 1,
+        token: token.clone(),
+    };
+    let mut session = IsdcSession::new(&design.graph, &model, &wrapper);
+    let scope = token.install();
+    let cancelled = sweep_clock_period(&mut session, &base, &periods)
+        .expect("cancellation is clean-cut, not an error");
+    drop(scope);
+    assert_eq!(cancelled.len(), 1, "the sweep returns exactly the completed prefix");
+    assert_eq!(cancelled[0].schedule, reference[0].schedule, "prefix is bit-identical");
+    assert_eq!(cancelled[0].register_bits, reference[0].register_bits);
+
+    // Warm state is not poisoned: the same session (token disarmed)
+    // completes the full sweep bit-identically.
+    let resumed = sweep_clock_period(&mut session, &base, &periods)
+        .expect("the cancelled session must still sweep");
+    assert_eq!(resumed.len(), periods.len());
+    for (a, b) in resumed.iter().zip(&reference) {
+        assert_eq!(a.feasible, b.feasible);
+        assert_eq!(a.schedule, b.schedule, "rerun on the cancelled session diverged");
+        assert_eq!(a.register_bits, b.register_bits);
+    }
+
+    // Snapshot-safety: the cancelled-then-resumed session's snapshot cold
+    // starts a fresh session that completes the sweep bit-identically.
+    let path =
+        std::env::temp_dir().join(format!("isdc-chaos-cancel-rerun-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    session.save_snapshot(&path).expect("snapshot after cancellation");
+    let cold_session = IsdcSession::new(&design.graph, &model, &oracle);
+    assert!(
+        matches!(cold_session.load_snapshot_resilient(&path), SnapshotLoad::Loaded { .. }),
+        "the snapshot written after a cancelled sweep must load"
+    );
+    let mut cold_session = cold_session;
+    let rerun = sweep_clock_period(&mut cold_session, &base, &periods)
+        .expect("the snapshot-warmed session must sweep");
+    assert_eq!(rerun.len(), periods.len());
+    for (a, b) in rerun.iter().zip(&reference) {
+        assert_eq!(a.feasible, b.feasible);
+        assert_eq!(a.schedule, b.schedule, "snapshot-warmed rerun diverged");
+        assert_eq!(a.register_bits, b.register_bits);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Capacity safety: a batch over a tightly bounded shared cache evicts —
+/// the counter proves it — yet every job stays bit-identical to the
+/// unbounded run. Eviction may only change hit rates, never delays.
+#[test]
+fn bounded_cache_evicts_without_changing_results() {
+    let _g = chaos_guard();
+    faults::clear();
+    let (designs, jobs) = fixture();
+    let baseline = run(&designs, &jobs, 2, FailPolicy::KeepGoing, 0);
+    assert!(baseline.all_ok());
+
+    let lib = TechLibrary::sky130();
+    let model = OpDelayModel::new(lib.clone());
+    let oracle = SynthesisOracle::new(lib);
+    let cache = Arc::new(DelayCache::with_capacity(16));
+    let options = BatchOptions {
+        threads: 2,
+        shard_points: 1,
+        fail_policy: FailPolicy::KeepGoing,
+        max_retries: 0,
+        ..BatchOptions::default()
+    };
+    let report = run_batch(&designs, &jobs, &options, &model, &oracle, &cache)
+        .expect("the fixture plans cleanly");
+    assert!(report.all_ok());
+    assert!(report.cache.evictions > 0, "capacity 16 must evict on this fixture");
+    assert_eq!(
+        counter(&report, "cache/evictions"),
+        report.cache.evictions,
+        "evictions reach the metrics frame"
+    );
+    for (result, reference) in report.jobs.iter().zip(&baseline.jobs) {
+        assert_job_identical(result, reference, "bounded-cache job");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -371,7 +678,7 @@ proptest! {
     fn prop_single_faults_preserve_unaffected_jobs(
         seed in any::<u64>(),
         threads in 1usize..5,
-        site_idx in 0usize..4,
+        site_idx in 0usize..5,
     ) {
         let _g = chaos_guard();
         let (designs, jobs) = fixture();
